@@ -1,0 +1,222 @@
+package radiocast
+
+// Benchmarks regenerating every experiment of EXPERIMENTS.md. Each
+// benchmark reports simulated rounds as its primary metric
+// (rounds/op); wall time measures the simulator, not the protocol.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// The full sweeps (larger sizes, more seeds) are produced by
+// cmd/radiobench.
+
+import (
+	"testing"
+
+	"radiocast/internal/graph"
+	"radiocast/internal/harness"
+)
+
+// reportRounds runs fn b.N times and reports the mean simulated
+// rounds per run.
+func reportRounds(b *testing.B, fn func(seed uint64) (int64, bool)) {
+	b.Helper()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		rounds, ok := fn(uint64(i))
+		if !ok {
+			b.Fatalf("run %d incomplete", i)
+		}
+		total += rounds
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "rounds/op")
+}
+
+// E1/E2: single-message broadcast on the headline cluster-chain
+// workload, one benchmark per protocol.
+
+func BenchmarkE1_Decay_ClusterChain32x8(b *testing.B) {
+	g := graph.ClusterChain(32, 8)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		return harness.RunDecay(g, seed, 1<<22)
+	})
+}
+
+func BenchmarkE1_CR_ClusterChain32x8(b *testing.B) {
+	g := graph.ClusterChain(32, 8)
+	d := graph.Eccentricity(g, 0)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		return harness.RunCR(g, d, seed, 1<<22)
+	})
+}
+
+func BenchmarkE1_GSTBroadcast_ClusterChain32x8(b *testing.B) {
+	g := graph.ClusterChain(32, 8)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		return harness.RunGSTSingle(g, false, seed, 1<<22)
+	})
+}
+
+func BenchmarkE1_Theorem11Full_ClusterChain8x8(b *testing.B) {
+	g := graph.ClusterChain(8, 8)
+	d := graph.Eccentricity(g, 0)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		res := harness.RunTheorem11(g, d, 1, seed)
+		return res.Rounds, res.Completed
+	})
+}
+
+func BenchmarkE2_DiameterScaling_GST(b *testing.B) {
+	for _, chain := range []int{8, 32} {
+		g := graph.ClusterChain(chain, 8)
+		b.Run(g.Name(), func(b *testing.B) {
+			reportRounds(b, func(seed uint64) (int64, bool) {
+				return harness.RunGSTSingle(g, false, seed, 1<<22)
+			})
+		})
+	}
+}
+
+// E3: distributed GST construction (fixed schedule; rounds are
+// deterministic, wall time measures the simulator).
+func BenchmarkE3_GSTConstruction_Grid4x8(b *testing.B) {
+	tb := harness.E3GSTConstruction(1, true)
+	if len(tb.Rows) == 0 {
+		b.Fatal("no rows")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = harness.E3GSTConstruction(1, true)
+	}
+}
+
+// E4: recruiting protocol.
+func BenchmarkE4_Recruiting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E4Recruiting(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// E5: assignment shrinkage.
+func BenchmarkE5_AssignmentShrinkage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E5AssignmentShrinkage(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// E7: Theorem 1.2 k-sweep.
+func BenchmarkE7_MultiMessageKnown_Grid8x8(b *testing.B) {
+	g := graph.Grid(8, 8)
+	for _, k := range []int{4, 16} {
+		k := k
+		b.Run("k="+itoa(k), func(b *testing.B) {
+			reportRounds(b, func(seed uint64) (int64, bool) {
+				return harness.RunGSTMulti(g, k, seed, 1<<22)
+			})
+		})
+	}
+}
+
+// E8: Theorem 1.3 full pipeline.
+func BenchmarkE8_MultiMessageUnknown_Grid4x12(b *testing.B) {
+	g := graph.Grid(4, 12)
+	d := graph.Eccentricity(g, 0)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		rounds, ok, _ := harness.RunTheorem13(g, d, 8, 1, seed)
+		return rounds, ok
+	})
+}
+
+// E9: Decay under jamming (Lemma 3.2).
+func BenchmarkE9_DecayMMV_Path64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E9DecayMMV(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// E10: MMV GST schedule under jamming (Lemma 3.3).
+func BenchmarkE10_MMVGST_Grid8x8(b *testing.B) {
+	g := graph.Grid(8, 8)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		return harness.RunGSTSingle(g, true, seed, 1<<22)
+	})
+}
+
+// E11: Decay progress probability (Lemma 2.2).
+func BenchmarkE11_DecayProgress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E11DecayProgress(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// E12: RLNC infection/decoding (Def 3.8 / Prop 3.9).
+func BenchmarkE12_RLNC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E12RLNC(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// A1: slow-slot keying ablation.
+func BenchmarkA1_VirtualDistanceAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.A1VirtualDistance(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// A2: coding vs routing ablation.
+func BenchmarkA2_CodingVsRouting_Grid6x6(b *testing.B) {
+	g := graph.Grid(6, 6)
+	b.Run("rlnc-k8", func(b *testing.B) {
+		reportRounds(b, func(seed uint64) (int64, bool) {
+			return harness.RunGSTMulti(g, 8, seed, 1<<22)
+		})
+	})
+	b.Run("routing-k8", func(b *testing.B) {
+		reportRounds(b, func(seed uint64) (int64, bool) {
+			return harness.RunGSTMultiRouting(g, 8, seed, 1<<22)
+		})
+	})
+}
+
+// A3: ring width ablation.
+func BenchmarkA3_RingWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.A3RingWidth(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

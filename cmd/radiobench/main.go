@@ -1,0 +1,59 @@
+// Command radiobench regenerates every experiment table of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	radiobench [-seeds N] [-quick] [-format text|csv|markdown] [-only E1,E7]
+//
+// Each experiment reproduces one theorem/lemma of the paper as a
+// measured round-complexity table; see EXPERIMENTS.md for the mapping
+// and the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"radiocast/internal/harness"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 3, "independent seeds per configuration")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
+	format := flag.String("format", "text", "output format: text, csv, or markdown")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range harness.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tb := e.Run(*seeds, *quick)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, tb.CSV())
+		case "markdown":
+			fmt.Printf("### %s: %s\n\n%s\n", e.ID, e.Title, tb.Markdown())
+		default:
+			fmt.Printf("%s\n[%s, %d seed(s), %v]\n\n", tb.String(), e.ID, *seeds, elapsed)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
+		os.Exit(1)
+	}
+}

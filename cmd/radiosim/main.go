@@ -1,0 +1,97 @@
+// Command radiosim runs one broadcast protocol on one workload graph
+// and prints the outcome — a quick way to poke at the library.
+//
+// Usage:
+//
+//	radiosim -graph clusterchain -n 256 -protocol cd -seed 1
+//	radiosim -graph grid -n 64 -protocol k-known -k 8
+//
+// Protocols: decay, cr, gst (known-topology single message),
+// cd (Theorem 1.1), k-known (Theorem 1.2), k-cd (Theorem 1.3).
+// Graphs: path, grid, clusterchain, udg, gnp, star.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"radiocast"
+	"radiocast/internal/graph"
+)
+
+func buildGraph(kind string, n int, seed uint64) (*radiocast.Graph, error) {
+	switch kind {
+	case "path":
+		return radiocast.NewPath(n), nil
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			side = 2
+		}
+		return radiocast.NewGrid(side, (n+side-1)/side), nil
+	case "clusterchain":
+		clique := 8
+		chain := n / clique
+		if chain < 2 {
+			chain = 2
+		}
+		return radiocast.NewClusterChain(chain, clique), nil
+	case "udg":
+		return radiocast.NewUnitDisk(n, graph.ConnectivityRadius(n), seed), nil
+	case "gnp":
+		p := 4 * math.Log(float64(n)) / float64(n)
+		return radiocast.NewGNP(n, p, seed), nil
+	case "star":
+		return graph.Star(n), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func main() {
+	kind := flag.String("graph", "clusterchain", "workload: path, grid, clusterchain, udg, gnp, star")
+	n := flag.Int("n", 128, "approximate node count")
+	protocol := flag.String("protocol", "cd", "protocol: decay, cr, gst, cd, k-known, k-cd")
+	k := flag.Int("k", 8, "message count for k-message protocols")
+	seed := flag.Uint64("seed", 1, "run seed")
+	flag.Parse()
+
+	g, err := buildGraph(*kind, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d := graph.Eccentricity(g, 0)
+	fmt.Printf("workload %s: n=%d m=%d ecc(source)=%d maxdeg=%d\n",
+		g.Name(), g.N(), g.M(), d, g.MaxDegree())
+
+	opts := radiocast.Options{Seed: *seed}
+	var res radiocast.Result
+	switch *protocol {
+	case "decay":
+		res, err = radiocast.DecayBroadcast(g, opts)
+	case "cr":
+		res, err = radiocast.CRBroadcast(g, opts)
+	case "gst":
+		res, err = radiocast.BroadcastKnownTopology(g, opts)
+	case "cd":
+		res, err = radiocast.BroadcastCD(g, opts)
+	case "k-known":
+		res, err = radiocast.BroadcastK(g, *k, opts)
+	case "k-cd":
+		res, err = radiocast.BroadcastKCD(g, *k, opts)
+	default:
+		err = fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	status := "completed"
+	if !res.Completed {
+		status = "INCOMPLETE (round limit)"
+	}
+	fmt.Printf("%s: %s in %d rounds\n", *protocol, status, res.Rounds)
+}

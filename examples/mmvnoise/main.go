@@ -1,0 +1,62 @@
+// Mmvnoise: Definition 3.1 and Lemma 3.2/3.3 live — run the Decay and
+// GST schedules while every node that lacks the message actively jams
+// its scheduled slots, and watch the broadcast still complete fast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radiocast/internal/decay"
+	"radiocast/internal/graph"
+	"radiocast/internal/harness"
+	"radiocast/internal/radio"
+	"radiocast/internal/rng"
+	"radiocast/internal/sched"
+)
+
+func main() {
+	g := graph.Grid(8, 8)
+	fmt.Printf("multi-message viability on %s (jammers = nodes without the message)\n\n", g.Name())
+
+	// GST schedule, silent vs jammed (Lemma 3.3).
+	silent, ok1 := harness.RunGSTSingle(g, false, 1, 1<<20)
+	jammed, ok2 := harness.RunGSTSingle(g, true, 1, 1<<20)
+	if !ok1 || !ok2 {
+		log.Fatal("GST schedule incomplete")
+	}
+	fmt.Printf("MMV GST schedule : silent %4d rounds | jammed %4d rounds (x%.2f)\n",
+		silent, jammed, float64(jammed)/float64(silent))
+
+	// Decay schedule, silent vs jammed (Lemma 3.2).
+	for _, noising := range []bool{false, true} {
+		levels := graph.BFS(g, 0)
+		nw := radio.New(g, radio.Config{})
+		protos := make([]*decay.MMV, g.N())
+		for v := 0; v < g.N(); v++ {
+			protos[v] = decay.NewMMV(g.N(), int(levels.Dist[v]), noising,
+				decay.Message{Data: 7}, rng.New(2, uint64(v)))
+			nw.SetProtocol(graph.NodeID(v), protos[v])
+		}
+		l := int64(sched.LogN(g.N()))
+		rounds, ok := nw.RunUntil(500*(int64(levels.MaxDist)*l+l*l), func() bool {
+			for _, p := range protos {
+				if !p.Has() {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			log.Fatal("Decay MMV incomplete")
+		}
+		mode := "silent"
+		if noising {
+			mode = "jammed"
+		}
+		fmt.Printf("Decay (Lemma 3.2): %s %5d rounds\n", mode, rounds)
+	}
+	fmt.Println("\nThe jammed runs are the point: progress survives adversarial noise")
+	fmt.Println("from every scheduled-but-empty node, which is exactly what lets the")
+	fmt.Println("multi-message algorithms interleave many messages on one schedule.")
+}

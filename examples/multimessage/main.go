@@ -1,0 +1,40 @@
+// Multimessage: firmware-chunk dissemination — k packets from one
+// gateway to every node, with random linear network coding (Theorems
+// 1.2 and 1.3). Shows the linear-in-k scaling with slope ~log n.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radiocast"
+	"radiocast/internal/graph"
+	"radiocast/internal/sched"
+)
+
+func main() {
+	g := radiocast.NewGrid(8, 8)
+	d := graph.Eccentricity(g, 0)
+	l := sched.LogN(g.N())
+	fmt.Printf("firmware dissemination on %s: D=%d, log n=%d\n\n", g.Name(), d, l)
+
+	fmt.Printf("%4s %18s %14s\n", "k", "rounds (Thm 1.2)", "rounds/k")
+	var prev int64
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		res, err := radiocast.BroadcastK(g, k, radiocast.Options{Seed: 5})
+		if err != nil || !res.Completed {
+			log.Fatalf("k=%d: %v %+v", k, err, res)
+		}
+		fmt.Printf("%4d %18d %14.1f\n", k, res.Rounds, float64(res.Rounds)/float64(k))
+		prev = res.Rounds
+	}
+	_ = prev
+
+	fmt.Println("\nsame task, unknown topology + collision detection (Thm 1.3):")
+	res, err := radiocast.BroadcastKCD(g, 8, radiocast.Options{Seed: 5})
+	if err != nil || !res.Completed {
+		log.Fatalf("Thm 1.3: %v %+v", err, res)
+	}
+	fmt.Printf("k=8: %d rounds including layering, ring GST construction,\n", res.Rounds)
+	fmt.Println("and the stride-2 batch pipeline with fountain handoffs.")
+}

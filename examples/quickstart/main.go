@@ -1,0 +1,40 @@
+// Quickstart: broadcast one message over an unknown-topology radio
+// network using collision detection (Theorem 1.1) and compare it with
+// the classic Decay protocol on the same workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radiocast"
+)
+
+func main() {
+	// A chain of 16 dense clusters: large diameter AND large degree —
+	// the workload where collision detection pays off most.
+	g := radiocast.NewClusterChain(16, 8)
+	opts := radiocast.Options{Seed: 42}
+
+	decay, err := radiocast.DecayBroadcast(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gst, err := radiocast.BroadcastKnownTopology(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := radiocast.BroadcastCD(g, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (n=%d)\n", g.Name(), g.N())
+	fmt.Printf("Decay baseline              : %6d rounds\n", decay.Rounds)
+	fmt.Printf("GST broadcast (structure up): %6d rounds\n", gst.Rounds)
+	fmt.Printf("Theorem 1.1 (from scratch)  : %6d rounds (incl. distributed setup)\n", full.Rounds)
+	fmt.Println("\nThe second line is the steady-state story of the paper: once the")
+	fmt.Println("collision-detection machinery has built its gathering spanning")
+	fmt.Println("trees, every subsequent broadcast runs in ~2 rounds per hop plus a")
+	fmt.Println("polylog tail — the additive O(D + polylog n) bound of Theorem 1.1.")
+}

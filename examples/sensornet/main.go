@@ -1,0 +1,44 @@
+// Sensornet: an emergency-alert flood across a simulated unit-disk
+// sensor field — the practical scenario the paper's introduction
+// motivates. Compares the three unknown-topology protocols across
+// field sizes and prints a small table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radiocast"
+	"radiocast/internal/graph"
+)
+
+func main() {
+	fmt.Println("emergency alert dissemination over unit-disk sensor fields")
+	fmt.Println("(radius at the connectivity threshold; source at node 0)")
+	fmt.Printf("\n%8s %6s %6s %10s %10s %12s\n", "sensors", "D", "deg", "decay", "cr", "gst-bcast")
+	for _, n := range []int{100, 200, 400} {
+		g := radiocast.NewUnitDisk(n, graph.ConnectivityRadius(n), 7)
+		d := graph.Eccentricity(g, 0)
+		opts := radiocast.Options{Seed: 11}
+
+		decay, err := radiocast.DecayBroadcast(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cr, err := radiocast.CRBroadcast(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gst, err := radiocast.BroadcastKnownTopology(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %6d %6d %10d %10d %12d\n",
+			n, d, g.MaxDegree(), decay.Rounds, cr.Rounds, gst.Rounds)
+	}
+	fmt.Println("\nrounds = synchronous slots until every sensor holds the alert")
+	fmt.Println("note: dense fields have tiny diameters, so the GST schedule's")
+	fmt.Println("polylog tail dominates and plain Decay wins — the crossover the")
+	fmt.Println("paper predicts appears once D outgrows the polylog terms (see")
+	fmt.Println("the quickstart example and experiment E2).")
+}

@@ -1,0 +1,33 @@
+package assign
+
+import "radiocast/internal/radio"
+
+// BoundaryProtocol runs a single boundary assignment standalone,
+// starting at round Start. Nodes outside the boundary must be silent
+// for the duration. Used by tests and experiment E5/E6; the full GST
+// construction (internal/gstdist) drives Node machines directly.
+type BoundaryProtocol struct {
+	Start int64
+	N     *Node
+}
+
+var _ radio.Protocol = (*BoundaryProtocol)(nil)
+
+// Act implements radio.Protocol.
+func (bp *BoundaryProtocol) Act(r int64) radio.Action {
+	switch off := r - bp.Start; {
+	case off < 0:
+		return radio.Sleep(bp.Start)
+	case off >= bp.N.p.BoundaryRounds():
+		return radio.Sleep(1 << 62)
+	default:
+		return bp.N.Act(off)
+	}
+}
+
+// Observe implements radio.Protocol.
+func (bp *BoundaryProtocol) Observe(r int64, out radio.Outcome) {
+	if off := r - bp.Start; off >= 0 && off < bp.N.p.BoundaryRounds() {
+		bp.N.Observe(off, out)
+	}
+}

@@ -1,0 +1,90 @@
+// Package beep implements the collision-wave primitives of the proof
+// of Theorem 1.1, which require collision detection:
+//
+//	"We first use a wave of collisions to get a BFS layering in time D.
+//	 That is, the source transmits in all rounds [1, D], and each node v
+//	 transmits in all rounds [r, D] where r is such that v receives a
+//	 message or a collision in round r−1. For each node v, the round
+//	 r−1 in which v receives the first message or collision determines
+//	 the distance of v from the source."
+//
+// The wave gives every node its exact BFS level in exactly `horizon`
+// rounds, where horizon is any upper bound on the source eccentricity.
+package beep
+
+import (
+	"radiocast/internal/radio"
+)
+
+// Pulse is the 1-bit wave packet.
+type Pulse struct{}
+
+// Bits implements radio.Packet.
+func (Pulse) Bits() int { return 1 }
+
+// Wave is the collision-wave layering protocol for one node.
+type Wave struct {
+	isSource bool
+	horizon  int64 // transmit until this round, then stop
+
+	level int64 // -1 until the wave arrives
+}
+
+var _ radio.Protocol = (*Wave)(nil)
+
+// NewWave creates the protocol. horizon must be at least the
+// eccentricity of the source; the wave stops at that round.
+func NewWave(source bool, horizon int64) *Wave {
+	w := &Wave{isSource: source, horizon: horizon, level: -1}
+	if source {
+		w.level = 0
+	}
+	return w
+}
+
+// Level returns the learned BFS level, or -1 if the wave has not
+// arrived (yet, or ever — callers validate against horizon).
+func (w *Wave) Level() int { return int(w.level) }
+
+// Act implements radio.Protocol. The source transmits in rounds
+// [0, horizon); a node first hearing a signal (message or collision)
+// in round t transmits in rounds [t+1, horizon).
+func (w *Wave) Act(r int64) radio.Action {
+	if r >= w.horizon {
+		return radio.Sleep(1 << 62) // wave over; never act again
+	}
+	if w.level >= 0 {
+		return radio.Transmit(Pulse{})
+	}
+	return radio.Listen
+}
+
+// Observe implements radio.Protocol: any signal — packet or collision
+// — triggers the node.
+func (w *Wave) Observe(r int64, out radio.Outcome) {
+	if w.level >= 0 {
+		return
+	}
+	if out.Collision || out.Packet != nil {
+		w.level = r + 1
+	}
+}
+
+// RunLayering is a convenience harness: it runs the wave on the given
+// network (which must have collision detection enabled) and returns
+// per-node levels. Nodes without protocols installed elsewhere get
+// Wave protocols; the network must be fresh.
+func RunLayering(nw *radio.Network, source radio.NodeID, horizon int64) []int {
+	g := nw.Graph()
+	waves := make([]*Wave, g.N())
+	for v := 0; v < g.N(); v++ {
+		waves[v] = NewWave(radio.NodeID(v) == source, horizon)
+		nw.SetProtocol(radio.NodeID(v), waves[v])
+	}
+	nw.Run(horizon)
+	levels := make([]int, g.N())
+	for v := range waves {
+		levels[v] = waves[v].Level()
+	}
+	return levels
+}

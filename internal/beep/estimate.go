@@ -1,0 +1,187 @@
+package beep
+
+import "radiocast/internal/radio"
+
+// Diameter estimation (footnote 2 of the paper): the assumption that
+// nodes know a constant-factor upper bound on D "can be removed
+// without any change in our time-bounds, by finding a 2-approximation
+// of D in time O(D), using the beep waves tool of [10]".
+//
+// Estimate implements that tool as a deterministic doubling protocol
+// with collision detection. For guesses H = 2^j, block j has three
+// sub-blocks of H+1 rounds each:
+//
+//	forward   a collision wave from the source; nodes within distance
+//	          H learn their level.
+//	echo      nodes at distance exactly H beep; a node at level l
+//	          relays the echo at offset H-l if it heard a signal at
+//	          offset H-l-1. The source hears an echo iff some node is
+//	          at distance exactly H, i.e. iff ecc(source) >= H (BFS
+//	          levels are contiguous).
+//	announce  if no echo arrived, the source launches a final wave;
+//	          every node that hears it learns D̂ = 2^j (which satisfies
+//	          ecc <= D̂ < 2·ecc for ecc >= 2) and its exact BFS level
+//	          (the arrival offset), and the protocol terminates.
+//
+// Total time sum_j 3(2^j + 1) = O(D). The protocol is deterministic:
+// collisions carry information, so no randomness is needed.
+type Estimate struct {
+	isSource bool
+
+	// Per-block state.
+	block    int
+	level    int64 // level within the current block's wave; -1 unknown
+	echoPrev bool  // heard a signal in the previous echo round
+	echoSelf bool  // beeped already in this echo sub-block
+
+	// Results.
+	done      bool
+	dhat      int64
+	finalLvl  int64
+	echoAtSrc bool
+}
+
+var _ radio.Protocol = (*Estimate)(nil)
+
+// NewEstimate creates the estimator for one node.
+func NewEstimate(source bool) *Estimate {
+	return &Estimate{isSource: source, block: -1, level: -1, finalLvl: -1}
+}
+
+// Done reports whether the estimate has been learned.
+func (e *Estimate) Done() bool { return e.done }
+
+// Diameter returns D̂ (valid when Done).
+func (e *Estimate) Diameter() int64 { return e.dhat }
+
+// Level returns the node's exact BFS level (valid when Done).
+func (e *Estimate) Level() int64 {
+	if e.isSource {
+		return 0
+	}
+	return e.finalLvl
+}
+
+// blockStart returns the first round of block j: sum of 3(2^i+1).
+func blockStart(j int) int64 {
+	return 3*((int64(1)<<uint(j))-1) + 3*int64(j)
+}
+
+// locate finds (block, sub-block, offset) for round r.
+func locate(r int64) (j int, sub int, off int64) {
+	for j = 0; blockStart(j+1) <= r; j++ {
+	}
+	h := int64(1) << uint(j)
+	rem := r - blockStart(j)
+	return j, int(rem / (h + 1)), rem % (h + 1)
+}
+
+// Act implements radio.Protocol.
+func (e *Estimate) Act(r int64) radio.Action {
+	if e.done {
+		return radio.Sleep(1 << 62)
+	}
+	j, sub, off := locate(r)
+	h := int64(1) << uint(j)
+	if j != e.block {
+		// A node that received the announce wave in the previous
+		// block's final round finishes here (safety net; cannot occur
+		// for in-range levels, see the arrival-offset argument below).
+		if e.block >= 0 && e.finalLvl >= 0 {
+			e.finish(e.block, e.finalLvl)
+			return radio.Sleep(1 << 62)
+		}
+		e.block = j
+		e.level = -1
+		e.echoPrev = false
+		e.echoSelf = false
+		e.echoAtSrc = false
+		if e.isSource {
+			e.level = 0
+		}
+	}
+	switch sub {
+	case 0: // forward wave
+		if e.level >= 0 && off >= e.level {
+			return radio.Transmit(Pulse{})
+		}
+	case 1: // echo
+		if e.level < 0 || e.echoSelf {
+			return radio.Listen
+		}
+		myOff := h - e.level
+		if off == myOff && !e.isSource && (e.level == h || e.echoPrev) {
+			e.echoSelf = true
+			return radio.Transmit(Pulse{})
+		}
+	case 2: // announce
+		if e.isSource && !e.echoAtSrc {
+			// Final block: launch the announce wave and finish.
+			if off >= 0 {
+				if off == h {
+					e.finish(j, 0)
+				}
+				return radio.Transmit(Pulse{})
+			}
+		}
+		if e.finalLvl >= 0 && !e.done {
+			// Relay the announce wave; finish at sub-block end.
+			if off == h {
+				e.finish(j, e.finalLvl)
+				return radio.Listen
+			}
+			if off >= e.finalLvl {
+				return radio.Transmit(Pulse{})
+			}
+		}
+	}
+	return radio.Listen
+}
+
+func (e *Estimate) finish(j int, lvl int64) {
+	e.done = true
+	e.dhat = int64(1) << uint(j)
+	e.finalLvl = lvl
+}
+
+// Observe implements radio.Protocol: any packet or collision is a
+// signal.
+func (e *Estimate) Observe(r int64, out radio.Outcome) {
+	if e.done || (!out.Collision && out.Packet == nil) {
+		return
+	}
+	j, sub, off := locate(r)
+	h := int64(1) << uint(j)
+	switch sub {
+	case 0:
+		if e.level < 0 {
+			e.level = off + 1
+		}
+	case 1:
+		// A signal at offset (h - l - 1) primes a level-l node to
+		// relay at (h - l); the source records echo arrival at h-1.
+		if e.isSource {
+			if off == h-1 {
+				e.echoAtSrc = true
+			}
+			return
+		}
+		if e.level >= 0 && off == h-e.level-1 {
+			e.echoPrev = true
+		}
+	case 2:
+		if e.finalLvl < 0 {
+			e.finalLvl = off + 1
+		}
+	}
+}
+
+// EstimateRounds bounds the protocol length for eccentricity at most
+// maxEcc: blocks run until 2^j > maxEcc.
+func EstimateRounds(maxEcc int) int64 {
+	j := 0
+	for int64(1)<<uint(j) <= int64(maxEcc) {
+		j++
+	}
+	return blockStart(j + 1)
+}

@@ -1,0 +1,193 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasisUnitVectorsReachFull(t *testing.T) {
+	const n = 40
+	b := NewBasis(n)
+	for i := 0; i < n; i++ {
+		if b.Full() {
+			t.Fatalf("full after %d insertions", i)
+		}
+		if !b.Add(Unit(n, i)) {
+			t.Fatalf("unit vector %d reported dependent", i)
+		}
+	}
+	if !b.Full() || b.Rank() != n {
+		t.Fatalf("rank = %d, want %d", b.Rank(), n)
+	}
+}
+
+func TestBasisRejectsDependent(t *testing.T) {
+	b := NewBasis(8)
+	v1 := Unit(8, 0)
+	v2 := Unit(8, 1)
+	sum := Xor(v1, v2)
+	if !b.Add(v1) || !b.Add(v2) {
+		t.Fatal("independent vectors rejected")
+	}
+	if b.Add(sum) {
+		t.Fatal("dependent vector accepted")
+	}
+	if !b.InSpan(sum) {
+		t.Fatal("sum not in span")
+	}
+	if b.Add(Vec(New(8))) {
+		t.Fatal("zero vector increased rank")
+	}
+}
+
+func TestBasisRankMatchesBatchRank(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		count := r.Intn(2 * n)
+		vs := make([]Vec, count)
+		b := NewBasis(n)
+		incRank := 0
+		for i := range vs {
+			vs[i] = RandomVec(n, r.Uint64)
+			if b.Add(vs[i]) {
+				incRank++
+			}
+		}
+		return incRank == Rank(vs) && b.Rank() == incRank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasisSpanClosure(t *testing.T) {
+	// Any XOR combination of inserted vectors must be in the span.
+	r := rand.New(rand.NewSource(99))
+	const n = 33
+	b := NewBasis(n)
+	var inserted []Vec
+	for i := 0; i < 20; i++ {
+		v := RandomVec(n, r.Uint64)
+		b.Add(v)
+		inserted = append(inserted, v)
+	}
+	for trial := 0; trial < 50; trial++ {
+		comb := New(n)
+		for _, v := range inserted {
+			if r.Intn(2) == 1 {
+				comb.XorInPlace(v)
+			}
+		}
+		if !b.InSpan(comb) {
+			t.Fatal("combination of inserted vectors not in span")
+		}
+	}
+}
+
+func TestBasisRowsAreReduced(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const n = 24
+	b := NewBasis(n)
+	for i := 0; i < 40; i++ {
+		b.Add(RandomVec(n, r.Uint64))
+	}
+	// Reduced row echelon: each pivot column appears in exactly one row.
+	rows := b.Rows()
+	for p := 0; p < n; p++ {
+		if _, ok := b.Row(p); !ok {
+			continue
+		}
+		seen := 0
+		for _, row := range rows {
+			if row.Get(p) {
+				seen++
+			}
+		}
+		if seen != 1 {
+			t.Fatalf("pivot column %d appears in %d rows", p, seen)
+		}
+	}
+}
+
+func TestSolverDecodesRandomSystem(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(24)
+		m := 1 + r.Intn(48)
+		// Ground-truth messages.
+		msgs := make([]Vec, k)
+		for i := range msgs {
+			msgs[i] = RandomVec(m, r.Uint64)
+		}
+		s := NewSolver(k, m)
+		// Feed random combinations until solvable (with a cap).
+		for tries := 0; tries < 20*k+50 && !s.CanSolve(); tries++ {
+			coeff := RandomVec(k, r.Uint64)
+			payload := New(m)
+			for i := 0; i < k; i++ {
+				if coeff.Get(i) {
+					payload.XorInPlace(msgs[i])
+				}
+			}
+			s.Add(coeff, payload)
+		}
+		if !s.CanSolve() {
+			return false
+		}
+		got, ok := s.Solve()
+		if !ok {
+			return false
+		}
+		for i := range msgs {
+			if !Equal(got[i], msgs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverUnderdetermined(t *testing.T) {
+	s := NewSolver(3, 4)
+	s.Add(Unit(3, 0), New(4))
+	if s.CanSolve() {
+		t.Fatal("solver claims solvable with rank 1 of 3")
+	}
+	if _, ok := s.Solve(); ok {
+		t.Fatal("Solve succeeded while underdetermined")
+	}
+}
+
+func TestSolverRankNeverExceedsK(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	s := NewSolver(5, 8)
+	for i := 0; i < 100; i++ {
+		s.Add(RandomVec(5, r.Uint64), RandomVec(8, r.Uint64))
+		if s.Rank() > 5 {
+			t.Fatalf("rank %d > k", s.Rank())
+		}
+	}
+	if !s.CanSolve() {
+		t.Fatal("100 random equations did not reach full rank (prob < 2^-90)")
+	}
+}
+
+func BenchmarkBasisAdd128(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	vecs := make([]Vec, 256)
+	for i := range vecs {
+		vecs[i] = RandomVec(128, r.Uint64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis := NewBasis(128)
+		for _, v := range vecs {
+			basis.Add(v)
+		}
+	}
+}

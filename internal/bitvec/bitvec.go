@@ -1,0 +1,216 @@
+// Package bitvec implements dense bit vectors and incremental Gaussian
+// elimination over GF(2).
+//
+// It is the algebraic substrate for random linear network coding
+// (Section 3.3.1 of the paper): coefficient vectors live in F_2^k,
+// payloads in F_2^l, and decoding is solving a linear system over F_2.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vec is a bit vector over GF(2). The zero value is an empty vector.
+// Vectors of different lengths must not be mixed in binary operations.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of n bits.
+func New(n int) Vec {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return Vec{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromBits builds a vector from a slice of booleans.
+func FromBits(bits []bool) Vec {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Unit returns the length-n vector with exactly bit i set.
+func Unit(n, i int) Vec {
+	v := New(n)
+	v.Set(i)
+	return v
+}
+
+// Len returns the number of bits.
+func (v Vec) Len() int { return v.n }
+
+// Get reports whether bit i is set.
+func (v Vec) Get(i int) bool {
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i to 1.
+func (v Vec) Set(i int) { v.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Clear sets bit i to 0.
+func (v Vec) Clear(i int) { v.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Flip toggles bit i.
+func (v Vec) Flip(i int) { v.words[i/wordBits] ^= 1 << (uint(i) % wordBits) }
+
+// IsZero reports whether every bit is 0.
+func (v Vec) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (v Vec) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	w := Vec{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// XorInPlace adds (XORs) u into v. Panics if lengths differ.
+func (v Vec) XorInPlace(u Vec) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, u.n))
+	}
+	for i, w := range u.words {
+		v.words[i] ^= w
+	}
+}
+
+// Xor returns v + u over GF(2) as a fresh vector.
+func Xor(v, u Vec) Vec {
+	out := v.Clone()
+	out.XorInPlace(u)
+	return out
+}
+
+// Dot returns the GF(2) inner product <v, u> (parity of AND).
+func Dot(v, u Vec) bool {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, u.n))
+	}
+	parity := 0
+	for i, w := range u.words {
+		parity ^= bits.OnesCount64(v.words[i]&w) & 1
+	}
+	return parity == 1
+}
+
+// Equal reports whether v and u have identical length and bits.
+func Equal(v, u Vec) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i, w := range u.words {
+		if v.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// LowestSetBit returns the index of the least-significant set bit, or
+// -1 if the vector is zero.
+func (v Vec) LowestSetBit() int {
+	for i, w := range v.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextSetBit returns the index of the first set bit at position >= from,
+// or -1 if there is none.
+func (v Vec) NextSetBit(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= v.n {
+		return -1
+	}
+	i := from / wordBits
+	w := v.words[i] &^ ((1 << (uint(from) % wordBits)) - 1)
+	for {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+		i++
+		if i >= len(v.words) {
+			return -1
+		}
+		w = v.words[i]
+	}
+}
+
+// String renders the vector as a bit string, index 0 leftmost.
+func (v Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// RandomVec returns a uniformly random length-n vector drawn from next,
+// a source of uniform uint64s (e.g. (*rand.Rand).Uint64).
+func RandomVec(n int, next func() uint64) Vec {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = next()
+	}
+	v.trim()
+	return v
+}
+
+// RandomNonZeroVec returns a uniformly random non-zero length-n vector.
+// Panics if n == 0 (there is no non-zero vector of length 0).
+func RandomNonZeroVec(n int, next func() uint64) Vec {
+	if n == 0 {
+		panic("bitvec: no non-zero vector of length 0")
+	}
+	for {
+		v := RandomVec(n, next)
+		if !v.IsZero() {
+			return v
+		}
+	}
+}
+
+// trim zeroes any bits beyond n in the last word, keeping invariants
+// for PopCount/IsZero/Equal.
+func (v Vec) trim() {
+	if v.n%wordBits == 0 || len(v.words) == 0 {
+		return
+	}
+	last := len(v.words) - 1
+	v.words[last] &= (1 << (uint(v.n) % wordBits)) - 1
+}

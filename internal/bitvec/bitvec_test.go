@@ -1,0 +1,180 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestNewIsZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		v := New(n)
+		if !v.IsZero() {
+			t.Errorf("New(%d) not zero", n)
+		}
+		if v.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, v.Len())
+		}
+		if v.PopCount() != 0 {
+			t.Errorf("New(%d).PopCount() = %d", n, v.PopCount())
+		}
+	}
+}
+
+func TestSetGetClearFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Flip", i)
+		}
+		v.Flip(i)
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Unit(70, 69)
+	if u.PopCount() != 1 || !u.Get(69) {
+		t.Fatalf("Unit(70,69) wrong: %s", u)
+	}
+	if u.LowestSetBit() != 69 {
+		t.Fatalf("LowestSetBit = %d", u.LowestSetBit())
+	}
+}
+
+func TestXorSelfInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := testRand(seed)
+		n := 1 + r.Intn(200)
+		v := RandomVec(n, r.Uint64)
+		u := RandomVec(n, r.Uint64)
+		w := Xor(Xor(v, u), u)
+		return Equal(w, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := testRand(seed)
+		n := 1 + r.Intn(200)
+		v := RandomVec(n, r.Uint64)
+		u := RandomVec(n, r.Uint64)
+		return Equal(Xor(v, u), Xor(u, v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotBilinear(t *testing.T) {
+	// <a+b, c> == <a,c> xor <b,c>
+	f := func(seed int64) bool {
+		r := testRand(seed)
+		n := 1 + r.Intn(150)
+		a := RandomVec(n, r.Uint64)
+		b := RandomVec(n, r.Uint64)
+		c := RandomVec(n, r.Uint64)
+		return Dot(Xor(a, b), c) == (Dot(a, c) != Dot(b, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotUnitExtractsBit(t *testing.T) {
+	r := testRand(7)
+	v := RandomVec(99, r.Uint64)
+	for i := 0; i < 99; i++ {
+		if Dot(v, Unit(99, i)) != v.Get(i) {
+			t.Fatalf("Dot(v, e_%d) != v[%d]", i, i)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := New(64)
+	v.Set(3)
+	w := v.Clone()
+	w.Set(5)
+	if v.Get(5) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRandomVecTrimsTail(t *testing.T) {
+	// Bits beyond n must stay zero so PopCount and Equal work.
+	r := testRand(3)
+	for _, n := range []int{1, 5, 63, 65, 100} {
+		v := RandomVec(n, r.Uint64)
+		count := 0
+		for i := 0; i < n; i++ {
+			if v.Get(i) {
+				count++
+			}
+		}
+		if count != v.PopCount() {
+			t.Fatalf("n=%d: PopCount %d != visible bits %d (tail not trimmed)", n, v.PopCount(), count)
+		}
+	}
+}
+
+func TestRandomNonZero(t *testing.T) {
+	r := testRand(11)
+	for i := 0; i < 100; i++ {
+		if RandomNonZeroVec(3, r.Uint64).IsZero() {
+			t.Fatal("RandomNonZeroVec returned zero")
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	v := FromBits([]bool{true, false, true, true, false})
+	if v.String() != "10110" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot(New(3), New(4))
+}
+
+func BenchmarkXor1024(b *testing.B) {
+	r := testRand(1)
+	v := RandomVec(1024, r.Uint64)
+	u := RandomVec(1024, r.Uint64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.XorInPlace(u)
+	}
+}
+
+func BenchmarkDot1024(b *testing.B) {
+	r := testRand(1)
+	v := RandomVec(1024, r.Uint64)
+	u := RandomVec(1024, r.Uint64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(v, u)
+	}
+}

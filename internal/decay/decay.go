@@ -1,0 +1,160 @@
+// Package decay implements the Decay protocol of Bar-Yehuda, Goldreich
+// and Itai [2] and its derivatives used throughout the paper:
+//
+//   - Broadcast: the classic single-message Decay broadcast,
+//     O(D log n + log^2 n) rounds w.h.p. (the paper's baseline).
+//   - MMV: the level-clocked Decay schedule of Lemma 3.2, which remains
+//     correct when nodes lacking the message jam their scheduled slots
+//     with noise (the multi-message-viable property, Definition 3.1).
+//   - Layering: the Decay-based BFS layering of Section 2.2.2,
+//     O(D log^2 n) rounds without collision detection.
+//
+// The Decay phase structure (Section 2.2.1): rounds are grouped into
+// phases of L = ⌈log2 n⌉ rounds; in slot i of a phase a participating
+// node transmits with probability 2^-(i+1). Lemma 2.2: a listener with
+// at least one participating neighbor receives within a phase with
+// probability ≥ 1/8.
+package decay
+
+import (
+	"math/rand"
+
+	"radiocast/internal/radio"
+	"radiocast/internal/sched"
+)
+
+// Message is the broadcast payload packet. Data is an opaque value
+// used by tests to verify end-to-end integrity.
+type Message struct {
+	Data int64
+}
+
+// Bits implements radio.Packet: one id plus payload, O(log n) bits.
+func (Message) Bits() int { return 64 }
+
+// TransmitProb returns the Decay transmission probability for slot
+// `slot` of a phase: 2^-(slot+1), so a phase of length L sweeps the
+// densities 1/2, 1/4, ..., 2^-L.
+func TransmitProb(slot int) float64 {
+	return 1 / float64(int64(2)<<uint(slot))
+}
+
+// Broadcast is the classic BGI Decay broadcast protocol for a single
+// message: a node that has the message participates in every Decay
+// phase; nodes without it stay silent (contrast with MMV below).
+type Broadcast struct {
+	rng *rand.Rand
+	l   int // phase length
+
+	has       bool
+	msg       Message
+	RecvRound int64 // round of first reception (-1 for the source)
+}
+
+var _ radio.Protocol = (*Broadcast)(nil)
+
+// NewBroadcast creates the protocol for one node. The source holds the
+// message from the start.
+func NewBroadcast(n int, source bool, msg Message, rng *rand.Rand) *Broadcast {
+	return &Broadcast{
+		rng:       rng,
+		l:         sched.LogN(n),
+		has:       source,
+		msg:       msg,
+		RecvRound: -1,
+	}
+}
+
+// Has reports whether the node has received the message.
+func (b *Broadcast) Has() bool { return b.has }
+
+// Act implements radio.Protocol.
+func (b *Broadcast) Act(r int64) radio.Action {
+	if !b.has {
+		return radio.Listen // must keep listening every round
+	}
+	_, slot := sched.Cycle(r, int64(b.l))
+	if b.rng.Float64() < TransmitProb(int(slot)) {
+		return radio.Transmit(b.msg)
+	}
+	return radio.Listen
+}
+
+// Observe implements radio.Protocol.
+func (b *Broadcast) Observe(r int64, out radio.Outcome) {
+	if b.has || out.Packet == nil {
+		return
+	}
+	if m, ok := out.Packet.(Message); ok {
+		b.has = true
+		b.msg = m
+		b.RecvRound = r
+	}
+}
+
+// MMV is the Decay schedule of Lemma 3.2, clocked by BFS level: a node
+// at distance l from the source is prompted only in rounds
+// r ≡ l+1 (mod 3), with probability 2^-((r-l-1)/3 mod ⌈log n⌉). When
+// prompted, a node holding the message sends it; a node without the
+// message sends noise if Noising is set (the MMV adversary of
+// Definition 3.1) and stays silent otherwise.
+type MMV struct {
+	rng     *rand.Rand
+	l       int // ⌈log n⌉
+	level   int64
+	noising bool
+
+	has       bool
+	msg       Message
+	RecvRound int64
+}
+
+var _ radio.Protocol = (*MMV)(nil)
+
+// NewMMV creates the Lemma 3.2 protocol for a node at BFS level
+// `level`. The source is level 0 and holds the message.
+func NewMMV(n int, level int, noising bool, msg Message, rng *rand.Rand) *MMV {
+	return &MMV{
+		rng:       rng,
+		l:         sched.LogN(n),
+		level:     int64(level),
+		noising:   noising,
+		has:       level == 0,
+		msg:       msg,
+		RecvRound: -1,
+	}
+}
+
+// Has reports whether the node has received the message.
+func (m *MMV) Has() bool { return m.has }
+
+// Act implements radio.Protocol.
+func (m *MMV) Act(r int64) radio.Action {
+	if r < m.level+1 || (r-m.level-1)%3 != 0 {
+		return radio.Listen
+	}
+	exp := ((r - m.level - 1) / 3) % int64(m.l)
+	p := 1 / float64(int64(1)<<uint(exp))
+	if m.rng.Float64() >= p {
+		return radio.Listen
+	}
+	if m.has {
+		return radio.Transmit(m.msg)
+	}
+	if m.noising {
+		return radio.Transmit(radio.NoisePacket{})
+	}
+	return radio.Listen
+}
+
+// Observe implements radio.Protocol.
+func (m *MMV) Observe(r int64, out radio.Outcome) {
+	if m.has || out.Packet == nil {
+		return
+	}
+	if msg, ok := out.Packet.(Message); ok {
+		m.has = true
+		m.msg = msg
+		m.RecvRound = r
+	}
+}

@@ -1,0 +1,106 @@
+package decay
+
+import (
+	"math/rand"
+
+	"radiocast/internal/radio"
+	"radiocast/internal/sched"
+)
+
+// Layering is the Decay-based BFS layering of Section 2.2.2, which
+// works without collision detection in O(D log^2 n) rounds:
+//
+//	Rounds are divided into D epochs, each consisting of Θ(log n)
+//	phases of the Decay protocol. In each epoch, a node participates
+//	iff it is the source or it received the message by the end of the
+//	previous epoch. The epoch of first reception determines the BFS
+//	level.
+//
+// After the run, Level() returns the node's BFS level (0 for the
+// source, -1 if the wave never arrived — a failure the caller detects).
+type Layering struct {
+	rng      *rand.Rand
+	l        int   // Decay phase length ⌈log n⌉
+	epochLen int64 // rounds per epoch = phases * L
+	isSource bool
+
+	has       bool
+	recvEpoch int64 // epoch of first reception
+}
+
+var _ radio.Protocol = (*Layering)(nil)
+
+// LayeringRounds returns the total schedule length for the layering:
+// D+1 epochs of phasesPerEpoch*⌈log n⌉ rounds. phasesPerEpoch is the
+// Θ(log n) constant; EpochPhases(n, c) provides the default.
+func LayeringRounds(n, d, phasesPerEpoch int) int64 {
+	l := sched.LogN(n)
+	return int64(d+1) * int64(phasesPerEpoch) * int64(l)
+}
+
+// EpochPhases returns the number of Decay phases per epoch: c·⌈log n⌉,
+// the paper's Θ(log n) with explicit constant c.
+func EpochPhases(n, c int) int {
+	if c < 1 {
+		c = 1
+	}
+	return c * sched.LogN(n)
+}
+
+// NewLayering creates the layering protocol for one node.
+func NewLayering(n int, source bool, phasesPerEpoch int, rng *rand.Rand) *Layering {
+	l := sched.LogN(n)
+	return &Layering{
+		rng:       rng,
+		l:         l,
+		epochLen:  int64(phasesPerEpoch) * int64(l),
+		isSource:  source,
+		has:       source,
+		recvEpoch: -1,
+	}
+}
+
+// Level returns the learned BFS level: 0 for the source, the 1-based
+// epoch of first reception otherwise, and -1 if the node was never
+// reached.
+func (ly *Layering) Level() int {
+	switch {
+	case ly.isSource:
+		return 0
+	case ly.recvEpoch < 0:
+		return -1
+	default:
+		return int(ly.recvEpoch) + 1
+	}
+}
+
+// Has reports whether the node has been reached by the wave.
+func (ly *Layering) Has() bool { return ly.has }
+
+// Act implements radio.Protocol.
+func (ly *Layering) Act(r int64) radio.Action {
+	if !ly.has {
+		return radio.Listen
+	}
+	epoch := r / ly.epochLen
+	if !ly.isSource && ly.recvEpoch >= epoch {
+		// Received during this epoch: participate from the next one.
+		return radio.Listen
+	}
+	_, slot := sched.Cycle(r, int64(ly.l))
+	if ly.rng.Float64() < TransmitProb(int(slot)) {
+		return radio.Transmit(Message{})
+	}
+	return radio.Listen
+}
+
+// Observe implements radio.Protocol.
+func (ly *Layering) Observe(r int64, out radio.Outcome) {
+	if ly.has || out.Packet == nil {
+		return
+	}
+	if _, ok := out.Packet.(Message); ok {
+		ly.has = true
+		ly.recvEpoch = r / ly.epochLen
+	}
+}

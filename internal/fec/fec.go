@@ -1,0 +1,86 @@
+// Package fec implements the forward-error-correction handoff used to
+// move message batches across ring boundaries in the proof of
+// Theorem 1.3: nodes on the outer boundary of ring j hold a full batch
+// and emit coded packets such that any node receiving Θ(k') of them
+// (any subset) can reconstruct the whole batch.
+//
+// As the paper notes, "FEC can be viewed as a simplified form of
+// network coding as there is no intermediate node": we realize it as a
+// random linear fountain over F_2 — each coded packet is a uniformly
+// random XOR-combination of the batch. A receiver decodes once its
+// collected coefficient vectors reach full rank, which happens after
+// k' + O(log(1/δ)) received packets with probability 1-δ.
+package fec
+
+import (
+	"math/rand"
+
+	"radiocast/internal/bitvec"
+	"radiocast/internal/rlnc"
+)
+
+// Encoder emits fountain-coded packets over a fixed batch. Encoders
+// are stateless between calls; every packet is independent.
+type Encoder struct {
+	batch int
+	buf   *rlnc.Buffer
+}
+
+// NewEncoder returns an encoder over the given batch of messages
+// (each l bits). The batch id tags emitted packets.
+func NewEncoder(batch int, msgs []rlnc.Message, l int) *Encoder {
+	return &Encoder{batch: batch, buf: rlnc.NewSourceBuffer(batch, msgs, l)}
+}
+
+// Packet emits one coded packet drawn with r.
+func (e *Encoder) Packet(r *rand.Rand) rlnc.Packet {
+	p, _ := e.buf.RandomPacket(r) // source buffer is never empty
+	return p
+}
+
+// Decoder accumulates coded packets for one batch until decodable.
+type Decoder struct {
+	buf *rlnc.Buffer
+}
+
+// NewDecoder returns a decoder expecting k messages of l bits in the
+// given batch.
+func NewDecoder(batch, k, l int) *Decoder {
+	return &Decoder{buf: rlnc.NewBuffer(batch, k, l)}
+}
+
+// Add consumes one received packet; returns true iff it was innovative.
+func (d *Decoder) Add(p rlnc.Packet) bool { return d.buf.Add(p) }
+
+// Done reports whether the batch is fully reconstructible.
+func (d *Decoder) Done() bool { return d.buf.CanDecode() }
+
+// Rank returns the number of independent packets received so far.
+func (d *Decoder) Rank() int { return d.buf.Rank() }
+
+// Decode reconstructs the batch. ok is false until Done.
+func (d *Decoder) Decode() ([]rlnc.Message, bool) { return d.buf.Decode() }
+
+// ExpectedOverhead returns the number of extra packets (beyond k)
+// needed so a random fountain decodes with failure probability at most
+// 2^-slack: rank deficiency after k+e random vectors is < 2^-e in
+// expectation. Used to size the handoff schedule.
+func ExpectedOverhead(slack int) int {
+	if slack < 1 {
+		return 1
+	}
+	return slack
+}
+
+// Verify checks decoded output against ground truth (test helper).
+func Verify(got, want []rlnc.Message) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if !bitvec.Equal(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"radiocast/internal/bitvec"
+	"radiocast/internal/rlnc"
+)
+
+func randBatch(r *rand.Rand, k, l int) []rlnc.Message {
+	msgs := make([]rlnc.Message, k)
+	for i := range msgs {
+		msgs[i] = bitvec.RandomVec(l, r.Uint64)
+	}
+	return msgs
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(20)
+		const l = 16
+		batch := randBatch(r, k, l)
+		enc := NewEncoder(3, batch, l)
+		dec := NewDecoder(3, k, l)
+		for i := 0; i < 10*k+80 && !dec.Done(); i++ {
+			dec.Add(enc.Packet(r))
+		}
+		got, ok := dec.Decode()
+		return ok && Verify(got, batch)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderIgnoresDuplicates(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	batch := randBatch(r, 4, 8)
+	enc := NewEncoder(0, batch, 8)
+	dec := NewDecoder(0, 4, 8)
+	p := enc.Packet(r)
+	first := dec.Add(p)
+	second := dec.Add(p)
+	if second {
+		t.Fatal("duplicate packet counted as innovative")
+	}
+	_ = first
+}
+
+func TestOverheadIsSmall(t *testing.T) {
+	// A random F2 fountain should decode after k + ~small packets.
+	// Measure across many trials: average overhead < 3 packets.
+	r := rand.New(rand.NewSource(7))
+	const k, l, trials = 16, 8, 200
+	totalOverhead := 0
+	for trial := 0; trial < trials; trial++ {
+		batch := randBatch(r, k, l)
+		enc := NewEncoder(0, batch, l)
+		dec := NewDecoder(0, k, l)
+		received := 0
+		for !dec.Done() {
+			dec.Add(enc.Packet(r))
+			received++
+			if received > k+100 {
+				t.Fatal("fountain failed to decode after k+100 packets")
+			}
+		}
+		totalOverhead += received - k
+	}
+	avg := float64(totalOverhead) / trials
+	if avg > 3.0 {
+		t.Fatalf("average fountain overhead %.2f packets, want < 3", avg)
+	}
+}
+
+func TestLossyChannelStillDecodes(t *testing.T) {
+	// Drop 60% of packets at random: fountain must still decode (that
+	// is the point of using FEC at the ring boundary, where Decay
+	// delivers an arbitrary subset of transmissions).
+	r := rand.New(rand.NewSource(11))
+	const k, l = 12, 16
+	batch := randBatch(r, k, l)
+	enc := NewEncoder(0, batch, l)
+	dec := NewDecoder(0, k, l)
+	sent := 0
+	for !dec.Done() {
+		p := enc.Packet(r)
+		sent++
+		if r.Float64() < 0.6 {
+			continue // lost
+		}
+		dec.Add(p)
+		if sent > 100*k {
+			t.Fatal("no decode after excessive sends")
+		}
+	}
+	got, ok := dec.Decode()
+	if !ok || !Verify(got, batch) {
+		t.Fatal("decode failed or corrupted")
+	}
+}
+
+func TestRankMonotonic(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	batch := randBatch(r, 8, 8)
+	enc := NewEncoder(0, batch, 8)
+	dec := NewDecoder(0, 8, 8)
+	prev := 0
+	for i := 0; i < 60; i++ {
+		dec.Add(enc.Packet(r))
+		if dec.Rank() < prev {
+			t.Fatal("rank decreased")
+		}
+		prev = dec.Rank()
+	}
+	if prev != 8 {
+		t.Fatalf("rank = %d after 60 packets, want 8", prev)
+	}
+}
+
+func TestExpectedOverheadFloor(t *testing.T) {
+	if ExpectedOverhead(0) != 1 || ExpectedOverhead(5) != 5 {
+		t.Fatal("ExpectedOverhead wrong")
+	}
+}
+
+func BenchmarkFountainK32(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	batch := randBatch(r, 32, 32)
+	enc := NewEncoder(0, batch, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := NewDecoder(0, 32, 32)
+		for !dec.Done() {
+			dec.Add(enc.Packet(r))
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// DOT writes the graph in Graphviz DOT format. labels and highlights
+// are optional: labels[v] annotates node v, and edges present in
+// highlight (as parent[v] = u pairs, -1 meaning none) are drawn bold.
+// It is used by cmd/gstviz to regenerate Figure 1 of the paper.
+func DOT(w io.Writer, g *Graph, labels []string, highlightParent []NodeID) error {
+	if _, err := fmt.Fprintln(w, "graph G {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  node [shape=circle fontsize=10];"); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprintf("%d", v)
+		if labels != nil && labels[v] != "" {
+			label = labels[v]
+		}
+		if _, err := fmt.Fprintf(w, "  %d [label=\"%s\"];\n", v, label); err != nil {
+			return err
+		}
+	}
+	inTree := func(u, v NodeID) bool {
+		if highlightParent == nil {
+			return false
+		}
+		return highlightParent[u] == v || highlightParent[v] == u
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(NodeID(v)) {
+			if u < NodeID(v) {
+				continue // emit each undirected edge once
+			}
+			attr := ""
+			if inTree(NodeID(v), u) {
+				attr = " [penwidth=3 color=forestgreen]"
+			}
+			if _, err := fmt.Fprintf(w, "  %d -- %d%s;\n", v, u, attr); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,260 @@
+// Package graph provides the undirected-graph substrate for the radio
+// network simulator: a compact adjacency representation, traversals
+// (BFS layerings, diameter), and the workload generators used by the
+// paper's experiments (paths, grids, random graphs, unit-disk graphs,
+// cluster chains, ...).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; nodes are always 0..N-1.
+type NodeID = int32
+
+// Graph is a simple undirected graph with nodes 0..N-1 stored in CSR
+// (compressed sparse row) form for cache-friendly neighbor iteration.
+// Graphs are immutable after construction; build them with a Builder
+// or a generator.
+type Graph struct {
+	n       int
+	offsets []int32  // len n+1
+	edges   []NodeID // concatenated sorted adjacency lists
+	name    string
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) / 2 }
+
+// Name returns the generator-assigned workload name (may be empty).
+func (g *Graph) Name() string { return g.name }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.edges[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge, in O(log deg(u)).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// MaxDegree returns the maximum degree Δ.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+// Duplicate edges and self-loops are silently dropped.
+type Builder struct {
+	n    int
+	adj  []map[NodeID]struct{}
+	name string
+}
+
+// NewBuilder returns a builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, adj: make([]map[NodeID]struct{}, n)}
+}
+
+// SetName records the workload name carried by the built graph.
+func (b *Builder) SetName(name string) { b.name = name }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	if int(u) >= b.n || int(v) >= b.n || u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if b.adj[u] == nil {
+		b.adj[u] = make(map[NodeID]struct{})
+	}
+	if b.adj[v] == nil {
+		b.adj[v] = make(map[NodeID]struct{})
+	}
+	b.adj[u][v] = struct{}{}
+	b.adj[v][u] = struct{}{}
+}
+
+// HasEdge reports whether the builder already contains {u, v}.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	if b.adj[u] == nil {
+		return false
+	}
+	_, ok := b.adj[u][v]
+	return ok
+}
+
+// Build freezes the builder into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{n: b.n, offsets: make([]int32, b.n+1), name: b.name}
+	total := 0
+	for _, m := range b.adj {
+		total += len(m)
+	}
+	g.edges = make([]NodeID, 0, total)
+	for v := 0; v < b.n; v++ {
+		g.offsets[v] = int32(len(g.edges))
+		if b.adj[v] == nil {
+			continue
+		}
+		start := len(g.edges)
+		for u := range b.adj[v] {
+			g.edges = append(g.edges, u)
+		}
+		row := g.edges[start:]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	g.offsets[b.n] = int32(len(g.edges))
+	return g
+}
+
+// BFSResult holds a breadth-first layering from a set of sources.
+type BFSResult struct {
+	// Dist[v] is the hop distance from the nearest source, or -1 if
+	// unreachable.
+	Dist []int32
+	// Parent[v] is a BFS-tree parent of v (-1 for sources/unreachable).
+	Parent []NodeID
+	// MaxDist is the largest finite distance (the eccentricity of the
+	// source set within its reachable component).
+	MaxDist int32
+	// Reached is the number of reachable nodes (including sources).
+	Reached int
+}
+
+// BFS runs a breadth-first search from one or more sources.
+func BFS(g *Graph, sources ...NodeID) *BFSResult {
+	if len(sources) == 0 {
+		panic("graph: BFS needs at least one source")
+	}
+	res := &BFSResult{
+		Dist:   make([]int32, g.n),
+		Parent: make([]NodeID, g.n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = -1
+	}
+	queue := make([]NodeID, 0, g.n)
+	for _, s := range sources {
+		if res.Dist[s] == 0 && len(queue) > 0 {
+			continue // duplicate source
+		}
+		res.Dist[s] = 0
+		queue = append(queue, s)
+	}
+	res.Reached = len(queue)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := res.Dist[v]
+		for _, u := range g.Neighbors(v) {
+			if res.Dist[u] >= 0 {
+				continue
+			}
+			res.Dist[u] = dv + 1
+			res.Parent[u] = v
+			res.Reached++
+			if dv+1 > res.MaxDist {
+				res.MaxDist = dv + 1
+			}
+			queue = append(queue, u)
+		}
+	}
+	return res
+}
+
+// IsConnected reports whether g is connected (true for the empty and
+// single-node graph).
+func IsConnected(g *Graph) bool {
+	if g.n <= 1 {
+		return true
+	}
+	return BFS(g, 0).Reached == g.n
+}
+
+// Eccentricity returns the maximum distance from v to any node.
+// Panics if the graph is disconnected from v.
+func Eccentricity(g *Graph, v NodeID) int {
+	res := BFS(g, v)
+	if res.Reached != g.n {
+		panic("graph: Eccentricity on disconnected graph")
+	}
+	return int(res.MaxDist)
+}
+
+// Diameter computes the exact diameter with n BFS traversals. Intended
+// for test-scale graphs; use DiameterApprox for large inputs.
+func Diameter(g *Graph) int {
+	if g.n == 0 {
+		return 0
+	}
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if e := Eccentricity(g, NodeID(v)); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// DiameterApprox returns a 2-approximation of the diameter (the double
+// sweep lower bound, which is exact on trees and very tight in
+// practice): ecc(u) for u the farthest node from node 0.
+func DiameterApprox(g *Graph) int {
+	if g.n == 0 {
+		return 0
+	}
+	first := BFS(g, 0)
+	far := NodeID(0)
+	for v := 0; v < g.n; v++ {
+		if first.Dist[v] > first.Dist[far] {
+			far = NodeID(v)
+		}
+	}
+	return Eccentricity(g, far)
+}
+
+// Validate checks internal consistency (sorted unique adjacency,
+// symmetry) and returns a descriptive error on violation. Used by
+// tests and the fuzzing harness.
+func (g *Graph) Validate() error {
+	for v := 0; v < g.n; v++ {
+		adj := g.Neighbors(NodeID(v))
+		for i, u := range adj {
+			if i > 0 && adj[i-1] >= u {
+				return fmt.Errorf("node %d: adjacency not sorted/unique at %d", v, i)
+			}
+			if u == NodeID(v) {
+				return fmt.Errorf("node %d: self-loop", v)
+			}
+			if !g.HasEdge(u, NodeID(v)) {
+				return fmt.Errorf("edge (%d,%d) not symmetric", v, u)
+			}
+		}
+	}
+	return nil
+}

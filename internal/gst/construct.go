@@ -1,0 +1,166 @@
+package gst
+
+import (
+	"sort"
+
+	"radiocast/internal/graph"
+)
+
+// Construct builds a GST of g rooted at the given roots, centrally
+// (the known-topology setting). It processes level boundaries bottom-up
+// and, within each boundary, ranks in decreasing order, mirroring the
+// structure of the distributed algorithm of Section 2.2.3 but with the
+// randomized epochs replaced by a deterministic greedy:
+//
+//	step 1: while some red (level l-1) node has ≥ 2 unassigned rank-i
+//	        blue (level l) neighbors, adopt them all (the red will get
+//	        rank ≥ i+1, so it never constrains rank-i collision
+//	        freeness);
+//	step 2: every remaining rank-i blue has pairwise non-adjacent
+//	        candidate parents (each red now has ≤ 1 unassigned rank-i
+//	        neighbor), so assigning each to any neighbor red yields an
+//	        induced matching among same-rank pairs.
+//
+// The result satisfies all GST invariants (Tree.Validate).
+func Construct(g *graph.Graph, roots ...NodeID) *Tree {
+	t := NewTree(g, roots)
+	bfs := graph.BFS(g, roots...)
+	for v := 0; v < g.N(); v++ {
+		t.Level[v] = bfs.Dist[v]
+	}
+	maxLevel := bfs.MaxDist
+	byLevel := make([][]NodeID, maxLevel+1)
+	for v := 0; v < g.N(); v++ {
+		if l := t.Level[v]; l >= 0 {
+			byLevel[l] = append(byLevel[l], NodeID(v))
+		}
+	}
+	// Bottom-up: assign parents for level l from level l-1.
+	for l := maxLevel; l >= 1; l-- {
+		assignBoundary(t, byLevel[l])
+	}
+	t.ComputeRanks()
+	return t
+}
+
+// assignBoundary solves the bipartite assignment problem for the blues
+// (level-l nodes); their ranks are already final because all deeper
+// levels are assigned. Reds are their level-(l-1) neighbors.
+func assignBoundary(t *Tree, blues []NodeID) {
+	if len(blues) == 0 {
+		return
+	}
+	// Blues' ranks are determined by their (already assigned) children.
+	children := t.Children()
+	rankOf := make(map[NodeID]int32, len(blues))
+	var maxRank int32 = 1
+	for _, u := range blues {
+		r := rankFromChildren(t.Rank, children[u])
+		rankOf[u] = r
+		t.Rank[u] = r // provisional; ComputeRanks recomputes identically
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	for r := maxRank; r >= 1; r-- {
+		assignRank(t, blues, rankOf, r)
+	}
+}
+
+// assignRank assigns parents to all rank-r blues.
+func assignRank(t *Tree, blues []NodeID, rankOf map[NodeID]int32, r int32) {
+	unassigned := make(map[NodeID]bool)
+	for _, u := range blues {
+		if rankOf[u] == r && t.Parent[u] < 0 {
+			unassigned[u] = true
+		}
+	}
+	if len(unassigned) == 0 {
+		return
+	}
+	// Candidate reds: level l-1 neighbors of the unassigned blues.
+	// count[v] = number of unassigned rank-r blue neighbors of red v.
+	count := make(map[NodeID]int)
+	redsOf := func(u NodeID) []NodeID {
+		var out []NodeID
+		for _, w := range t.G.Neighbors(u) {
+			if t.InTree(w) && t.Level[w] == t.Level[u]-1 {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	for u := range unassigned {
+		for _, v := range redsOf(u) {
+			count[v]++
+		}
+	}
+	// Step 1: adopt-all for reds with >= 2 unassigned neighbors.
+	// Deterministic order for reproducibility.
+	queue := make([]NodeID, 0, len(count))
+	for v := range count {
+		queue = append(queue, v)
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	// Counts only ever decrease, so a single pass suffices: a red whose
+	// count is below 2 when visited can never grow back above it.
+	for _, v := range queue {
+		if count[v] < 2 {
+			continue
+		}
+		// Adopt all currently unassigned rank-r neighbors of v.
+		for _, u := range t.G.Neighbors(v) {
+			if !unassigned[u] {
+				continue
+			}
+			t.Parent[u] = v
+			delete(unassigned, u)
+			for _, w := range redsOf(u) {
+				count[w]--
+			}
+		}
+	}
+	// Step 2: every red now has <= 1 unassigned rank-r neighbor; give
+	// each remaining blue its smallest red neighbor.
+	remaining := make([]NodeID, 0, len(unassigned))
+	for u := range unassigned {
+		remaining = append(remaining, u)
+	}
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+	for _, u := range remaining {
+		reds := redsOf(u)
+		if len(reds) == 0 {
+			continue // disconnected from upper level: impossible for BFS members
+		}
+		t.Parent[u] = reds[0]
+	}
+}
+
+// NaiveRankedBFS builds a plain ranked BFS tree (each node's parent is
+// its smallest-id neighbor one level up) without enforcing collision-
+// freeness. Figure 1's left side: such trees generally violate the GST
+// property, which ValidateCollisionFreeness detects.
+func NaiveRankedBFS(g *graph.Graph, roots ...NodeID) *Tree {
+	t := NewTree(g, roots)
+	bfs := graph.BFS(g, roots...)
+	for v := 0; v < g.N(); v++ {
+		t.Level[v] = bfs.Dist[v]
+		t.Parent[v] = bfs.Parent[v]
+	}
+	// BFS.Parent already picks the first-discovered neighbor; normalize
+	// to smallest-id upper neighbor for determinism.
+	for v := 0; v < g.N(); v++ {
+		if t.Level[v] <= 0 {
+			t.Parent[v] = -1
+			continue
+		}
+		for _, u := range g.Neighbors(NodeID(v)) {
+			if t.Level[u] == t.Level[v]-1 {
+				t.Parent[v] = u
+				break // neighbors are sorted: smallest id
+			}
+		}
+	}
+	t.ComputeRanks()
+	return t
+}

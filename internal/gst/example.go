@@ -1,0 +1,61 @@
+package gst
+
+import "radiocast/internal/graph"
+
+// FigureOneGadget returns the minimal graph on which a naive ranked
+// BFS violates collision-freeness while a proper GST exists — the
+// phenomenon illustrated by Figure 1 of the paper.
+//
+// Layout (source 0):
+//
+//	0 ── 1 (v2) ── 4 (u2)
+//	└─── 2 (v1) ── 3 (u1)
+//	          └─── 4 (u2)   ← cross edge
+//
+// Naive BFS parents: u2 picks its smallest upper neighbor v2=1, u1
+// picks v1=2. All of u1, u2, v1, v2 get rank 1 and the cross edge
+// v1–u2 violates the induced-matching property. The GST construction
+// instead lets v1 adopt both u1 and u2 (taking rank 2), which is
+// collision-free.
+func FigureOneGadget() *graph.Graph {
+	b := graph.NewBuilder(5)
+	b.SetName("figure1-gadget")
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(2, 4)
+	b.AddEdge(1, 4)
+	return b.Build()
+}
+
+// FigureOneGraph returns a larger Figure 1-style example: three
+// stacked gadgets joined by paths, producing multiple ranks and
+// nontrivial fast stretches for visualization (cmd/gstviz).
+func FigureOneGraph() *graph.Graph {
+	b := graph.NewBuilder(15)
+	b.SetName("figure1")
+	// Gadget A: 0-(1,2), 2-(3,4), 1-4.
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(2, 4)
+	b.AddEdge(1, 4)
+	// Path tails from 3 and 4 (fast stretches).
+	b.AddEdge(3, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(4, 7)
+	b.AddEdge(7, 8)
+	// Gadget B hanging off 6 and 8 (same level): 6-(9,10), 8-(11),
+	// with cross edges creating rank interactions.
+	b.AddEdge(6, 9)
+	b.AddEdge(6, 10)
+	b.AddEdge(8, 11)
+	b.AddEdge(8, 10)
+	// Deeper diamond: 9-12, 10-12, 11-13, 12-14, 13-14.
+	b.AddEdge(9, 12)
+	b.AddEdge(10, 12)
+	b.AddEdge(11, 13)
+	b.AddEdge(12, 14)
+	b.AddEdge(13, 14)
+	return b.Build()
+}

@@ -1,0 +1,342 @@
+package gstdist
+
+import (
+	"math/rand"
+
+	"radiocast/internal/assign"
+	"radiocast/internal/beep"
+	"radiocast/internal/decay"
+	"radiocast/internal/radio"
+)
+
+// Packets of segment C.
+
+// WavePacket is the stage-1 fast-stretch wave transmission; receivers
+// accept it only from their parent and only with a matching tag.
+type WavePacket struct {
+	D   int32
+	Tag int32
+}
+
+// Bits implements radio.Packet.
+func (WavePacket) Bits() int { return 33 }
+
+// FloodPacket is the stage-2 frontier Decay transmission; receivers
+// require a matching tag.
+type FloodPacket struct {
+	D   int32
+	Tag int32
+}
+
+// Bits implements radio.Packet.
+func (FloodPacket) Bits() int { return 33 }
+
+// Result is the per-node outcome of the construction.
+type Result struct {
+	Level      int32
+	Rank       int32
+	Parent     radio.NodeID // -1 for roots
+	ParentRank int32
+	Vdist      int32 // -1 if not computed / not learned
+	// SameRankChild marks non-terminal fast-stretch nodes.
+	SameRankChild bool
+}
+
+// Protocol is the per-node distributed GST construction state machine.
+type Protocol struct {
+	cfg    Config
+	id     radio.NodeID
+	isRoot bool
+	rng    *rand.Rand
+
+	// Segment A.
+	wave     *beep.Wave
+	layering *decay.Layering
+	level    int32
+
+	// Segment B.
+	bNode     *assign.Node
+	bIdx      int // boundary index of the live node (-1 none)
+	rank      int32
+	ranked    bool // red role produced a rank
+	sameRank  bool
+	parent    radio.NodeID
+	parentRnk int32
+	assigned  bool
+
+	// Segment C.
+	vdist     int32
+	waveRelay bool // received the stage-1 wave in the current block
+	curBlock  int64
+}
+
+var _ radio.Protocol = (*Protocol)(nil)
+
+// New creates the construction protocol for one node. With
+// LayerPreset, presetLevel supplies the node's BFS level (from a
+// prior collision wave); otherwise it is ignored.
+func New(cfg Config, id radio.NodeID, isRoot bool, presetLevel int32, rng *rand.Rand) *Protocol {
+	p := &Protocol{
+		cfg:       cfg,
+		id:        id,
+		isRoot:    isRoot,
+		rng:       rng,
+		level:     -1,
+		bIdx:      -1,
+		rank:      0,
+		parent:    -1,
+		parentRnk: 0,
+		vdist:     -1,
+		curBlock:  -1,
+	}
+	switch cfg.Mode {
+	case LayerCD:
+		p.wave = beep.NewWave(isRoot, cfg.LayerRounds())
+	case LayerDecay:
+		p.layering = decay.NewLayering(cfg.N, isRoot, decay.EpochPhases(cfg.N, cfg.CLayer), rng)
+	case LayerPreset:
+		p.level = presetLevel
+	}
+	if isRoot {
+		p.level = 0
+		p.vdist = 0
+	}
+	return p
+}
+
+// Result returns the node's learned GST data. Valid once the schedule
+// passed TotalRounds; Rank resolves to 1 for nodes that were never
+// ranked as reds (leaves). A boundary machine whose window coincides
+// with the end of the schedule is harvested here (the engine stops
+// before any post-schedule Act could do it).
+func (p *Protocol) Result() Result {
+	if p.bNode != nil {
+		p.harvestBoundary()
+	}
+	rank := p.rank
+	if !p.ranked {
+		rank = 1
+	}
+	return Result{
+		Level:         p.level,
+		Rank:          rank,
+		Parent:        p.parent,
+		ParentRank:    p.parentRnk,
+		Vdist:         p.vdist,
+		SameRankChild: p.sameRank,
+	}
+}
+
+// ownRank returns the node's rank for its blue role: the rank learned
+// as a red at the deeper boundary, or 1 (leaf).
+func (p *Protocol) ownRank() int32 {
+	if p.ranked {
+		return p.rank
+	}
+	return 1
+}
+
+// isStretchStart reports whether the node begins a fast stretch.
+func (p *Protocol) isStretchStart() bool {
+	return p.isRoot || (p.assigned && p.parentRnk != p.ownRank())
+}
+
+// finishLayering harvests segment-A results.
+func (p *Protocol) finishLayering() {
+	if p.level >= 0 {
+		return
+	}
+	switch {
+	case p.wave != nil:
+		p.level = int32(p.wave.Level())
+	case p.layering != nil:
+		p.level = int32(p.layering.Level())
+	}
+}
+
+// harvestBoundary folds a completed boundary machine's results into
+// the node state.
+func (p *Protocol) harvestBoundary() {
+	nd := p.bNode
+	p.bNode = nil
+	if p.cfg.BlueLevel(p.bIdx) == int(p.level) {
+		if nd.Assigned() {
+			p.assigned = true
+			p.parent = nd.Parent()
+			p.parentRnk = nd.ParentRank()
+		}
+	} else if nd.RedRanked() {
+		p.ranked = true
+		p.rank = nd.RedRank()
+		p.sameRank = nd.RedHasSameRankChild()
+	}
+	p.bIdx = -1
+}
+
+// syncBoundary manages the live assign.Node across boundary windows.
+func (p *Protocol) syncBoundary(pos Pos) {
+	if p.bNode != nil && (pos.Seg != SegBoundary || pos.Boundary != p.bIdx) {
+		p.harvestBoundary()
+	}
+	if pos.Seg == SegBoundary && p.bNode == nil && pos.Off == 0 && p.level >= 0 {
+		blue := p.cfg.BlueLevel(pos.Boundary)
+		switch int(p.level) {
+		case blue:
+			p.bNode = assign.NewNode(p.cfg.Assign, p.id, assign.Blue, p.ownRank(), p.rng)
+			p.bIdx = pos.Boundary
+		case blue - 1:
+			p.bNode = assign.NewNode(p.cfg.Assign, p.id, assign.Red, 0, p.rng)
+			p.bIdx = pos.Boundary
+		}
+	}
+}
+
+// Act implements radio.Protocol.
+func (p *Protocol) Act(r int64) radio.Action {
+	pos := p.cfg.Locate(r)
+	switch pos.Seg {
+	case SegLayer:
+		var act radio.Action
+		switch {
+		case p.wave != nil:
+			act = p.wave.Act(r)
+		case p.layering != nil:
+			act = p.layering.Act(r)
+		}
+		// Sub-protocols may sleep past their own end; clamp to the
+		// start of segment B so boundary windows are not missed.
+		if act.SleepUntil > p.cfg.LayerRounds() {
+			act.SleepUntil = p.cfg.LayerRounds()
+		}
+		return act
+	case SegBoundary:
+		if pos.Boundary != p.bIdx || pos.Off == 0 {
+			if pos.Off == 0 && p.bNode == nil {
+				p.finishLayering()
+			}
+			p.syncBoundary(pos)
+		}
+		if p.bNode != nil {
+			return p.bNode.Act(pos.Off)
+		}
+		// Not a participant of this boundary: sleep until the next
+		// window this node cares about.
+		return radio.Sleep(p.nextWake(r, pos))
+	case SegVdist:
+		p.syncBoundary(pos)
+		return p.vdistAct(pos)
+	default:
+		p.syncBoundary(pos)
+		return radio.Sleep(1 << 62)
+	}
+}
+
+// nextWake computes the next round at which the node participates
+// during segment B: the start of its red-role boundary, its blue-role
+// boundary, or segment C.
+func (p *Protocol) nextWake(r int64, pos Pos) int64 {
+	base := p.cfg.LayerRounds()
+	br := p.cfg.Assign.BoundaryRounds()
+	candidates := []int{
+		p.cfg.BoundaryIndexForBlueLevel(int(p.level) + 1), // red role
+		p.cfg.BoundaryIndexForBlueLevel(int(p.level)),     // blue role
+	}
+	next := p.cfg.LayerRounds() + p.cfg.BoundariesRounds() // segment C
+	for _, b := range candidates {
+		if b < 0 || b >= p.cfg.DBound || b <= pos.Boundary {
+			continue
+		}
+		if start := base + int64(b)*br; start < next {
+			next = start
+		}
+	}
+	if next <= r {
+		return r + 1
+	}
+	return next
+}
+
+// Observe implements radio.Protocol.
+func (p *Protocol) Observe(r int64, out radio.Outcome) {
+	pos := p.cfg.Locate(r)
+	switch pos.Seg {
+	case SegLayer:
+		switch {
+		case p.wave != nil:
+			p.wave.Observe(r, out)
+		case p.layering != nil:
+			p.layering.Observe(r, out)
+		}
+	case SegBoundary:
+		if p.bNode != nil && pos.Boundary == p.bIdx {
+			p.bNode.Observe(pos.Off, out)
+		}
+	case SegVdist:
+		p.vdistObserve(pos, out)
+	}
+}
+
+// vdistAct handles segment C transmissions.
+func (p *Protocol) vdistAct(pos Pos) radio.Action {
+	p.syncVdistBlock(pos)
+	if pos.Stage == 1 {
+		// Epoch 0: stretch starts of the d-frontier launch the wave.
+		// Epoch 1: stretch nodes that saw the wave this block relay it.
+		// Both transmit only in the round matching their level and only
+		// when they have a same-rank child to deliver to.
+		if int64(p.level) != pos.VdOff || int32(pos.Rank) != p.ownRank() || !p.sameRank {
+			return radio.Listen
+		}
+		launch := pos.Epoch == 0 && p.vdist == int32(pos.D) && p.isStretchStart()
+		relay := pos.Epoch == 1 && p.waveRelay
+		if launch || relay {
+			return radio.Transmit(WavePacket{D: int32(pos.D), Tag: p.cfg.Tag})
+		}
+		return radio.Listen
+	}
+	// Stage 2: the d-frontier floods with Decay.
+	if p.vdist == int32(pos.D) {
+		slot := int(pos.VdOff) % p.cfg.L()
+		if p.rng.Float64() < decay.TransmitProb(slot) {
+			return radio.Transmit(FloodPacket{D: int32(pos.D), Tag: p.cfg.Tag})
+		}
+	}
+	return radio.Listen
+}
+
+// syncVdistBlock resets per-block wave state.
+func (p *Protocol) syncVdistBlock(pos Pos) {
+	block := int64(pos.D)
+	if block != p.curBlock {
+		p.curBlock = block
+		p.waveRelay = false
+	}
+}
+
+// vdistObserve handles segment C receptions.
+func (p *Protocol) vdistObserve(pos Pos, out radio.Outcome) {
+	p.syncVdistBlock(pos)
+	if out.Packet == nil {
+		return
+	}
+	switch pkt := out.Packet.(type) {
+	case WavePacket:
+		// Accept the wave only from the parent, with a matching tag,
+		// in the matching rank class, at the level clock position just
+		// below us.
+		if pkt.Tag != p.cfg.Tag || pos.Stage != 1 || out.From != p.parent || int32(pos.Rank) != p.ownRank() {
+			return
+		}
+		if int64(p.level) != pos.VdOff+1 {
+			return
+		}
+		p.waveRelay = true
+		if p.vdist < 0 {
+			p.vdist = int32(pos.D) + 1
+		}
+	case FloodPacket:
+		if pkt.Tag == p.cfg.Tag && pos.Stage == 2 && p.vdist < 0 {
+			p.vdist = int32(pos.D) + 1
+		}
+	}
+}

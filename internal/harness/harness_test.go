@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"radiocast/internal/graph"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb := e.Run(1, true)
+			if tb == nil || len(tb.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			out := tb.String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s table did not render", e.ID)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestE1CrossoverShape(t *testing.T) {
+	// The headline claim at reproduction scale: on high-diameter
+	// cluster chains, the GST broadcast (structure in place) beats the
+	// Decay and CR baselines.
+	g := graph.ClusterChain(32, 8)
+	d := graph.Eccentricity(g, 0)
+	decayR, ok1 := RunDecay(g, 1, 1<<22)
+	crR, ok2 := RunCR(g, d, 1, 1<<22)
+	gstR, ok3 := RunGSTSingle(g, false, 1, 1<<22)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("some protocol incomplete")
+	}
+	if gstR >= crR || gstR >= decayR {
+		t.Fatalf("no crossover: gst=%d cr=%d decay=%d at D=%d", gstR, crR, decayR, d)
+	}
+	t.Logf("D=%d: gst=%d cr=%d decay=%d", d, gstR, crR, decayR)
+}
+
+func TestRunnersVerifyPayloads(t *testing.T) {
+	g := graph.Grid(5, 5)
+	if _, ok := RunGSTMulti(g, 6, 3, 1<<20); !ok {
+		t.Fatal("Theorem 1.2 runner failed")
+	}
+	if _, ok := RunGSTMultiRouting(g, 4, 3, 1<<20); !ok {
+		t.Fatal("routing baseline failed")
+	}
+}
+
+func TestTheorem11RunnerDecomposition(t *testing.T) {
+	g := graph.ClusterChain(4, 4)
+	d := graph.Eccentricity(g, 0)
+	res := RunTheorem11(g, d, 1, 2)
+	if !res.Completed {
+		t.Fatal("Theorem 1.1 incomplete")
+	}
+	if res.WaveRounds+res.BuildRounds+res.SpreadBudget != res.TotalBudget {
+		t.Fatal("budget decomposition inconsistent")
+	}
+	if res.Rounds > res.TotalBudget {
+		t.Fatal("rounds exceed budget")
+	}
+}
+
+func TestPlainStoreContent(t *testing.T) {
+	ps := &PlainStore{K: 2, Held: map[int32]int64{}, Rng: fakeIntn{}}
+	if ps.Done() || ps.Fresh() != nil {
+		t.Fatal("empty store should be idle")
+	}
+	ps.OnReceive(PlainPacket{Index: 0, Payload: 7}, 0)
+	ps.OnReceive(PlainPacket{Index: 1, Payload: 8}, 0)
+	if !ps.Done() {
+		t.Fatal("store with all messages not done")
+	}
+	pkt := ps.Fresh()
+	if pkt == nil {
+		t.Fatal("Fresh returned nil with held messages")
+	}
+	if _, err := strconv.Atoi("0"); err != nil {
+		t.Fatal("unreachable")
+	}
+}
+
+type fakeIntn struct{}
+
+func (fakeIntn) Intn(n int) int { return 0 }

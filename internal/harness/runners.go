@@ -1,0 +1,271 @@
+// Package harness defines every reproduction experiment (E1..E12, plus
+// the ablations A1..A3 of DESIGN.md) as a reusable runner producing a
+// stats.Table. The same runners back `go test -bench`, cmd/radiobench,
+// and the examples, so every number in EXPERIMENTS.md can be
+// regenerated three ways.
+package harness
+
+import (
+	"radiocast/internal/bitvec"
+	"radiocast/internal/cr"
+	"radiocast/internal/decay"
+	"radiocast/internal/graph"
+	"radiocast/internal/gst"
+	"radiocast/internal/mmv"
+	"radiocast/internal/radio"
+	"radiocast/internal/rings"
+	"radiocast/internal/rlnc"
+	"radiocast/internal/rng"
+)
+
+// RunDecay measures the classic Decay broadcast (BGI baseline) from
+// node 0. Returns rounds and completion.
+func RunDecay(g *graph.Graph, seed uint64, limit int64) (int64, bool) {
+	nw := radio.New(g, radio.Config{})
+	protos := make([]*decay.Broadcast, g.N())
+	for v := 0; v < g.N(); v++ {
+		protos[v] = decay.NewBroadcast(g.N(), v == 0, decay.Message{Data: 1}, rng.New(seed, 0xd0, uint64(v)))
+		nw.SetProtocol(graph.NodeID(v), protos[v])
+	}
+	return nw.RunUntil(limit, func() bool {
+		for _, p := range protos {
+			if !p.Has() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// RunCR measures the Czumaj–Rytter-shaped baseline.
+func RunCR(g *graph.Graph, d int, seed uint64, limit int64) (int64, bool) {
+	p := cr.NewParams(g.N(), d)
+	nw := radio.New(g, radio.Config{})
+	protos := make([]*cr.Broadcast, g.N())
+	for v := 0; v < g.N(); v++ {
+		protos[v] = cr.NewBroadcast(p, v == 0, decay.Message{Data: 1}, rng.New(seed, 0xc0, uint64(v)))
+		nw.SetProtocol(graph.NodeID(v), protos[v])
+	}
+	return nw.RunUntil(limit, func() bool {
+		for _, pr := range protos {
+			if !pr.Has() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// RunGSTSingle measures the single-message GST broadcast atop a
+// centralized GST (the amortized / known-structure regime), optionally
+// with the MMV noise adversary.
+func RunGSTSingle(g *graph.Graph, noising bool, seed uint64, limit int64) (int64, bool) {
+	tree := gst.Construct(g, 0)
+	infos := mmv.InfoFromTree(tree)
+	s := mmv.NewSchedule(g.N())
+	nw := radio.New(g, radio.Config{})
+	contents := make([]*mmv.SingleMessage, g.N())
+	for v := 0; v < g.N(); v++ {
+		contents[v] = mmv.NewSingleMessage(v == 0, decay.Message{Data: 1})
+		nw.SetProtocol(graph.NodeID(v),
+			mmv.New(s, infos[v], contents[v], noising, rng.New(seed, 0xe0, uint64(v))))
+	}
+	return nw.RunUntil(limit, func() bool {
+		for _, c := range contents {
+			if !c.Done() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Theorem11Result decomposes a full Theorem 1.1 run.
+type Theorem11Result struct {
+	Completed                 bool
+	Rounds                    int64
+	WaveRounds, BuildRounds   int64
+	SpreadBudget, TotalBudget int64
+	Rings, Width              int
+}
+
+// RunTheorem11 executes the full unknown-topology CD pipeline.
+func RunTheorem11(g *graph.Graph, d, c int, seed uint64) Theorem11Result {
+	cfg := rings.DefaultConfig(g.N(), d, 0, c)
+	nw := radio.New(g, radio.Config{CollisionDetection: true})
+	protos := make([]*rings.Protocol, g.N())
+	for v := 0; v < g.N(); v++ {
+		protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, nil, rng.New(seed, 0x11, uint64(v)))
+		nw.SetProtocol(graph.NodeID(v), protos[v])
+	}
+	rounds, ok := nw.RunUntil(cfg.TotalRounds(), func() bool {
+		for _, p := range protos {
+			if !p.Has() {
+				return false
+			}
+		}
+		return true
+	})
+	return Theorem11Result{
+		Completed:    ok,
+		Rounds:       rounds,
+		WaveRounds:   cfg.WaveRounds(),
+		BuildRounds:  cfg.BuildRounds(),
+		SpreadBudget: cfg.SpreadRounds(),
+		TotalBudget:  cfg.TotalRounds(),
+		Rings:        cfg.Rings(),
+		Width:        cfg.W,
+	}
+}
+
+// RunGSTMulti measures the Theorem 1.2 k-message broadcast (known
+// topology, RLNC atop the MMV schedule). Verifies decoded payloads.
+func RunGSTMulti(g *graph.Graph, k int, seed uint64, limit int64) (int64, bool) {
+	const l = 32
+	r := rng.New(seed, 0x12)
+	msgs := make([]rlnc.Message, k)
+	for i := range msgs {
+		msgs[i] = bitvec.RandomVec(l, r.Uint64)
+	}
+	tree := gst.Construct(g, 0)
+	infos := mmv.InfoFromTree(tree)
+	s := mmv.NewSchedule(g.N())
+	nw := radio.New(g, radio.Config{})
+	contents := make([]*mmv.RLNC, g.N())
+	for v := 0; v < g.N(); v++ {
+		var buf *rlnc.Buffer
+		if v == 0 {
+			buf = rlnc.NewSourceBuffer(0, msgs, l)
+		} else {
+			buf = rlnc.NewBuffer(0, k, l)
+		}
+		contents[v] = mmv.NewRLNC(buf, rng.New(seed, 0x13, uint64(v)))
+		nw.SetProtocol(graph.NodeID(v),
+			mmv.New(s, infos[v], contents[v], false, rng.New(seed, 0x14, uint64(v))))
+	}
+	rounds, ok := nw.RunUntil(limit, func() bool {
+		for _, c := range contents {
+			if !c.Done() {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		return rounds, false
+	}
+	for _, c := range contents {
+		got, dok := c.Buffer().Decode()
+		if !dok {
+			return rounds, false
+		}
+		for i := range msgs {
+			if !bitvec.Equal(got[i], msgs[i]) {
+				return rounds, false
+			}
+		}
+	}
+	return rounds, true
+}
+
+// RunTheorem13 executes the full Theorem 1.3 pipeline.
+func RunTheorem13(g *graph.Graph, d, k, c int, seed uint64) (rounds int64, completed bool, cfg rings.Config) {
+	cfg = rings.DefaultConfig(g.N(), d, k, c)
+	r := rng.New(seed, 0x15)
+	msgs := make([]rlnc.Message, k)
+	for i := range msgs {
+		msgs[i] = bitvec.RandomVec(cfg.PayloadBits, r.Uint64)
+	}
+	nw := radio.New(g, radio.Config{CollisionDetection: true})
+	protos := make([]*rings.Protocol, g.N())
+	for v := 0; v < g.N(); v++ {
+		var m []rlnc.Message
+		if v == 0 {
+			m = msgs
+		}
+		protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, m, rng.New(seed, 0x16, uint64(v)))
+		nw.SetProtocol(graph.NodeID(v), protos[v])
+	}
+	rounds, completed = nw.RunUntil(cfg.TotalRounds(), func() bool {
+		for _, p := range protos {
+			if !p.Store().CanDecodeAll() {
+				return false
+			}
+		}
+		return true
+	})
+	return rounds, completed, cfg
+}
+
+// PlainPacket is an uncoded message for the routing baseline of A2.
+type PlainPacket struct {
+	Index   int32
+	Payload int64
+}
+
+// Bits implements radio.Packet.
+func (PlainPacket) Bits() int { return 96 }
+
+// PlainStore is the store-and-forward content layer (no coding): when
+// prompted, the node sends a uniformly random message it holds.
+type PlainStore struct {
+	K    int
+	Held map[int32]int64
+	Rng  interface{ Intn(int) int }
+}
+
+var _ mmv.Content = (*PlainStore)(nil)
+
+// Fresh implements mmv.Content.
+func (ps *PlainStore) Fresh() radio.Packet {
+	if len(ps.Held) == 0 {
+		return nil
+	}
+	pick := ps.Rng.Intn(len(ps.Held))
+	for idx, pay := range ps.Held {
+		if pick == 0 {
+			return PlainPacket{Index: idx, Payload: pay}
+		}
+		pick--
+	}
+	return nil
+}
+
+// OnReceive implements mmv.Content.
+func (ps *PlainStore) OnReceive(pkt radio.Packet, _ radio.NodeID) {
+	if p, ok := pkt.(PlainPacket); ok {
+		ps.Held[p.Index] = p.Payload
+	}
+}
+
+// Done implements mmv.Content.
+func (ps *PlainStore) Done() bool { return len(ps.Held) == ps.K }
+
+// RunGSTMultiRouting is the A2 baseline: k messages with plain
+// store-and-forward routing on the same schedule.
+func RunGSTMultiRouting(g *graph.Graph, k int, seed uint64, limit int64) (int64, bool) {
+	tree := gst.Construct(g, 0)
+	infos := mmv.InfoFromTree(tree)
+	s := mmv.NewSchedule(g.N())
+	nw := radio.New(g, radio.Config{})
+	contents := make([]*PlainStore, g.N())
+	for v := 0; v < g.N(); v++ {
+		held := map[int32]int64{}
+		if v == 0 {
+			for i := 0; i < k; i++ {
+				held[int32(i)] = int64(1000 + i)
+			}
+		}
+		contents[v] = &PlainStore{K: k, Held: held, Rng: rng.New(seed, 0x17, uint64(v))}
+		nw.SetProtocol(graph.NodeID(v),
+			mmv.New(s, infos[v], contents[v], false, rng.New(seed, 0x18, uint64(v))))
+	}
+	return nw.RunUntil(limit, func() bool {
+		for _, c := range contents {
+			if !c.Done() {
+				return false
+			}
+		}
+		return true
+	})
+}

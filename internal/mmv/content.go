@@ -1,0 +1,83 @@
+package mmv
+
+import (
+	"math/rand"
+
+	"radiocast/internal/decay"
+	"radiocast/internal/radio"
+	"radiocast/internal/rlnc"
+)
+
+// SingleMessage is the single-message content layer: the [7]-style
+// broadcast atop a GST used inside the rings of Theorem 1.1.
+type SingleMessage struct {
+	has bool
+	msg decay.Message
+}
+
+var _ Content = (*SingleMessage)(nil)
+
+// NewSingleMessage creates the layer; the source holds the message.
+func NewSingleMessage(source bool, msg decay.Message) *SingleMessage {
+	return &SingleMessage{has: source, msg: msg}
+}
+
+// Fresh implements Content.
+func (s *SingleMessage) Fresh() radio.Packet {
+	if !s.has {
+		return nil
+	}
+	return s.msg
+}
+
+// OnReceive implements Content.
+func (s *SingleMessage) OnReceive(pkt radio.Packet, _ radio.NodeID) {
+	if m, ok := pkt.(decay.Message); ok && !s.has {
+		s.has = true
+		s.msg = m
+	}
+}
+
+// Done implements Content: the node has the message.
+func (s *SingleMessage) Done() bool { return s.has }
+
+// Message returns the held message (zero value when !Done).
+func (s *SingleMessage) Message() decay.Message { return s.msg }
+
+// RLNC is the coded multi-message content layer of Section 3.3.2: a
+// fresh transmission is a new random combination of everything
+// received; receptions feed the buffer.
+type RLNC struct {
+	buf *rlnc.Buffer
+	rng *rand.Rand
+}
+
+var _ Content = (*RLNC)(nil)
+
+// NewRLNC creates the layer over an existing buffer (a source buffer
+// preloaded with the k messages, or an empty receiver buffer).
+func NewRLNC(buf *rlnc.Buffer, rng *rand.Rand) *RLNC {
+	return &RLNC{buf: buf, rng: rng}
+}
+
+// Buffer exposes the underlying RLNC buffer.
+func (c *RLNC) Buffer() *rlnc.Buffer { return c.buf }
+
+// Fresh implements Content.
+func (c *RLNC) Fresh() radio.Packet {
+	pkt, ok := c.buf.RandomPacket(c.rng)
+	if !ok {
+		return nil
+	}
+	return pkt
+}
+
+// OnReceive implements Content.
+func (c *RLNC) OnReceive(pkt radio.Packet, _ radio.NodeID) {
+	if p, ok := pkt.(rlnc.Packet); ok && p.Gen == c.buf.Gen() {
+		c.buf.Add(p)
+	}
+}
+
+// Done implements Content: the node can decode all k messages.
+func (c *RLNC) Done() bool { return c.buf.CanDecode() }

@@ -1,0 +1,231 @@
+// Package mmv implements the transmission schedules atop a GST:
+//
+//   - the fast/slow schedule of Section 3.2, which is multi-message
+//     viable (Definition 3.1): it broadcasts in O(D + log^2 n)-shaped
+//     time even when scheduled nodes lacking content jam their slots;
+//   - its single-message instantiation (the [7]-style broadcast used
+//     as a black box by Theorem 1.1), and
+//   - its RLNC instantiation (Section 3.3.2), which yields the optimal
+//     k-message broadcast of Theorem 1.2 in the known-topology setting.
+//
+// Schedule (Section 3.2). In round t, a node u at BFS level l with
+// rank r and virtual distance d:
+//
+//	(a) fast slot:  t ≡ 2(l + 3r) (mod M), M = 6(⌈log n⌉ + 2):
+//	    u transmits — a stretch start sends fresh content, an interior
+//	    stretch node relays the packet received from its parent in the
+//	    previous fast round. Only nodes with a same-rank child
+//	    transmit (see DESIGN.md: this makes Lemma 3.5 exact).
+//	(b) slow slot:  t ≡ 1 + 2d (mod 6): u transmits fresh content with
+//	    probability 2^-((t-1-2d)/6 mod ⌈log n⌉).
+//
+// Fast slots fall on even rounds and slow slots on odd rounds, so the
+// two kinds never collide with each other. The slow slots are keyed by
+// virtual distance — not by level as in [7, 19] — which is what makes
+// the schedule MMV (the crucial change enabling the backwards
+// analysis).
+package mmv
+
+import (
+	"math/rand"
+
+	"radiocast/internal/gst"
+	"radiocast/internal/gstdist"
+	"radiocast/internal/radio"
+	"radiocast/internal/sched"
+)
+
+// NodeInfo is the GST knowledge a node needs to run the schedule —
+// exactly what the distributed construction (Theorem 2.1 + Lemma 3.10)
+// provides.
+type NodeInfo struct {
+	Level         int32
+	Rank          int32
+	Vdist         int32
+	Parent        radio.NodeID // -1 for roots
+	ParentRank    int32
+	SameRankChild bool
+	IsRoot        bool
+}
+
+// IsStretchStart reports whether the node begins a fast stretch.
+func (ni NodeInfo) IsStretchStart() bool {
+	return ni.IsRoot || ni.ParentRank != ni.Rank
+}
+
+// InfoFromTree extracts NodeInfo for every node from a centralized GST
+// (the known-topology setting of Theorem 1.2).
+func InfoFromTree(t *gst.Tree) []NodeInfo {
+	vdist := gst.VirtualDistances(t)
+	children := t.Children()
+	isRoot := make(map[radio.NodeID]bool, len(t.Roots))
+	for _, r := range t.Roots {
+		isRoot[r] = true
+	}
+	infos := make([]NodeInfo, t.G.N())
+	for v := 0; v < t.G.N(); v++ {
+		pr := int32(0)
+		if p := t.Parent[v]; p >= 0 {
+			pr = t.Rank[p]
+		}
+		infos[v] = NodeInfo{
+			Level:         t.Level[v],
+			Rank:          t.Rank[v],
+			Vdist:         vdist[v],
+			Parent:        t.Parent[v],
+			ParentRank:    pr,
+			SameRankChild: gst.SameRankChild(t, children, radio.NodeID(v)) >= 0,
+			IsRoot:        isRoot[radio.NodeID(v)],
+		}
+	}
+	return infos
+}
+
+// InfoFromResult converts a distributed construction result.
+func InfoFromResult(res gstdist.Result, isRoot bool) NodeInfo {
+	return NodeInfo{
+		Level:         res.Level,
+		Rank:          res.Rank,
+		Vdist:         res.Vdist,
+		Parent:        res.Parent,
+		ParentRank:    res.ParentRank,
+		SameRankChild: res.SameRankChild,
+		IsRoot:        isRoot,
+	}
+}
+
+// Schedule fixes the timing parameters.
+type Schedule struct {
+	// L is ⌈log2 n⌉.
+	L int
+	// M is the fast-slot period, 6(L+2): large enough that two
+	// distinct ranks never share a (level, slot) pair.
+	M int64
+}
+
+// NewSchedule derives the schedule for network-size parameter n.
+func NewSchedule(n int) Schedule {
+	l := sched.LogN(n)
+	return Schedule{L: l, M: 6 * int64(l+2)}
+}
+
+// FastSlot reports whether t is the fast slot of (level, rank).
+func (s Schedule) FastSlot(t int64, level, rank int32) bool {
+	want := (2 * (int64(level) + 3*int64(rank))) % s.M
+	return t%s.M == want
+}
+
+// SlowProb returns the transmission probability of the slow slot at
+// round t for virtual distance d, or 0 if t is not a slow slot of d.
+func (s Schedule) SlowProb(t int64, d int32) float64 {
+	base := 1 + 2*int64(d)
+	if t < base || (t-base)%6 != 0 {
+		return 0
+	}
+	exp := ((t - base) / 6) % int64(s.L)
+	return 1 / float64(int64(1)<<uint(exp))
+}
+
+// Content is the pluggable payload layer of the schedule.
+type Content interface {
+	// Fresh produces new content for a stretch-start fast slot or a
+	// slow slot; nil means the node has nothing to send.
+	Fresh() radio.Packet
+	// OnReceive consumes a received content packet.
+	OnReceive(pkt radio.Packet, from radio.NodeID)
+	// Done reports completion for this node (harness predicate).
+	Done() bool
+}
+
+// Protocol runs the schedule for one node.
+type Protocol struct {
+	sched   Schedule
+	info    NodeInfo
+	content Content
+	rng     *rand.Rand
+	// Noising makes the node jam scheduled slots when content is nil —
+	// the MMV adversary of Definition 3.1.
+	noising bool
+	// levelKeyedSlow keys slow slots by BFS level instead of virtual
+	// distance — the [7,19]-style schedule. It is NOT multi-message
+	// viable; it exists as the ablation of experiment A1.
+	levelKeyedSlow bool
+
+	relay radio.Packet // packet received from the parent's last fast slot
+}
+
+var _ radio.Protocol = (*Protocol)(nil)
+
+// New creates the schedule protocol for a node.
+func New(s Schedule, info NodeInfo, content Content, noising bool, rng *rand.Rand) *Protocol {
+	return &Protocol{sched: s, info: info, content: content, rng: rng, noising: noising}
+}
+
+// NewLevelKeyed creates the ablation variant whose slow slots are
+// keyed by level, as in the pre-MMV schedules of [7, 19].
+func NewLevelKeyed(s Schedule, info NodeInfo, content Content, noising bool, rng *rand.Rand) *Protocol {
+	p := New(s, info, content, noising, rng)
+	p.levelKeyedSlow = true
+	return p
+}
+
+// Content returns the node's content layer.
+func (p *Protocol) Content() Content { return p.content }
+
+// Act implements radio.Protocol.
+func (p *Protocol) Act(t int64) radio.Action {
+	if p.info.Level < 0 || p.info.Vdist < 0 {
+		return radio.Listen // not part of the structure (failed setup)
+	}
+	if t%2 == 0 {
+		if !p.sched.FastSlot(t, p.info.Level, p.info.Rank) || !p.info.SameRankChild {
+			return radio.Listen
+		}
+		var pkt radio.Packet
+		if p.info.IsStretchStart() {
+			pkt = p.content.Fresh()
+		} else {
+			pkt = p.relay
+			p.relay = nil // one relay per received wave
+		}
+		switch {
+		case pkt != nil:
+			return radio.Transmit(pkt)
+		case p.noising:
+			return radio.Transmit(radio.NoisePacket{})
+		default:
+			return radio.Listen
+		}
+	}
+	slowKey := p.info.Vdist
+	if p.levelKeyedSlow {
+		slowKey = p.info.Level
+	}
+	prob := p.sched.SlowProb(t, slowKey)
+	if prob == 0 || p.rng.Float64() >= prob {
+		return radio.Listen
+	}
+	if pkt := p.content.Fresh(); pkt != nil {
+		return radio.Transmit(pkt)
+	}
+	if p.noising {
+		return radio.Transmit(radio.NoisePacket{})
+	}
+	return radio.Listen
+}
+
+// Observe implements radio.Protocol.
+func (p *Protocol) Observe(t int64, out radio.Outcome) {
+	if out.Packet == nil {
+		return
+	}
+	if _, isNoise := out.Packet.(radio.NoisePacket); isNoise {
+		return
+	}
+	p.content.OnReceive(out.Packet, out.From)
+	// Buffer the parent's fast wave for relaying two rounds later.
+	if p.info.Parent == out.From && p.info.ParentRank == p.info.Rank &&
+		p.sched.FastSlot(t, p.info.Level-1, p.info.Rank) {
+		p.relay = out.Packet
+	}
+}

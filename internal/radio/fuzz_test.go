@@ -1,0 +1,87 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"radiocast/internal/graph"
+	"radiocast/internal/rng"
+)
+
+// Fuzz-style stress: random graphs with random transmit/sleep behavior
+// must never panic, and the engine counters must stay consistent.
+func TestEngineFuzzConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.GNP(40, 0.1, seed)
+		nw := New(g, Config{CollisionDetection: seed%2 == 0})
+		for v := 0; v < g.N(); v++ {
+			r := rng.New(seed, uint64(v))
+			nw.SetProtocol(graph.NodeID(v), &FuncProtocol{ActFunc: func(round int64) Action {
+				switch r.Intn(5) {
+				case 0:
+					return Transmit(RawPacket{Value: round})
+				case 1:
+					return Sleep(round + int64(r.Intn(20)))
+				default:
+					return Listen
+				}
+			}})
+		}
+		nw.Run(300)
+		st := nw.Stats()
+		if st.Rounds != 300 {
+			return false
+		}
+		// Every delivery requires a transmission; every collision
+		// observation requires at least two.
+		if st.Deliveries+2*st.CollisionObs > st.Transmissions*int64(g.MaxDegree()) {
+			return false
+		}
+		// Polls can't exceed nodes x rounds.
+		return st.Polls <= int64(g.N())*300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The sleep/fast-forward path must agree with an always-awake run on
+// what listeners observe: a sleeping node is by contract discarding,
+// so runs that never sleep see a superset of events but identical
+// transmission schedules for identical RNG streams.
+func TestSleepDoesNotPerturbTransmitters(t *testing.T) {
+	g := graph.Path(10)
+	schedule := func(withSleep bool) []int64 {
+		nw := New(g, Config{})
+		var txRounds []int64
+		for v := 0; v < g.N(); v++ {
+			v := v
+			r := rng.New(7, uint64(v))
+			nw.SetProtocol(graph.NodeID(v), &FuncProtocol{ActFunc: func(round int64) Action {
+				// Node v transmits deterministically on its own beat.
+				if round%int64(v+2) == 0 {
+					if v == 3 {
+						txRounds = append(txRounds, round)
+					}
+					return Transmit(RawPacket{})
+				}
+				if withSleep && r.Intn(3) == 0 && v != 3 {
+					return Sleep(round + 2)
+				}
+				return Listen
+			}})
+		}
+		nw.Run(100)
+		return txRounds
+	}
+	a := schedule(false)
+	b := schedule(true)
+	if len(a) != len(b) {
+		t.Fatalf("sleeping peers changed node 3's transmission count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("transmission schedule perturbed by other nodes' sleeping")
+		}
+	}
+}

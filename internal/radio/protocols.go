@@ -1,0 +1,98 @@
+package radio
+
+// This file provides small building-block protocols used by tests and
+// by failure-injection experiments.
+
+// RawPacket is a minimal packet carrying an opaque integer payload.
+// Its declared size is 1 + ⌈log2(n)⌉-ish bits; for simplicity it
+// reports a fixed configurable width.
+type RawPacket struct {
+	Value int64
+	Width int // reported bit width; 0 means 64
+}
+
+// Bits implements Packet.
+func (p RawPacket) Bits() int {
+	if p.Width > 0 {
+		return p.Width
+	}
+	return 64
+}
+
+// NoisePacket is the "noise" transmission of the MMV framework
+// (Definition 3.1): scheduled senders that do not have the message
+// send noise instead of staying silent.
+type NoisePacket struct{}
+
+// Bits implements Packet.
+func (NoisePacket) Bits() int { return 1 }
+
+// FuncProtocol adapts two closures to the Protocol interface.
+// A nil ActFunc listens forever; a nil ObserveFunc discards input.
+type FuncProtocol struct {
+	ActFunc     func(r int64) Action
+	ObserveFunc func(r int64, out Outcome)
+}
+
+var _ Protocol = (*FuncProtocol)(nil)
+
+// Act implements Protocol.
+func (f *FuncProtocol) Act(r int64) Action {
+	if f.ActFunc == nil {
+		return Listen
+	}
+	return f.ActFunc(r)
+}
+
+// Observe implements Protocol.
+func (f *FuncProtocol) Observe(r int64, out Outcome) {
+	if f.ObserveFunc != nil {
+		f.ObserveFunc(r, out)
+	}
+}
+
+// Silent is a protocol that listens forever and records everything it
+// hears; useful as a passive probe in tests.
+type Silent struct {
+	Heard      []Outcome
+	LastRound  int64
+	Collisions int
+	Packets    int
+}
+
+var _ Protocol = (*Silent)(nil)
+
+// Act implements Protocol.
+func (s *Silent) Act(int64) Action { return Listen }
+
+// Observe implements Protocol.
+func (s *Silent) Observe(r int64, out Outcome) {
+	s.Heard = append(s.Heard, out)
+	s.LastRound = r
+	if out.Collision {
+		s.Collisions++
+	} else {
+		s.Packets++
+	}
+}
+
+// Jammer transmits noise with probability P in every round, using the
+// given float source. It is the failure-injection adversary for MMV
+// experiments.
+type Jammer struct {
+	P    float64
+	Rand interface{ Float64() float64 }
+}
+
+var _ Protocol = (*Jammer)(nil)
+
+// Act implements Protocol.
+func (j *Jammer) Act(int64) Action {
+	if j.Rand.Float64() < j.P {
+		return Transmit(NoisePacket{})
+	}
+	return Listen
+}
+
+// Observe implements Protocol.
+func (j *Jammer) Observe(int64, Outcome) {}

@@ -1,0 +1,370 @@
+// Package radio implements the synchronous radio network model of the
+// paper (Section 1.1, following Chlamtac–Kutten):
+//
+//   - Time proceeds in synchronous rounds over an undirected graph.
+//   - In each round every node either transmits one packet or listens.
+//   - A listening node receives a packet iff exactly one neighbor
+//     transmits in that round.
+//   - With collision detection (CD), a listener with two or more
+//     transmitting neighbors observes the collision symbol ⊤; without
+//     CD it observes silence.
+//   - Transmitters receive nothing in rounds they transmit.
+//
+// The engine counts rounds faithfully while supporting node sleeping:
+// a protocol that can prove (from the global clock) that it will
+// discard all input until round X may return SleepUntil=X, letting the
+// engine fast-forward wall-clock work through globally idle windows.
+// The reported round counts always include idle rounds.
+package radio
+
+import (
+	"container/heap"
+	"fmt"
+
+	"radiocast/internal/graph"
+)
+
+// NodeID identifies a node (0..N-1), aliasing graph.NodeID.
+type NodeID = graph.NodeID
+
+// Packet is the unit of transmission. Protocols define their own
+// packet types; Bits reports the packet's size for enforcement of the
+// B = Θ(log n) packet-size model.
+type Packet interface {
+	Bits() int
+}
+
+// Outcome is what a listening node observes at the end of a round in
+// which at least one neighbor transmitted.
+type Outcome struct {
+	// Collision is true when two or more neighbors transmitted and
+	// collision detection is enabled (the ⊤ symbol).
+	Collision bool
+	// Packet is the received packet when exactly one neighbor
+	// transmitted; nil otherwise.
+	Packet Packet
+	// From is the transmitting neighbor when Packet is non-nil.
+	From NodeID
+}
+
+// Action is a node's decision for one round.
+type Action struct {
+	// Transmit indicates the node transmits Packet this round.
+	Transmit bool
+	// Packet to transmit; must be non-nil when Transmit is true.
+	Packet Packet
+	// SleepUntil, when greater than the current round + 1, promises
+	// that the node will ignore every reception before that round; the
+	// engine will not poll or notify the node until then. Zero means
+	// "wake next round".
+	SleepUntil int64
+}
+
+// Sleep is a convenience listening action with a wake round.
+func Sleep(until int64) Action { return Action{SleepUntil: until} }
+
+// Listen is the default action: listen this round, wake next round.
+var Listen = Action{}
+
+// Transmit is a convenience transmitting action.
+func Transmit(p Packet) Action { return Action{Transmit: true, Packet: p} }
+
+// Protocol is the per-node state machine driven by the engine.
+//
+// The engine calls Act exactly once per round for every awake node,
+// then delivers at most one Observe for that round to nodes that
+// listened and had at least one transmitting neighbor. Silence is not
+// signaled: a node that listened and receives no Observe callback for
+// round r heard silence in round r.
+type Protocol interface {
+	Act(r int64) Action
+	Observe(r int64, out Outcome)
+}
+
+// Tracer receives engine events; used by tests to assert schedule
+// invariants (e.g. Lemma 3.5 fast-slot collision-freeness).
+type Tracer interface {
+	// OnRound fires after actions are collected, before delivery.
+	// transmitters aliases engine storage: copy to retain.
+	OnRound(r int64, transmitters []NodeID)
+	// OnDeliver fires for every Observe delivered.
+	OnDeliver(r int64, to NodeID, out Outcome)
+}
+
+// Config configures a Network.
+type Config struct {
+	// CollisionDetection enables delivery of the ⊤ symbol.
+	CollisionDetection bool
+	// MaxPacketBits, when positive, makes the engine panic on any
+	// packet whose Bits() exceeds it — enforcing the B = Θ(log n)
+	// packet-size model.
+	MaxPacketBits int
+	// Tracer, when non-nil, observes every round.
+	Tracer Tracer
+}
+
+// Stats aggregates engine counters for a run.
+type Stats struct {
+	Rounds        int64 // rounds elapsed (including slept/idle rounds)
+	ActiveRounds  int64 // rounds in which at least one node was awake
+	Transmissions int64 // individual node transmissions
+	Deliveries    int64 // successful single-transmitter receptions
+	CollisionObs  int64 // ⊤ observations delivered (CD only)
+	Polls         int64 // Act calls (wall-clock work proxy)
+}
+
+// Network is a synchronous radio network simulation over a fixed graph.
+type Network struct {
+	g     *graph.Graph
+	cfg   Config
+	proto []Protocol
+
+	round int64
+	wake  wakeQueue
+
+	// Per-round scratch, stamped by round number to avoid clearing.
+	listenStamp []int64 // node listened (awake, no transmit) in round stamp
+	hearCount   []int32
+	hearStamp   []int64
+	hearFrom    []NodeID
+	hearPkt     []Packet
+	touched     []NodeID
+	transmitter []NodeID
+
+	stats Stats
+}
+
+// New creates a network over g. All nodes start with a nil protocol;
+// nil-protocol nodes are permanently silent and asleep.
+func New(g *graph.Graph, cfg Config) *Network {
+	n := g.N()
+	nw := &Network{
+		g:           g,
+		cfg:         cfg,
+		proto:       make([]Protocol, n),
+		listenStamp: make([]int64, n),
+		hearCount:   make([]int32, n),
+		hearStamp:   make([]int64, n),
+		hearFrom:    make([]NodeID, n),
+		hearPkt:     make([]Packet, n),
+	}
+	for i := range nw.listenStamp {
+		nw.listenStamp[i] = -1
+		nw.hearStamp[i] = -1
+	}
+	return nw
+}
+
+// SetProtocol installs p on node v and schedules it to wake at the
+// current round. Each node's protocol may be installed only once per
+// network (reinstalling would double-schedule the node).
+func (nw *Network) SetProtocol(v NodeID, p Protocol) {
+	if p == nil {
+		panic("radio: SetProtocol with nil protocol")
+	}
+	if nw.proto[v] != nil {
+		panic(fmt.Sprintf("radio: node %d already has a protocol", v))
+	}
+	nw.proto[v] = p
+	nw.wake.push(nw.round, v)
+}
+
+// Protocol returns the protocol installed on v (nil if none).
+func (nw *Network) Protocol(v NodeID) Protocol { return nw.proto[v] }
+
+// Graph returns the underlying graph.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Round returns the current round number (the next round to execute).
+func (nw *Network) Round() int64 { return nw.round }
+
+// Stats returns a copy of the run counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Step executes exactly one round. If every node sleeps beyond the
+// current round the engine still advances one round (the round is
+// idle); use Run/RunUntil for fast-forwarding.
+func (nw *Network) Step() { nw.step() }
+
+func (nw *Network) step() {
+	r := nw.round
+	nw.transmitter = nw.transmitter[:0]
+	awake := nw.wake.popAt(r)
+	if len(awake) > 0 {
+		nw.stats.ActiveRounds++
+	}
+	for _, v := range awake {
+		p := nw.proto[v]
+		if p == nil {
+			continue
+		}
+		nw.stats.Polls++
+		act := p.Act(r)
+		next := r + 1
+		if act.SleepUntil > next {
+			next = act.SleepUntil
+		}
+		if act.Transmit {
+			if act.Packet == nil {
+				panic(fmt.Sprintf("radio: node %d transmits nil packet in round %d", v, r))
+			}
+			if nw.cfg.MaxPacketBits > 0 && act.Packet.Bits() > nw.cfg.MaxPacketBits {
+				panic(fmt.Sprintf("radio: node %d packet %T of %d bits exceeds budget %d",
+					v, act.Packet, act.Packet.Bits(), nw.cfg.MaxPacketBits))
+			}
+			nw.transmitter = append(nw.transmitter, v)
+			nw.hearPkt[v] = act.Packet // reuse as scratch for own packet
+			nw.stats.Transmissions++
+		} else {
+			nw.listenStamp[v] = r
+		}
+		nw.wake.push(next, v)
+	}
+	if nw.cfg.Tracer != nil {
+		nw.cfg.Tracer.OnRound(r, nw.transmitter)
+	}
+	// Delivery: count transmitting neighbors of each awake listener.
+	nw.touched = nw.touched[:0]
+	for _, t := range nw.transmitter {
+		pkt := nw.hearPkt[t]
+		for _, u := range nw.g.Neighbors(t) {
+			if nw.listenStamp[u] != r {
+				continue // transmitting, sleeping, or protocol-less
+			}
+			if nw.hearStamp[u] != r {
+				nw.hearStamp[u] = r
+				nw.hearCount[u] = 0
+				nw.touched = append(nw.touched, u)
+			}
+			nw.hearCount[u]++
+			if nw.hearCount[u] == 1 {
+				nw.hearFrom[u] = t
+				nw.hearPkt[u] = pkt
+			}
+		}
+	}
+	for _, u := range nw.touched {
+		var out Outcome
+		switch {
+		case nw.hearCount[u] == 1:
+			out = Outcome{Packet: nw.hearPkt[u], From: nw.hearFrom[u]}
+			nw.stats.Deliveries++
+		case nw.cfg.CollisionDetection:
+			out = Outcome{Collision: true}
+			nw.stats.CollisionObs++
+		default:
+			continue // collision without CD: indistinguishable from silence
+		}
+		nw.proto[u].Observe(r, out)
+		if nw.cfg.Tracer != nil {
+			nw.cfg.Tracer.OnDeliver(r, u, out)
+		}
+	}
+	nw.round = r + 1
+	nw.stats.Rounds = nw.round
+}
+
+// Run executes rounds until the round counter reaches limit,
+// fast-forwarding through globally idle windows. It returns early if
+// no node will ever wake again.
+func (nw *Network) Run(limit int64) {
+	for nw.round < limit {
+		next, ok := nw.wake.nextWake()
+		if !ok {
+			// No node will ever act again; account the idle tail.
+			nw.round = limit
+			nw.stats.Rounds = nw.round
+			return
+		}
+		if next > nw.round {
+			if next >= limit {
+				nw.round = limit
+				nw.stats.Rounds = nw.round
+				return
+			}
+			nw.round = next // fast-forward: rounds in between are idle
+		}
+		nw.step()
+	}
+}
+
+// RunUntil executes rounds until pred returns true (checked after
+// every executed round) or the round counter reaches limit. It reports
+// the round count at stop and whether pred was satisfied.
+func (nw *Network) RunUntil(limit int64, pred func() bool) (int64, bool) {
+	if pred() {
+		return nw.round, true
+	}
+	for nw.round < limit {
+		next, ok := nw.wake.nextWake()
+		if !ok {
+			nw.round = limit
+			nw.stats.Rounds = nw.round
+			return nw.round, pred()
+		}
+		if next > nw.round {
+			if next >= limit {
+				nw.round = limit
+				nw.stats.Rounds = nw.round
+				return nw.round, pred()
+			}
+			nw.round = next
+		}
+		nw.step()
+		if pred() {
+			return nw.round, true
+		}
+	}
+	return nw.round, pred()
+}
+
+// wakeQueue schedules node wake-ups by round: a bucket map keyed by
+// round plus a min-heap of distinct round keys.
+type wakeQueue struct {
+	buckets map[int64][]NodeID
+	keys    int64Heap
+}
+
+func (q *wakeQueue) push(round int64, v NodeID) {
+	if q.buckets == nil {
+		q.buckets = make(map[int64][]NodeID)
+	}
+	lst, ok := q.buckets[round]
+	if !ok {
+		heap.Push(&q.keys, round)
+	}
+	q.buckets[round] = append(lst, v)
+}
+
+// popAt removes and returns all nodes scheduled to wake at or before r.
+func (q *wakeQueue) popAt(r int64) []NodeID {
+	var out []NodeID
+	for q.keys.Len() > 0 && q.keys[0] <= r {
+		key := heap.Pop(&q.keys).(int64)
+		out = append(out, q.buckets[key]...)
+		delete(q.buckets, key)
+	}
+	return out
+}
+
+// nextWake returns the earliest scheduled wake round.
+func (q *wakeQueue) nextWake() (int64, bool) {
+	if q.keys.Len() == 0 {
+		return 0, false
+	}
+	return q.keys[0], true
+}
+
+type int64Heap []int64
+
+func (h int64Heap) Len() int            { return len(h) }
+func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *int64Heap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,337 @@
+package radio
+
+import (
+	"testing"
+
+	"radiocast/internal/graph"
+	"radiocast/internal/rng"
+)
+
+// testNet builds a network over a path graph with Silent listeners on
+// every node except those overridden afterwards.
+func pathNet(n int, cd bool) (*Network, []*Silent) {
+	g := graph.Path(n)
+	nw := New(g, Config{CollisionDetection: cd})
+	listeners := make([]*Silent, n)
+	for v := 0; v < n; v++ {
+		listeners[v] = &Silent{}
+		nw.SetProtocol(graph.NodeID(v), listeners[v])
+	}
+	return nw, listeners
+}
+
+func TestSingleTransmitterDelivers(t *testing.T) {
+	g := graph.Path(3)
+	nw := New(g, Config{})
+	mid := &FuncProtocol{ActFunc: func(r int64) Action {
+		if r == 0 {
+			return Transmit(RawPacket{Value: 42})
+		}
+		return Listen
+	}}
+	left, right := &Silent{}, &Silent{}
+	nw.SetProtocol(0, left)
+	nw.SetProtocol(1, mid)
+	nw.SetProtocol(2, right)
+	nw.Run(2)
+	for name, s := range map[string]*Silent{"left": left, "right": right} {
+		if s.Packets != 1 || s.Collisions != 0 {
+			t.Fatalf("%s: packets=%d collisions=%d, want exactly one packet", name, s.Packets, s.Collisions)
+		}
+		if got := s.Heard[0].Packet.(RawPacket).Value; got != 42 {
+			t.Fatalf("%s: payload %d, want 42", name, got)
+		}
+		if s.Heard[0].From != 1 {
+			t.Fatalf("%s: from %d, want 1", name, s.Heard[0].From)
+		}
+	}
+	st := nw.Stats()
+	if st.Transmissions != 1 || st.Deliveries != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCollisionWithCD(t *testing.T) {
+	// Path 0-1-2: both ends transmit in round 0; middle observes ⊤.
+	g := graph.Path(3)
+	nw := New(g, Config{CollisionDetection: true})
+	tx := func(r int64) Action {
+		if r == 0 {
+			return Transmit(RawPacket{Value: 1})
+		}
+		return Listen
+	}
+	nw.SetProtocol(0, &FuncProtocol{ActFunc: tx})
+	nw.SetProtocol(2, &FuncProtocol{ActFunc: tx})
+	mid := &Silent{}
+	nw.SetProtocol(1, mid)
+	nw.Run(2)
+	if mid.Collisions != 1 || mid.Packets != 0 {
+		t.Fatalf("mid: collisions=%d packets=%d, want 1,0", mid.Collisions, mid.Packets)
+	}
+	if nw.Stats().CollisionObs != 1 {
+		t.Fatalf("stats: %+v", nw.Stats())
+	}
+}
+
+func TestCollisionWithoutCDIsSilence(t *testing.T) {
+	g := graph.Path(3)
+	nw := New(g, Config{CollisionDetection: false})
+	tx := func(r int64) Action {
+		if r == 0 {
+			return Transmit(RawPacket{Value: 1})
+		}
+		return Listen
+	}
+	nw.SetProtocol(0, &FuncProtocol{ActFunc: tx})
+	nw.SetProtocol(2, &FuncProtocol{ActFunc: tx})
+	mid := &Silent{}
+	nw.SetProtocol(1, mid)
+	nw.Run(2)
+	if mid.Collisions != 0 || mid.Packets != 0 {
+		t.Fatalf("mid observed something without CD: %+v", mid)
+	}
+}
+
+func TestTransmitterHearsNothing(t *testing.T) {
+	// 0 and 1 both transmit in round 0; neither should observe.
+	g := graph.Path(2)
+	nw := New(g, Config{CollisionDetection: true})
+	observed := 0
+	for v := 0; v < 2; v++ {
+		nw.SetProtocol(graph.NodeID(v), &FuncProtocol{
+			ActFunc: func(r int64) Action {
+				if r == 0 {
+					return Transmit(RawPacket{})
+				}
+				return Listen
+			},
+			ObserveFunc: func(int64, Outcome) { observed++ },
+		})
+	}
+	nw.Run(2)
+	if observed != 0 {
+		t.Fatalf("transmitters observed %d events", observed)
+	}
+}
+
+func TestSleepSkipsDelivery(t *testing.T) {
+	// Node 1 sleeps through round 0; node 0 transmits; node 1 must not
+	// observe, and the engine must not poll it again until round 5.
+	g := graph.Path(2)
+	nw := New(g, Config{})
+	polls := []int64{}
+	sleeper := &FuncProtocol{
+		ActFunc: func(r int64) Action {
+			polls = append(polls, r)
+			if r == 0 {
+				return Sleep(5)
+			}
+			return Listen
+		},
+		ObserveFunc: func(r int64, out Outcome) {
+			if r < 5 {
+				panic("sleeping node observed")
+			}
+		},
+	}
+	nw.SetProtocol(0, &FuncProtocol{ActFunc: func(r int64) Action {
+		if r == 2 {
+			return Transmit(RawPacket{})
+		}
+		return Listen
+	}})
+	nw.SetProtocol(1, sleeper)
+	nw.Run(8)
+	want := []int64{0, 5, 6, 7}
+	if len(polls) != len(want) {
+		t.Fatalf("polls = %v, want %v", polls, want)
+	}
+	for i := range want {
+		if polls[i] != want[i] {
+			t.Fatalf("polls = %v, want %v", polls, want)
+		}
+	}
+}
+
+func TestFastForwardCountsRounds(t *testing.T) {
+	// Everyone sleeps to round 1000; Run(1000) must report 1000 rounds
+	// but poll each node exactly twice (round 0 and nothing after).
+	g := graph.Path(4)
+	nw := New(g, Config{})
+	for v := 0; v < 4; v++ {
+		nw.SetProtocol(graph.NodeID(v), &FuncProtocol{ActFunc: func(r int64) Action {
+			return Sleep(5000)
+		}})
+	}
+	nw.Run(1000)
+	st := nw.Stats()
+	if st.Rounds != 1000 {
+		t.Fatalf("rounds = %d, want 1000", st.Rounds)
+	}
+	if st.Polls != 4 {
+		t.Fatalf("polls = %d, want 4 (one per node)", st.Polls)
+	}
+	if st.ActiveRounds != 1 {
+		t.Fatalf("active rounds = %d, want 1", st.ActiveRounds)
+	}
+}
+
+func TestRunUntilPredicate(t *testing.T) {
+	g := graph.Path(2)
+	nw := New(g, Config{})
+	heard := false
+	nw.SetProtocol(0, &FuncProtocol{ActFunc: func(r int64) Action {
+		if r == 7 {
+			return Transmit(RawPacket{})
+		}
+		return Listen
+	}})
+	nw.SetProtocol(1, &FuncProtocol{ObserveFunc: func(int64, Outcome) { heard = true }})
+	rounds, ok := nw.RunUntil(100, func() bool { return heard })
+	if !ok {
+		t.Fatal("predicate never satisfied")
+	}
+	if rounds != 8 {
+		t.Fatalf("stopped at round %d, want 8", rounds)
+	}
+}
+
+func TestDegreeOneNeighborExactness(t *testing.T) {
+	// Star: center transmits; all leaves hear exactly the packet.
+	g := graph.Star(10)
+	nw := New(g, Config{})
+	nw.SetProtocol(0, &FuncProtocol{ActFunc: func(r int64) Action {
+		if r == 0 {
+			return Transmit(RawPacket{Value: 9})
+		}
+		return Listen
+	}})
+	leaves := make([]*Silent, 9)
+	for v := 1; v < 10; v++ {
+		leaves[v-1] = &Silent{}
+		nw.SetProtocol(graph.NodeID(v), leaves[v-1])
+	}
+	nw.Run(1)
+	for i, s := range leaves {
+		if s.Packets != 1 {
+			t.Fatalf("leaf %d heard %d packets", i+1, s.Packets)
+		}
+	}
+}
+
+func TestLeavesCollideAtCenter(t *testing.T) {
+	// Star with every leaf transmitting: center observes one collision
+	// (with CD); leaves hear nothing (their only neighbor, the center,
+	// is silent).
+	g := graph.Star(6)
+	nw := New(g, Config{CollisionDetection: true})
+	center := &Silent{}
+	nw.SetProtocol(0, center)
+	for v := 1; v < 6; v++ {
+		nw.SetProtocol(graph.NodeID(v), &FuncProtocol{ActFunc: func(r int64) Action {
+			if r == 0 {
+				return Transmit(RawPacket{})
+			}
+			return Listen
+		}})
+	}
+	nw.Run(1)
+	if center.Collisions != 1 || center.Packets != 0 {
+		t.Fatalf("center: %+v", center)
+	}
+}
+
+func TestPacketBitsEnforced(t *testing.T) {
+	g := graph.Path(2)
+	nw := New(g, Config{MaxPacketBits: 8})
+	nw.SetProtocol(0, &FuncProtocol{ActFunc: func(r int64) Action {
+		return Transmit(RawPacket{Width: 64})
+	}})
+	nw.SetProtocol(1, &Silent{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized packet")
+		}
+	}()
+	nw.Run(1)
+}
+
+func TestJammerJams(t *testing.T) {
+	g := graph.Path(2)
+	nw := New(g, Config{})
+	nw.SetProtocol(0, &Jammer{P: 1.0, Rand: rng.New(1)})
+	probe := &Silent{}
+	nw.SetProtocol(1, probe)
+	nw.Run(50)
+	if probe.Packets != 50 {
+		t.Fatalf("jammer with P=1 delivered %d/50", probe.Packets)
+	}
+}
+
+func TestDoubleSetProtocolPanics(t *testing.T) {
+	g := graph.Path(2)
+	nw := New(g, Config{})
+	nw.SetProtocol(0, &Silent{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	nw.SetProtocol(0, &Silent{})
+}
+
+type countingTracer struct {
+	rounds    int
+	delivered int
+}
+
+func (c *countingTracer) OnRound(int64, []NodeID)          { c.rounds++ }
+func (c *countingTracer) OnDeliver(int64, NodeID, Outcome) { c.delivered++ }
+
+func TestTracerSeesEvents(t *testing.T) {
+	g := graph.Path(2)
+	tr := &countingTracer{}
+	nw := New(g, Config{Tracer: tr})
+	nw.SetProtocol(0, &FuncProtocol{ActFunc: func(r int64) Action {
+		return Transmit(RawPacket{})
+	}})
+	nw.SetProtocol(1, &Silent{})
+	nw.Run(10)
+	if tr.rounds != 10 || tr.delivered != 10 {
+		t.Fatalf("tracer: %+v", tr)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	nw, _ := pathNet(5, true)
+	nw.Run(10)
+	st := nw.Stats()
+	if st.Transmissions != 0 || st.Deliveries != 0 {
+		t.Fatalf("silent network has traffic: %+v", st)
+	}
+	if st.Rounds != 10 {
+		t.Fatalf("rounds = %d", st.Rounds)
+	}
+	if st.Polls != 50 {
+		t.Fatalf("polls = %d, want 50", st.Polls)
+	}
+}
+
+func BenchmarkEngineGridFlood(b *testing.B) {
+	// All nodes transmit with probability 1/8 each round.
+	g := graph.Grid(32, 32)
+	for i := 0; i < b.N; i++ {
+		nw := New(g, Config{CollisionDetection: true})
+		for v := 0; v < g.N(); v++ {
+			r := rng.New(uint64(i), uint64(v))
+			nw.SetProtocol(graph.NodeID(v), &FuncProtocol{ActFunc: func(int64) Action {
+				if r.Float64() < 0.125 {
+					return Transmit(RawPacket{})
+				}
+				return Listen
+			}})
+		}
+		nw.Run(100)
+	}
+}

@@ -1,0 +1,62 @@
+package recruit
+
+import "radiocast/internal/radio"
+
+// RedProtocol and BlueProtocol adapt the state machines to standalone
+// radio.Protocol instances for direct simulation (tests, E4). Inside
+// the GST assignment the machines are driven by the assignment
+// protocol instead, with computed offsets.
+
+// RedProtocol runs a Red machine starting at round Start.
+type RedProtocol struct {
+	Start int64
+	R     *Red
+}
+
+var _ radio.Protocol = (*RedProtocol)(nil)
+
+// Act implements radio.Protocol.
+func (p *RedProtocol) Act(r int64) radio.Action {
+	switch off := r - p.Start; {
+	case off < 0:
+		return radio.Sleep(p.Start)
+	case off >= p.R.params.Rounds():
+		return radio.Sleep(1 << 62)
+	default:
+		return p.R.Act(off)
+	}
+}
+
+// Observe implements radio.Protocol.
+func (p *RedProtocol) Observe(r int64, out radio.Outcome) {
+	if off := r - p.Start; off >= 0 && off < p.R.params.Rounds() {
+		p.R.Observe(off, out)
+	}
+}
+
+// BlueProtocol runs a Blue machine starting at round Start.
+type BlueProtocol struct {
+	Start int64
+	B     *Blue
+}
+
+var _ radio.Protocol = (*BlueProtocol)(nil)
+
+// Act implements radio.Protocol.
+func (p *BlueProtocol) Act(r int64) radio.Action {
+	switch off := r - p.Start; {
+	case off < 0:
+		return radio.Sleep(p.Start)
+	case off >= p.B.params.Rounds():
+		return radio.Sleep(1 << 62)
+	default:
+		return p.B.Act(off)
+	}
+}
+
+// Observe implements radio.Protocol.
+func (p *BlueProtocol) Observe(r int64, out radio.Outcome) {
+	if off := r - p.Start; off >= 0 && off < p.B.params.Rounds() {
+		p.B.Observe(off, out)
+	}
+}

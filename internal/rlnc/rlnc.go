@@ -1,0 +1,166 @@
+// Package rlnc implements random linear network coding over F_2, the
+// coding layer of the paper's multi-message broadcast algorithms
+// (Section 3.3.1, following Ho et al. [14] and Haeupler [12]).
+//
+// The k messages are bit vectors m_1..m_k in F_2^l. A coded packet
+// carries a coefficient vector α in F_2^k together with the payload
+// Σ α_i·m_i. A node stores the packets it receives and, when prompted
+// to send, transmits a fresh uniformly random combination of its
+// stored packets. A node that has accumulated k linearly independent
+// coefficient vectors reconstructs all messages by Gaussian
+// elimination.
+//
+// The package also implements the projection-analysis primitives of
+// [12] used in the proofs (and in our tests): Definition 3.8's
+// "infected by μ" predicate and Proposition 3.9's decode criterion.
+package rlnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"radiocast/internal/bitvec"
+)
+
+// Message is an l-bit message payload.
+type Message = bitvec.Vec
+
+// Packet is an RLNC-coded packet: payload = Σ_{i: Coeff[i]=1} m_i.
+// Gen identifies the generation (batch) the packet codes over; packets
+// from different generations must not be combined.
+type Packet struct {
+	Gen     int
+	Coeff   bitvec.Vec
+	Payload bitvec.Vec
+}
+
+// Bits reports the on-air size: coefficient header + payload + a small
+// generation tag. With generations of size Θ(log n) the header is
+// Θ(log n) bits, as required by Section 3.4.
+func (p Packet) Bits() int { return p.Coeff.Len() + p.Payload.Len() + 16 }
+
+// IsZero reports whether the packet carries no information.
+func (p Packet) IsZero() bool { return p.Coeff.IsZero() }
+
+// Buffer is a node's RLNC state for a single generation of k messages
+// with l-bit payloads: the stored subspace plus the paired solver used
+// for decoding. The zero value is not usable; construct with NewBuffer
+// or NewSourceBuffer.
+type Buffer struct {
+	k, l   int
+	gen    int
+	solver *bitvec.Solver
+	// rows holds one (coeff, payload) pair per independent dimension,
+	// in insertion order; random combinations are drawn from these.
+	rows []Packet
+}
+
+// NewBuffer returns an empty buffer for generation gen with k messages
+// of l bits each.
+func NewBuffer(gen, k, l int) *Buffer {
+	if k <= 0 || l <= 0 {
+		panic(fmt.Sprintf("rlnc: invalid dimensions k=%d l=%d", k, l))
+	}
+	return &Buffer{k: k, l: l, gen: gen, solver: bitvec.NewSolver(k, l)}
+}
+
+// NewSourceBuffer returns a buffer preloaded with the original
+// messages (the source node's state): unit coefficient vectors paired
+// with the raw payloads.
+func NewSourceBuffer(gen int, msgs []Message, l int) *Buffer {
+	b := NewBuffer(gen, len(msgs), l)
+	for i, m := range msgs {
+		if m.Len() != l {
+			panic(fmt.Sprintf("rlnc: message %d has %d bits, want %d", i, m.Len(), l))
+		}
+		b.Add(Packet{Gen: gen, Coeff: bitvec.Unit(len(msgs), i), Payload: m.Clone()})
+	}
+	return b
+}
+
+// K returns the generation size.
+func (b *Buffer) K() int { return b.k }
+
+// Gen returns the generation id.
+func (b *Buffer) Gen() int { return b.gen }
+
+// Rank returns the dimension of the stored coefficient subspace.
+func (b *Buffer) Rank() int { return b.solver.Rank() }
+
+// Add stores a received packet. It returns true iff the packet was
+// innovative (increased the rank). Packets from other generations are
+// rejected with a panic: the caller routes packets by generation.
+func (b *Buffer) Add(p Packet) bool {
+	if p.Gen != b.gen {
+		panic(fmt.Sprintf("rlnc: packet for generation %d added to buffer %d", p.Gen, b.gen))
+	}
+	if !b.solver.Add(p.Coeff, p.Payload) {
+		return false
+	}
+	b.rows = append(b.rows, Packet{Gen: p.Gen, Coeff: p.Coeff.Clone(), Payload: p.Payload.Clone()})
+	return true
+}
+
+// CanDecode reports whether all k messages are reconstructible
+// (Proposition 3.9: infected by all of F_2^k ⇔ full rank).
+func (b *Buffer) CanDecode() bool { return b.solver.CanSolve() }
+
+// Decode reconstructs the k original messages via Gaussian
+// elimination. ok is false while rank < k.
+func (b *Buffer) Decode() (msgs []Message, ok bool) { return b.solver.Solve() }
+
+// RandomPacket returns a fresh uniformly random combination of the
+// stored packets — the transmission rule of Section 3.3.1. ok is false
+// when the buffer is empty (nothing to send). The combination is drawn
+// over the stored independent rows, which induces the uniform
+// distribution over the stored subspace; the zero combination is
+// permitted (a node with data still sends "something", which carries
+// no information — equivalent to noise for receivers).
+func (b *Buffer) RandomPacket(r *rand.Rand) (Packet, bool) {
+	if len(b.rows) == 0 {
+		return Packet{}, false
+	}
+	coeff := bitvec.New(b.k)
+	payload := bitvec.New(b.l)
+	for _, row := range b.rows {
+		if r.Intn(2) == 1 {
+			coeff.XorInPlace(row.Coeff)
+			payload.XorInPlace(row.Payload)
+		}
+	}
+	return Packet{Gen: b.gen, Coeff: coeff, Payload: payload}, true
+}
+
+// InfectedBy implements Definition 3.8: the node is infected by μ iff
+// it has received (stored) a packet whose coefficient vector is not
+// orthogonal to μ. Equivalently, μ is non-orthogonal to the stored
+// subspace.
+func (b *Buffer) InfectedBy(mu bitvec.Vec) bool {
+	for _, row := range b.rows {
+		if bitvec.Dot(mu, row.Coeff) {
+			return true
+		}
+	}
+	return false
+}
+
+// EncodeAll computes the payload for an explicit coefficient vector
+// over the full message set; used by tests and by centralized
+// verification.
+func EncodeAll(coeff bitvec.Vec, msgs []Message, l int) bitvec.Vec {
+	payload := bitvec.New(l)
+	for i := range msgs {
+		if coeff.Get(i) {
+			payload.XorInPlace(msgs[i])
+		}
+	}
+	return payload
+}
+
+// VerifyPacket checks that a packet's payload is consistent with the
+// ground-truth messages; used to assert end-to-end integrity in tests
+// and failure-injection experiments.
+func VerifyPacket(p Packet, msgs []Message, l int) bool {
+	want := EncodeAll(p.Coeff, msgs, l)
+	return bitvec.Equal(p.Payload, want)
+}

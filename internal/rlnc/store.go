@@ -1,0 +1,123 @@
+package rlnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"radiocast/internal/bitvec"
+)
+
+// Store manages the generation (batch) structure of Section 3.4: the k
+// messages are divided into generations of at most genSize messages
+// and coding happens only within a generation, keeping the coefficient
+// header at O(genSize) = O(log n) bits.
+type Store struct {
+	total   int // total number of messages across generations
+	l       int // payload bits
+	genSize int
+	bufs    []*Buffer
+}
+
+// NumGenerations returns how many generations cover `total` messages
+// with generations of size genSize.
+func NumGenerations(total, genSize int) int {
+	if genSize <= 0 {
+		panic("rlnc: non-positive generation size")
+	}
+	return (total + genSize - 1) / genSize
+}
+
+// GenBounds returns the half-open global message range [lo, hi) of
+// generation gen.
+func GenBounds(total, genSize, gen int) (lo, hi int) {
+	lo = gen * genSize
+	hi = lo + genSize
+	if hi > total {
+		hi = total
+	}
+	return lo, hi
+}
+
+// NewStore returns an empty receiver store for `total` messages of l
+// bits divided into generations of genSize.
+func NewStore(total, genSize, l int) *Store {
+	gens := NumGenerations(total, genSize)
+	s := &Store{total: total, l: l, genSize: genSize, bufs: make([]*Buffer, gens)}
+	for g := 0; g < gens; g++ {
+		lo, hi := GenBounds(total, genSize, g)
+		s.bufs[g] = NewBuffer(g, hi-lo, l)
+	}
+	return s
+}
+
+// NewSourceStore returns a store preloaded with all messages (the
+// source's state).
+func NewSourceStore(msgs []Message, genSize, l int) *Store {
+	s := NewStore(len(msgs), genSize, l)
+	for g := range s.bufs {
+		lo, hi := GenBounds(len(msgs), genSize, g)
+		s.bufs[g] = NewSourceBuffer(g, msgs[lo:hi], l)
+	}
+	return s
+}
+
+// Generations returns the number of generations.
+func (s *Store) Generations() int { return len(s.bufs) }
+
+// Buffer returns the buffer of generation gen.
+func (s *Store) Buffer(gen int) *Buffer { return s.bufs[gen] }
+
+// Add routes a packet to its generation buffer. It returns true iff
+// the packet was innovative.
+func (s *Store) Add(p Packet) bool {
+	if p.Gen < 0 || p.Gen >= len(s.bufs) {
+		panic(fmt.Sprintf("rlnc: packet generation %d out of range [0,%d)", p.Gen, len(s.bufs)))
+	}
+	return s.bufs[p.Gen].Add(p)
+}
+
+// RandomPacket draws a random combination from generation gen.
+func (s *Store) RandomPacket(gen int, r *rand.Rand) (Packet, bool) {
+	return s.bufs[gen].RandomPacket(r)
+}
+
+// CanDecodeAll reports whether every generation is decodable.
+func (s *Store) CanDecodeAll() bool {
+	for _, b := range s.bufs {
+		if !b.CanDecode() {
+			return false
+		}
+	}
+	return true
+}
+
+// CanDecodeGen reports whether generation gen is decodable.
+func (s *Store) CanDecodeGen(gen int) bool { return s.bufs[gen].CanDecode() }
+
+// DecodeAll reconstructs all messages in global order. ok is false if
+// any generation is still underdetermined.
+func (s *Store) DecodeAll() (msgs []Message, ok bool) {
+	out := make([]Message, 0, s.total)
+	for _, b := range s.bufs {
+		part, ok := b.Decode()
+		if !ok {
+			return nil, false
+		}
+		out = append(out, part...)
+	}
+	return out, true
+}
+
+// Rank returns the total rank across generations (progress measure).
+func (s *Store) Rank() int {
+	sum := 0
+	for _, b := range s.bufs {
+		sum += b.Rank()
+	}
+	return sum
+}
+
+// InfectedBy applies Definition 3.8 within a generation.
+func (s *Store) InfectedBy(gen int, mu bitvec.Vec) bool {
+	return s.bufs[gen].InfectedBy(mu)
+}

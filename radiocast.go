@@ -1,0 +1,268 @@
+// Package radiocast is a from-scratch implementation of
+//
+//	Ghaffari, Haeupler, Khabbazian:
+//	"Randomized Broadcast in Radio Networks with Collision Detection"
+//	(PODC 2013; full version arXiv:1404.0780),
+//
+// together with the synchronous radio network simulator, the
+// substrates (Decay, gathering spanning trees, recruiting, random
+// linear network coding), and the baselines the paper compares
+// against.
+//
+// This package is the public facade: one call per headline result.
+//
+//   - BroadcastCD — Theorem 1.1: single-message broadcast, unknown
+//     topology, collision detection, O(D + polylog n) rounds.
+//   - BroadcastKnownTopology — the [7]-style O(D + log^2 n) broadcast
+//     atop a centrally constructed GST (the known-structure regime).
+//   - BroadcastK — Theorem 1.2: k messages, known topology, RLNC,
+//     O(D + k log n + log^2 n) rounds.
+//   - BroadcastKCD — Theorem 1.3: k messages, unknown topology with
+//     collision detection, O(D + k log n + polylog n) rounds.
+//   - BuildGST / BuildGSTDistributed — gathering spanning trees,
+//     centralized ([7]) and distributed (Theorem 2.1 + Lemma 3.10).
+//   - DecayBroadcast / CRBroadcast — the prior-art baselines.
+//
+// All functions are deterministic given (graph, options, seed). See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction results.
+package radiocast
+
+import (
+	"fmt"
+
+	"radiocast/internal/bitvec"
+	"radiocast/internal/graph"
+	"radiocast/internal/gst"
+	"radiocast/internal/gstdist"
+	"radiocast/internal/harness"
+	"radiocast/internal/mmv"
+	"radiocast/internal/radio"
+	"radiocast/internal/rlnc"
+	"radiocast/internal/rng"
+)
+
+// Graph re-exports the workload graph type; construct instances with
+// the generators below or graph.NewBuilder via BuildGraph.
+type Graph = graph.Graph
+
+// NodeID identifies a node (0..N-1).
+type NodeID = graph.NodeID
+
+// Generators for common workloads (see internal/graph for the full
+// set).
+var (
+	// NewPath returns the n-node path (diameter n-1).
+	NewPath = graph.Path
+	// NewGrid returns the rows x cols grid.
+	NewGrid = graph.Grid
+	// NewClusterChain returns a chain of cliques — the workload where
+	// collision-detection broadcast wins by the largest factor.
+	NewClusterChain = graph.ClusterChain
+	// NewUnitDisk returns a random unit-disk (sensor field) graph.
+	NewUnitDisk = graph.UnitDisk
+	// NewGNP returns a connected Erdős–Rényi sample.
+	NewGNP = graph.GNP
+)
+
+// Options configures a protocol run.
+type Options struct {
+	// Source is the broadcasting node (default 0).
+	Source NodeID
+	// Seed drives all protocol randomness (runs are reproducible).
+	Seed uint64
+	// Scale multiplies every Θ(·) schedule constant (default 1; raise
+	// it to push the empirical success probability toward 1 at tiny n).
+	Scale int
+	// RoundLimit caps the simulated rounds (0 = the protocol's own
+	// schedule budget).
+	RoundLimit int64
+}
+
+func (o Options) scale() int {
+	if o.Scale < 1 {
+		return 1
+	}
+	return o.Scale
+}
+
+// Result reports a completed broadcast.
+type Result struct {
+	// Rounds is the number of synchronous rounds until every node held
+	// (and, for coded runs, decoded) every message.
+	Rounds int64
+	// Completed is false if the round limit elapsed first.
+	Completed bool
+}
+
+// BroadcastCD runs Theorem 1.1: single-message broadcast over unknown
+// topology using collision detection (collision-wave layering, ring
+// decomposition, distributed GSTs, fast/slow schedule, Decay
+// handoffs).
+func BroadcastCD(g *Graph, opts Options) (Result, error) {
+	if err := checkGraph(g, opts.Source); err != nil {
+		return Result{}, err
+	}
+	d := graph.Eccentricity(g, opts.Source)
+	res := harness.RunTheorem11(g, d, opts.scale(), opts.Seed)
+	return Result{Rounds: res.Rounds, Completed: res.Completed}, nil
+}
+
+// BroadcastKnownTopology runs the O(D + log^2 n) single-message
+// broadcast atop a centrally constructed GST — the regime in which
+// every node knows the topology ([7], used as the paper's black box).
+func BroadcastKnownTopology(g *Graph, opts Options) (Result, error) {
+	if err := checkGraph(g, opts.Source); err != nil {
+		return Result{}, err
+	}
+	limit := opts.RoundLimit
+	if limit == 0 {
+		limit = 1 << 24
+	}
+	rounds, ok := harness.RunGSTSingle(g, false, opts.Seed, limit)
+	return Result{Rounds: rounds, Completed: ok}, nil
+}
+
+// BroadcastK runs Theorem 1.2: k-message broadcast with random linear
+// network coding atop the MMV GST schedule, known topology.
+func BroadcastK(g *Graph, k int, opts Options) (Result, error) {
+	if err := checkGraph(g, opts.Source); err != nil {
+		return Result{}, err
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("radiocast: k must be positive, got %d", k)
+	}
+	limit := opts.RoundLimit
+	if limit == 0 {
+		limit = 1 << 24
+	}
+	rounds, ok := harness.RunGSTMulti(g, k, opts.Seed, limit)
+	return Result{Rounds: rounds, Completed: ok}, nil
+}
+
+// BroadcastKCD runs Theorem 1.3: k-message broadcast over unknown
+// topology with collision detection (ring pipeline, per-ring RLNC,
+// fountain handoffs).
+func BroadcastKCD(g *Graph, k int, opts Options) (Result, error) {
+	if err := checkGraph(g, opts.Source); err != nil {
+		return Result{}, err
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("radiocast: k must be positive, got %d", k)
+	}
+	d := graph.Eccentricity(g, opts.Source)
+	rounds, ok, _ := harness.RunTheorem13(g, d, k, opts.scale(), opts.Seed)
+	return Result{Rounds: rounds, Completed: ok}, nil
+}
+
+// DecayBroadcast runs the classic BGI Decay baseline,
+// O(D log n + log^2 n).
+func DecayBroadcast(g *Graph, opts Options) (Result, error) {
+	if err := checkGraph(g, opts.Source); err != nil {
+		return Result{}, err
+	}
+	limit := opts.RoundLimit
+	if limit == 0 {
+		limit = 1 << 24
+	}
+	rounds, ok := harness.RunDecay(g, opts.Seed, limit)
+	return Result{Rounds: rounds, Completed: ok}, nil
+}
+
+// CRBroadcast runs the Czumaj–Rytter-shaped baseline,
+// O(D log(n/D) + log^2 n).
+func CRBroadcast(g *Graph, opts Options) (Result, error) {
+	if err := checkGraph(g, opts.Source); err != nil {
+		return Result{}, err
+	}
+	limit := opts.RoundLimit
+	if limit == 0 {
+		limit = 1 << 24
+	}
+	d := graph.Eccentricity(g, opts.Source)
+	rounds, ok := harness.RunCR(g, d, opts.Seed, limit)
+	return Result{Rounds: rounds, Completed: ok}, nil
+}
+
+// GST is a constructed gathering spanning tree with per-node levels,
+// ranks, parents, and virtual distances.
+type GST struct {
+	// Tree is the underlying ranked BFS forest.
+	Tree *gst.Tree
+	// VirtualDistance[v] is v's distance in the virtual graph G'.
+	VirtualDistance []int32
+	// ConstructionRounds is 0 for centralized construction.
+	ConstructionRounds int64
+}
+
+// BuildGST constructs a GST centrally (known topology) and validates
+// it.
+func BuildGST(g *Graph, roots ...NodeID) (*GST, error) {
+	if len(roots) == 0 {
+		roots = []NodeID{0}
+	}
+	tree := gst.Construct(g, roots...)
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("radiocast: constructed GST invalid: %w", err)
+	}
+	return &GST{Tree: tree, VirtualDistance: gst.VirtualDistances(tree)}, nil
+}
+
+// BuildGSTDistributed runs the Theorem 2.1 distributed construction
+// (with Lemma 3.10 virtual distances) on the simulator and validates
+// the result. It works without collision detection (Decay layering).
+func BuildGSTDistributed(g *Graph, opts Options) (*GST, error) {
+	if err := checkGraph(g, opts.Source); err != nil {
+		return nil, err
+	}
+	d := graph.Eccentricity(g, opts.Source)
+	cfg := gstdist.DefaultConfig(g.N(), d, opts.scale(), gstdist.LayerDecay, true)
+	nw := radio.New(g, radio.Config{})
+	protos := make([]*gstdist.Protocol, g.N())
+	for v := 0; v < g.N(); v++ {
+		protos[v] = gstdist.New(cfg, NodeID(v), NodeID(v) == opts.Source, 0,
+			rng.New(opts.Seed, uint64(v)))
+		nw.SetProtocol(NodeID(v), protos[v])
+	}
+	nw.Run(cfg.TotalRounds())
+	tree := gst.NewTree(g, []NodeID{opts.Source})
+	vdist := make([]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		res := protos[v].Result()
+		tree.Level[v] = res.Level
+		tree.Parent[v] = res.Parent
+		tree.Rank[v] = res.Rank
+		vdist[v] = res.Vdist
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("radiocast: distributed GST invalid (raise Options.Scale): %w", err)
+	}
+	return &GST{Tree: tree, VirtualDistance: vdist, ConstructionRounds: cfg.TotalRounds()}, nil
+}
+
+// RandomMessages generates k reproducible l-bit payloads (for use with
+// the coded broadcasts in examples and tests).
+func RandomMessages(k, l int, seed uint64) []rlnc.Message {
+	r := rng.New(seed, 0x6d67)
+	msgs := make([]rlnc.Message, k)
+	for i := range msgs {
+		msgs[i] = bitvec.RandomVec(l, r.Uint64)
+	}
+	return msgs
+}
+
+// ScheduleInfo exposes the per-node MMV schedule inputs of a GST.
+func (t *GST) ScheduleInfo() []mmv.NodeInfo { return mmv.InfoFromTree(t.Tree) }
+
+func checkGraph(g *Graph, source NodeID) error {
+	if g == nil || g.N() == 0 {
+		return fmt.Errorf("radiocast: empty graph")
+	}
+	if int(source) >= g.N() || source < 0 {
+		return fmt.Errorf("radiocast: source %d out of range [0,%d)", source, g.N())
+	}
+	if !graph.IsConnected(g) {
+		return fmt.Errorf("radiocast: graph must be connected")
+	}
+	return nil
+}

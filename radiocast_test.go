@@ -1,0 +1,100 @@
+package radiocast
+
+import (
+	"testing"
+)
+
+func TestFacadeBroadcastKnownTopology(t *testing.T) {
+	g := NewGrid(6, 6)
+	res, err := BroadcastKnownTopology(g, Options{Seed: 1})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestFacadeBroadcastCD(t *testing.T) {
+	g := NewClusterChain(4, 4)
+	res, err := BroadcastCD(g, Options{Seed: 2})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestFacadeBroadcastK(t *testing.T) {
+	g := NewGrid(5, 5)
+	res, err := BroadcastK(g, 6, Options{Seed: 3})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if _, err := BroadcastK(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestFacadeBroadcastKCD(t *testing.T) {
+	g := NewGNP(30, 0.2, 5)
+	res, err := BroadcastKCD(g, 4, Options{Seed: 4})
+	if err != nil || !res.Completed {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g := NewPath(40)
+	d, err := DecayBroadcast(g, Options{Seed: 5})
+	if err != nil || !d.Completed {
+		t.Fatalf("decay: %+v %v", d, err)
+	}
+	c, err := CRBroadcast(g, Options{Seed: 5})
+	if err != nil || !c.Completed {
+		t.Fatalf("cr: %+v %v", c, err)
+	}
+}
+
+func TestFacadeBuildGST(t *testing.T) {
+	g := NewGrid(5, 7)
+	tree, err := BuildGST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.VirtualDistance) != g.N() {
+		t.Fatal("vdist missing")
+	}
+	if len(tree.ScheduleInfo()) != g.N() {
+		t.Fatal("schedule info missing")
+	}
+}
+
+func TestFacadeBuildGSTDistributed(t *testing.T) {
+	g := NewGNP(20, 0.25, 7)
+	tree, err := BuildGSTDistributed(g, Options{Seed: 6, Scale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.ConstructionRounds <= 0 {
+		t.Fatal("construction rounds not reported")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := BroadcastCD(nil, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := NewPath(5)
+	if _, err := BroadcastCD(g, Options{Source: 99}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestRandomMessagesReproducible(t *testing.T) {
+	a := RandomMessages(4, 16, 9)
+	b := RandomMessages(4, 16, 9)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("messages not reproducible")
+		}
+	}
+}
