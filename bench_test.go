@@ -14,6 +14,7 @@ package radiocast
 import (
 	"testing"
 
+	"radiocast/internal/exp"
 	"radiocast/internal/graph"
 	"radiocast/internal/harness"
 )
@@ -115,7 +116,6 @@ func BenchmarkE5_AssignmentShrinkage(b *testing.B) {
 func BenchmarkE7_MultiMessageKnown_Grid8x8(b *testing.B) {
 	g := graph.Grid(8, 8)
 	for _, k := range []int{4, 16} {
-		k := k
 		b.Run("k="+itoa(k), func(b *testing.B) {
 			reportRounds(b, func(seed uint64) (int64, bool) {
 				return harness.RunGSTMulti(g, k, seed, 1<<22)
@@ -204,6 +204,63 @@ func BenchmarkA3_RingWidth(b *testing.B) {
 		if len(tb.Rows) == 0 {
 			b.Fatal("no rows")
 		}
+	}
+}
+
+// Engine fast-path benchmarks: these isolate the simulator hot loop
+// (wake queue + CSR delivery pass) from protocol logic. Run with
+// -benchmem: the steady-state round loop must not allocate — the ring
+// wake buckets, reused pop buffer, and stamped hear/listen scratch
+// replaced the historical map+heap queue (which allocated a bucket
+// slice and a boxed heap key per round).
+
+// BenchmarkEngine_DenseRounds drives every node of a dense graph every
+// round (the worst case for the wake queue: n pushes and one bucket
+// drain per round).
+func BenchmarkEngine_DenseRounds_Grid32x32(b *testing.B) {
+	g := graph.Grid(32, 32)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		return harness.RunDecay(g, seed, 1<<22)
+	})
+}
+
+// BenchmarkEngine_SleepHeavy exercises the far-wake path: the MMV GST
+// schedule sleeps nodes across slot periods, so wake-ups hop both the
+// ring window and the far heap.
+func BenchmarkEngine_SleepHeavy_Path256(b *testing.B) {
+	g := graph.Path(256)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		return harness.RunGSTSingle(g, false, seed, 1<<22)
+	})
+}
+
+// BenchmarkEngine_Theorem13 is the allocation stress test: the full
+// Theorem 1.3 stack runs ~100k rounds with per-ring RLNC state. Before
+// the fast path this sat at ~791k allocs/op; after, ~33k.
+func BenchmarkEngine_Theorem13_Grid4x12(b *testing.B) {
+	g := graph.Grid(4, 12)
+	d := graph.Eccentricity(g, 0)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		rounds, ok, _ := harness.RunTheorem13(g, d, 8, 1, seed)
+		return rounds, ok
+	})
+}
+
+// BenchmarkRunner compares the experiment orchestrator at different
+// worker counts on one plan (E11 quick: 3 degrees × 200-trial cells).
+// On a multicore machine the parallel variants shrink wall time; the
+// assembled tables are identical by construction.
+func BenchmarkRunner(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			runner := &exp.Runner{Parallelism: workers}
+			for i := 0; i < b.N; i++ {
+				tb, _ := runner.RunTable(harness.E11Plan(1, true))
+				if len(tb.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
 	}
 }
 

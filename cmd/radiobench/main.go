@@ -3,20 +3,33 @@
 //
 // Usage:
 //
-//	radiobench [-seeds N] [-quick] [-format text|csv|markdown] [-only E1,E7]
+//	radiobench [-seeds N] [-quick] [-format text|csv|markdown]
+//	           [-only E1,E7] [-parallel] [-workers N]
+//	           [-timeout 30s] [-roundlimit N] [-json FILE]
 //
 // Each experiment reproduces one theorem/lemma of the paper as a
 // measured round-complexity table; see EXPERIMENTS.md for the mapping
 // and the expected shapes.
+//
+// Experiments are compiled to cell plans (internal/exp) and executed
+// by a worker-pool runner: -parallel fans the (configuration × seed)
+// cells of each experiment across GOMAXPROCS goroutines (-workers
+// overrides the count). Results merge in cell-key order, so the table
+// output on stdout is byte-identical to a sequential run; timing
+// diagnostics go to stderr. -timeout and -roundlimit bound each cell's
+// wall clock and simulated rounds. -json writes a machine-readable
+// bench artifact with per-cell rounds and wall times ("-" for stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"radiocast/internal/exp"
 	"radiocast/internal/harness"
 )
 
@@ -25,6 +38,11 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
 	format := flag.String("format", "text", "output format: text, csv, or markdown")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	parallel := flag.Bool("parallel", false, "fan experiment cells across GOMAXPROCS workers")
+	workers := flag.Int("workers", 0, "worker count; setting it implies -parallel (0 with -parallel = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-cell wall-clock guard (0 = none)")
+	roundLimit := flag.Int64("roundlimit", 0, "per-cell simulated-round cap (0 = experiment defaults)")
+	jsonPath := flag.String("json", "", "write a JSON bench artifact to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -34,26 +52,63 @@ func main() {
 		}
 	}
 
+	runner := &exp.Runner{Parallelism: 1, Timeout: *timeout, RoundLimit: *roundLimit}
+	if *parallel || *workers > 0 {
+		runner.Parallelism = *workers // 0 = GOMAXPROCS
+	}
+	resolved := runner.Parallelism
+	if resolved == 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	artifact := exp.NewArtifact(*seeds, *quick, resolved)
+
 	ran := 0
+	total := time.Duration(0)
 	for _, e := range harness.All() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
 		start := time.Now()
-		tb := e.Run(*seeds, *quick)
-		elapsed := time.Since(start).Round(time.Millisecond)
+		plan := e.Plan(*seeds, *quick)
+		tb, results := runner.RunTable(plan)
+		elapsed := time.Since(start)
+		total += elapsed
+		artifact.Add(plan, tb, results, elapsed)
 		switch *format {
 		case "csv":
 			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, tb.CSV())
 		case "markdown":
 			fmt.Printf("### %s: %s\n\n%s\n", e.ID, e.Title, tb.Markdown())
 		default:
-			fmt.Printf("%s\n[%s, %d seed(s), %v]\n\n", tb.String(), e.ID, *seeds, elapsed)
+			fmt.Printf("%s\n", tb.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s: %d cell(s), %d seed(s), %v]\n",
+			e.ID, len(plan.Cells), *seeds, elapsed.Round(time.Millisecond))
+		for _, r := range results {
+			if r.Err != "" {
+				fmt.Fprintf(os.Stderr, "[%s: cell %s failed: %s]\n", e.ID, r.Key, r.Err)
+			}
 		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
 		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[total: %d experiment(s) in %v]\n", ran, total.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		blob, err := artifact.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal artifact: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write artifact: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

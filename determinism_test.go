@@ -1,6 +1,12 @@
 package radiocast
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"radiocast/internal/exp"
+	"radiocast/internal/harness"
+)
 
 // Reproducibility is a core library contract: identical (graph,
 // options, seed) must give identical round counts for every protocol.
@@ -55,5 +61,48 @@ func TestSeedsChangeOutcomes(t *testing.T) {
 	}
 	if !different {
 		t.Fatal("seven seeds produced identical Decay round counts; randomness is suspect")
+	}
+}
+
+// TestParallelRunnerMatchesSequential pins the orchestration contract:
+// for every experiment, fanning cells across a worker pool must yield
+// the same table bytes and the same canonical JSON artifact as the
+// sequential run — output is ordered by cell key, never by completion
+// order.
+func TestParallelRunnerMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	// A fast, representative subset: protocol sweeps (E1), paired
+	// jamming cells (E9), batched micro-trials (E11), payload-carrying
+	// cells (E12), and a fixed-schedule ablation (A3).
+	ids := map[string]bool{"E1": true, "E9": true, "E11": true, "E12": true, "A3": true}
+	for _, e := range harness.All() {
+		if !ids[e.ID] {
+			continue
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			run := func(workers int) (string, []byte) {
+				plan := e.Plan(1, true)
+				runner := &exp.Runner{Parallelism: workers}
+				start := time.Now()
+				tb, results := runner.RunTable(plan)
+				a := exp.NewArtifact(1, true, 0) // fixed header: only cell content may differ
+				a.Add(plan, tb, results, time.Since(start))
+				blob, err := a.Canonical().JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tb.String(), blob
+			}
+			seqTable, seqJSON := run(1)
+			parTable, parJSON := run(8)
+			if seqTable != parTable {
+				t.Fatalf("tables diverge:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqTable, parTable)
+			}
+			if string(seqJSON) != string(parJSON) {
+				t.Fatalf("canonical artifacts diverge:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqJSON, parJSON)
+			}
+		})
 	}
 }

@@ -1,0 +1,3 @@
+module radiocast
+
+go 1.22

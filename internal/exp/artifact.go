@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"encoding/json"
+	"time"
+
+	"radiocast/internal/stats"
+)
+
+// CellRecord is the serialized form of one cell result: flat fields so
+// artifacts are trivially queryable (jq '.experiments[].cells[]').
+type CellRecord struct {
+	Experiment string  `json:"experiment"`
+	Config     string  `json:"config"`
+	Seed       uint64  `json:"seed"`
+	Rounds     int64   `json:"rounds"`
+	Completed  bool    `json:"completed"`
+	Value      float64 `json:"value,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	WallMicros int64   `json:"wall_us"`
+}
+
+// ExperimentRecord is one experiment's slice of a bench artifact: the
+// rendered table plus every per-cell measurement.
+type ExperimentRecord struct {
+	ID         string       `json:"id"`
+	Title      string       `json:"title"`
+	Header     []string     `json:"header,omitempty"`
+	Rows       [][]string   `json:"rows,omitempty"`
+	Cells      []CellRecord `json:"cells"`
+	WallMicros int64        `json:"wall_us"`
+}
+
+// Artifact is the machine-readable output of a bench sweep
+// (radiobench -json).
+type Artifact struct {
+	Module      string             `json:"module"`
+	Seeds       int                `json:"seeds"`
+	Quick       bool               `json:"quick"`
+	Parallelism int                `json:"parallelism"`
+	Experiments []ExperimentRecord `json:"experiments"`
+	WallMicros  int64              `json:"wall_us"`
+}
+
+// NewArtifact starts an artifact describing one sweep.
+func NewArtifact(seeds int, quick bool, parallelism int) *Artifact {
+	return &Artifact{Module: "radiocast", Seeds: seeds, Quick: quick, Parallelism: parallelism}
+}
+
+// Add appends one executed experiment: its plan, assembled table, raw
+// results, and total wall time.
+func (a *Artifact) Add(p *Plan, tb *stats.Table, results []Result, wall time.Duration) {
+	rec := ExperimentRecord{
+		ID:         p.ID,
+		Title:      p.Title,
+		WallMicros: wall.Microseconds(),
+		Cells:      make([]CellRecord, len(results)),
+	}
+	if tb != nil {
+		rec.Header = tb.Header
+		rec.Rows = tb.Rows
+	}
+	for i, r := range results {
+		rec.Cells[i] = CellRecord{
+			Experiment: r.Key.Experiment,
+			Config:     r.Key.Config,
+			Seed:       r.Key.Seed,
+			Rounds:     r.Rounds,
+			Completed:  r.Completed,
+			Value:      r.Value,
+			Error:      r.Err,
+			WallMicros: r.Wall.Microseconds(),
+		}
+	}
+	a.Experiments = append(a.Experiments, rec)
+	a.WallMicros += wall.Microseconds()
+}
+
+// JSON renders the artifact with stable field order and indentation.
+func (a *Artifact) JSON() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// Canonical returns a deep copy with every wall-clock field zeroed —
+// the byte-comparable form used by determinism tests (wall times are
+// the only nondeterministic artifact content).
+func (a *Artifact) Canonical() *Artifact {
+	c := *a
+	c.WallMicros = 0
+	c.Experiments = make([]ExperimentRecord, len(a.Experiments))
+	for i, e := range a.Experiments {
+		ce := e
+		ce.WallMicros = 0
+		ce.Cells = make([]CellRecord, len(e.Cells))
+		for j, cell := range e.Cells {
+			cell.WallMicros = 0
+			ce.Cells[j] = cell
+		}
+		c.Experiments[i] = ce
+	}
+	return &c
+}

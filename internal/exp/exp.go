@@ -1,0 +1,202 @@
+// Package exp is the experiment-orchestration subsystem: a declarative
+// cell model (experiment × configuration × seed), a worker-pool runner
+// that fans cells across CPUs with per-cell timeout/round-limit guards,
+// and machine-readable bench artifacts.
+//
+// A Cell is the atomic unit of measurement — one protocol run (or one
+// batch of micro-trials) under one configuration with one seed. A Plan
+// couples an ordered cell list with an Assemble function that folds the
+// per-cell results into a stats.Table. Because the runner stores each
+// result at its cell's index, the merged result slice — and therefore
+// the assembled table — is identical whether the cells ran on one
+// worker or sixteen: output is ordered by cell key, never by
+// completion order.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"radiocast/internal/stats"
+)
+
+// Key identifies one cell: which experiment, which configuration
+// within it, and which seed.
+type Key struct {
+	Experiment string `json:"experiment"`
+	Config     string `json:"config"`
+	Seed       uint64 `json:"seed"`
+}
+
+// String renders the key as "E1/chain=32/decay seed=2".
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s seed=%d", k.Experiment, k.Config, k.Seed)
+}
+
+// Result is the outcome of one cell.
+type Result struct {
+	Key Key `json:"key"`
+	// Rounds is the simulated round count (0 for cells that measure
+	// something other than a protocol run).
+	Rounds int64 `json:"rounds"`
+	// Completed reports protocol success within the round limit.
+	Completed bool `json:"completed"`
+	// Value is an experiment-specific scalar (success count, rate, ...).
+	Value float64 `json:"value,omitempty"`
+	// Err is set when the cell timed out or panicked.
+	Err string `json:"error,omitempty"`
+	// Wall is the cell's wall-clock execution time.
+	Wall time.Duration `json:"wall_ns"`
+	// Payload carries experiment-specific structured data to Assemble;
+	// it is not serialized into artifacts.
+	Payload any `json:"-"`
+}
+
+// Rounds is a convenience Result for plain protocol runs.
+func Rounds(rounds int64, completed bool) Result {
+	return Result{Rounds: rounds, Completed: completed}
+}
+
+// Value is a convenience Result for scalar measurements.
+func Value(v float64) Result {
+	return Result{Completed: true, Value: v}
+}
+
+// Cell is one schedulable unit of work.
+type Cell struct {
+	Key Key
+	// RoundLimit is the cell's default simulated-round cap, passed to
+	// Run (possibly lowered by Runner.RoundLimit). Zero means the
+	// experiment's own fixed budget applies.
+	RoundLimit int64
+	// Run executes the cell. It must be deterministic given the cell's
+	// construction (the runner may execute it on any worker) and must
+	// not mutate state shared with other cells.
+	Run func(roundLimit int64) Result
+}
+
+// Plan is an experiment compiled to cells plus a table assembler.
+type Plan struct {
+	ID    string
+	Title string
+	Cells []Cell
+	// Assemble folds the results (indexed exactly like Cells) into the
+	// rendered table. It runs on the caller's goroutine.
+	Assemble func(results []Result) *stats.Table
+}
+
+// Index maps results by key for order-independent lookup in Assemble.
+func Index(results []Result) map[Key]Result {
+	m := make(map[Key]Result, len(results))
+	for _, r := range results {
+		m[r.Key] = r
+	}
+	return m
+}
+
+// Runner executes plans. The zero value runs sequentially with no
+// guards.
+type Runner struct {
+	// Parallelism is the worker count: 1 (or less than 0) runs on the
+	// calling goroutine; 0 means GOMAXPROCS.
+	Parallelism int
+	// Timeout is the per-cell wall-clock guard; 0 disables it. A cell
+	// that exceeds it yields a Result with Err set (its goroutine is
+	// abandoned; protocol runs are round-limited, so they terminate).
+	Timeout time.Duration
+	// RoundLimit, when positive, lowers every cell's round cap.
+	RoundLimit int64
+}
+
+func (r *Runner) workers(cells int) int {
+	w := r.Parallelism
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every cell of the plan and returns results indexed
+// exactly like p.Cells, regardless of completion order.
+func (r *Runner) Run(p *Plan) []Result {
+	results := make([]Result, len(p.Cells))
+	w := r.workers(len(p.Cells))
+	if w == 1 {
+		for i := range p.Cells {
+			results[i] = r.runCell(&p.Cells[i])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = r.runCell(&p.Cells[i])
+			}
+		}()
+	}
+	for i := range p.Cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// RunTable executes the plan and assembles its table.
+func (r *Runner) RunTable(p *Plan) (*stats.Table, []Result) {
+	results := r.Run(p)
+	return p.Assemble(results), results
+}
+
+func (r *Runner) runCell(c *Cell) Result {
+	limit := c.RoundLimit
+	if r.RoundLimit > 0 && (limit == 0 || r.RoundLimit < limit) {
+		limit = r.RoundLimit
+	}
+	start := time.Now()
+	if r.Timeout <= 0 {
+		res := safeRun(c, limit)
+		res.Key = c.Key
+		res.Wall = time.Since(start)
+		return res
+	}
+	done := make(chan Result, 1)
+	go func() { done <- safeRun(c, limit) }()
+	timer := time.NewTimer(r.Timeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		res.Key = c.Key
+		res.Wall = time.Since(start)
+		return res
+	case <-timer.C:
+		return Result{
+			Key:  c.Key,
+			Err:  fmt.Sprintf("timeout after %v", r.Timeout),
+			Wall: time.Since(start),
+		}
+	}
+}
+
+// safeRun converts a cell panic into an error result so one bad cell
+// cannot take down a whole sweep.
+func safeRun(c *Cell, limit int64) (res Result) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = Result{Err: fmt.Sprintf("panic: %v", rec)}
+		}
+	}()
+	return c.Run(limit)
+}

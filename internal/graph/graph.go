@@ -44,6 +44,15 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 	return g.edges[g.offsets[v]:g.offsets[v+1]]
 }
 
+// CSR exposes the raw compressed-sparse-row arrays: offsets has length
+// N()+1 and edges[offsets[v]:offsets[v+1]] is the sorted adjacency
+// list of v. Both slices alias internal storage and must not be
+// modified; they let hot loops (the simulator's delivery pass) iterate
+// adjacency without per-node accessor calls.
+func (g *Graph) CSR() (offsets []int32, edges []NodeID) {
+	return g.offsets, g.edges
+}
+
 // HasEdge reports whether {u, v} is an edge, in O(log deg(u)).
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	adj := g.Neighbors(u)

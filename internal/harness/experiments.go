@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"radiocast/internal/assign"
+	"radiocast/internal/exp"
 	"radiocast/internal/graph"
 	"radiocast/internal/gst"
 	"radiocast/internal/gstdist"
@@ -14,135 +15,209 @@ import (
 	"radiocast/internal/stats"
 )
 
-// Experiment couples an id with a table generator. Seeds scales the
-// repetition count; Quick trims the sweep for bench/CI runs.
+// Experiment couples an id with a cell-plan compiler. Seeds scales the
+// repetition count; Quick trims the sweep for bench/CI runs. The plan
+// is executed by an exp.Runner (sequential or parallel — the assembled
+// table is identical either way).
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(seeds int, quick bool) *stats.Table
+	Plan  func(seeds int, quick bool) *exp.Plan
+}
+
+// Run compiles and executes the experiment on the calling goroutine —
+// the historical single-core path, used by tests and benchmarks.
+// cmd/radiobench drives plans through a shared exp.Runner instead.
+func (e Experiment) Run(seeds int, quick bool) *stats.Table {
+	return runPlan(e.Plan(seeds, quick))
+}
+
+func runPlan(p *exp.Plan) *stats.Table {
+	tb, _ := (&exp.Runner{Parallelism: 1}).RunTable(p)
+	return tb
 }
 
 // All returns every experiment in EXPERIMENTS.md order.
 func All() []Experiment {
 	return []Experiment{
-		{"E1", "Single-message broadcast: Decay vs CR vs GST (Thm 1.1 regime)", E1SingleMessage},
-		{"E2", "Additive diameter dependence (rounds vs D)", E2DiameterScaling},
-		{"E3", "Distributed GST construction (Thm 2.1)", E3GSTConstruction},
-		{"E4", "Recruiting protocol (Lemma 2.3)", E4Recruiting},
-		{"E5", "Assignment shrinkage per epoch budget (Lemma 2.4)", E5AssignmentShrinkage},
-		{"E7", "k-message broadcast, known topology (Thm 1.2)", E7MultiMessageKnown},
-		{"E8", "k-message broadcast, unknown topology + CD (Thm 1.3)", E8MultiMessageUnknown},
-		{"E9", "Decay is MMV (Lemma 3.2)", E9DecayMMV},
-		{"E10", "MMV GST schedule under noise (Lemma 3.3)", E10MMVGST},
-		{"E11", "Decay phase progress (Lemma 2.2)", E11DecayProgress},
-		{"E12", "RLNC infection and decoding (Def 3.8 / Prop 3.9)", E12RLNC},
-		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1VirtualDistance},
-		{"A2", "Ablation: RLNC vs store-and-forward routing", A2CodingVsRouting},
-		{"A3", "Ablation: ring width in Theorem 1.1", A3RingWidth},
+		{"E1", "Single-message broadcast: Decay vs CR vs GST (Thm 1.1 regime)", E1Plan},
+		{"E2", "Additive diameter dependence (rounds vs D)", E2Plan},
+		{"E3", "Distributed GST construction (Thm 2.1)", E3Plan},
+		{"E4", "Recruiting protocol (Lemma 2.3)", E4Plan},
+		{"E5", "Assignment shrinkage per epoch budget (Lemma 2.4)", E5Plan},
+		{"E7", "k-message broadcast, known topology (Thm 1.2)", E7Plan},
+		{"E8", "k-message broadcast, unknown topology + CD (Thm 1.3)", E8Plan},
+		{"E9", "Decay is MMV (Lemma 3.2)", E9Plan},
+		{"E10", "MMV GST schedule under noise (Lemma 3.3)", E10Plan},
+		{"E11", "Decay phase progress (Lemma 2.2)", E11Plan},
+		{"E12", "RLNC infection and decoding (Def 3.8 / Prop 3.9)", E12Plan},
+		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1Plan},
+		{"A2", "Ablation: RLNC vs store-and-forward routing", A2Plan},
+		{"A3", "Ablation: ring width in Theorem 1.1", A3Plan},
 	}
 }
 
 // clusterChain builds the headline workload: D ~ chain, Δ ~ clique.
 func clusterChain(chain int) *graph.Graph { return graph.ClusterChain(chain, 8) }
 
-// E1SingleMessage is the headline comparison. The "gst" column is the
+// broadcastLimit is the default per-run round cap for the open-ended
+// broadcast runners (the fixed-schedule protocols carry their own
+// budgets).
+const broadcastLimit = 1 << 22
+
+// singleCell compiles one baseline broadcast run (decay, cr, or gst)
+// into a cell. The graph is shared read-only across cells.
+func singleCell(id string, g *graph.Graph, d int, proto string, seed uint64, config string) exp.Cell {
+	return exp.Cell{
+		Key:        exp.Key{Experiment: id, Config: config, Seed: seed},
+		RoundLimit: broadcastLimit,
+		Run: func(limit int64) exp.Result {
+			switch proto {
+			case "decay":
+				return exp.Rounds(RunDecay(g, seed, limit))
+			case "cr":
+				return exp.Rounds(RunCR(g, d, seed, limit))
+			default: // "gst"
+				return exp.Rounds(RunGSTSingle(g, false, seed, limit))
+			}
+		},
+	}
+}
+
+// E1Plan is the headline comparison. The "gst" column is the
 // broadcast-phase cost with structure in place (the amortized regime
 // the paper motivates: CD replaces topology knowledge); th1.1 total
 // includes layering + distributed construction.
-func E1SingleMessage(seeds int, quick bool) *stats.Table {
+func E1Plan(seeds int, quick bool) *exp.Plan {
 	chains := []int{8, 16, 32, 64}
 	if quick {
 		chains = []int{8, 16}
 	}
-	t := &stats.Table{
-		Title:   "E1: single-message broadcast rounds (cluster chains, clique 8)",
-		Comment: "paper: Thm 1.1 O(D+polylog) beats O(D log(n/D)+log^2 n) baselines as D grows",
-		Header:  []string{"n", "D", "decay", "cr", "gst-bcast", "th11-total", "th11-build", "ok"},
+	protos := []string{"decay", "cr", "gst"}
+	p := &exp.Plan{ID: "E1", Title: "Single-message broadcast: Decay vs CR vs GST (Thm 1.1 regime)"}
+	type chainCase struct {
+		chain, d int
+		g        *graph.Graph
 	}
+	var cases []chainCase
 	for _, chain := range chains {
 		g := clusterChain(chain)
 		d := graph.Eccentricity(g, 0)
-		var decayR, crR, gstR []float64
-		okAll := true
-		var th11 Theorem11Result
-		for s := 0; s < seeds; s++ {
-			if r, ok := RunDecay(g, uint64(s), 1<<22); ok {
-				decayR = append(decayR, float64(r))
-			} else {
-				okAll = false
-			}
-			if r, ok := RunCR(g, d, uint64(s), 1<<22); ok {
-				crR = append(crR, float64(r))
-			} else {
-				okAll = false
-			}
-			if r, ok := RunGSTSingle(g, false, uint64(s), 1<<22); ok {
-				gstR = append(gstR, float64(r))
-			} else {
-				okAll = false
+		cases = append(cases, chainCase{chain, d, g})
+		for _, proto := range protos {
+			for s := 0; s < seeds; s++ {
+				p.Cells = append(p.Cells, singleCell("E1", g, d, proto, uint64(s),
+					fmt.Sprintf("chain=%d/%s", chain, proto)))
 			}
 		}
-		th11 = RunTheorem11(g, d, 1, 1)
-		okAll = okAll && th11.Completed
-		t.AddRow(
-			fmt.Sprint(g.N()), fmt.Sprint(d),
-			stats.F(stats.Summarize(decayR, 0, 0).Mean),
-			stats.F(stats.Summarize(crR, 0, 0).Mean),
-			stats.F(stats.Summarize(gstR, 0, 0).Mean),
-			fmt.Sprint(th11.Rounds),
-			fmt.Sprint(th11.BuildRounds),
-			fmt.Sprint(okAll),
-		)
+		p.Cells = append(p.Cells, exp.Cell{
+			Key: exp.Key{Experiment: "E1", Config: fmt.Sprintf("chain=%d/th11", chain), Seed: 1},
+			Run: func(int64) exp.Result {
+				res := RunTheorem11(g, d, 1, 1)
+				return exp.Result{Rounds: res.Rounds, Completed: res.Completed, Payload: res}
+			},
+		})
 	}
-	return t
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title:   "E1: single-message broadcast rounds (cluster chains, clique 8)",
+			Comment: "paper: Thm 1.1 O(D+polylog) beats O(D log(n/D)+log^2 n) baselines as D grows",
+			Header:  []string{"n", "D", "decay", "cr", "gst-bcast", "th11-total", "th11-build", "ok"},
+		}
+		for _, c := range cases {
+			okAll := true
+			means := map[string]float64{}
+			for _, proto := range protos {
+				var rs []float64
+				for s := 0; s < seeds; s++ {
+					r := idx[exp.Key{Experiment: "E1", Config: fmt.Sprintf("chain=%d/%s", c.chain, proto), Seed: uint64(s)}]
+					if r.Completed {
+						rs = append(rs, float64(r.Rounds))
+					} else {
+						okAll = false
+					}
+				}
+				means[proto] = stats.Summarize(rs, 0, 0).Mean
+			}
+			tr := idx[exp.Key{Experiment: "E1", Config: fmt.Sprintf("chain=%d/th11", c.chain), Seed: 1}]
+			th11, _ := tr.Payload.(Theorem11Result)
+			okAll = okAll && tr.Completed
+			t.AddRow(
+				fmt.Sprint(c.g.N()), fmt.Sprint(c.d),
+				stats.F(means["decay"]), stats.F(means["cr"]), stats.F(means["gst"]),
+				fmt.Sprint(th11.Rounds), fmt.Sprint(th11.BuildRounds), fmt.Sprint(okAll),
+			)
+		}
+		return t
+	}
+	return p
 }
 
-// E2DiameterScaling fits rounds against D for each protocol; the GST
-// broadcast must have a small constant slope (additive D), the
-// baselines a slope proportional to log.
-func E2DiameterScaling(seeds int, quick bool) *stats.Table {
+// E1SingleMessage runs E1 sequentially (compat wrapper).
+func E1SingleMessage(seeds int, quick bool) *stats.Table { return runPlan(E1Plan(seeds, quick)) }
+
+// E2Plan fits rounds against D for each protocol; the GST broadcast
+// must have a small constant slope (additive D), the baselines a slope
+// proportional to log.
+func E2Plan(seeds int, quick bool) *exp.Plan {
 	chains := []int{8, 16, 24, 32, 48, 64}
 	if quick {
 		chains = []int{8, 16, 24}
 	}
-	var ds, decayM, crM, gstM []float64
+	protos := []string{"decay", "cr", "gst"}
+	p := &exp.Plan{ID: "E2", Title: "Additive diameter dependence (rounds vs D)"}
+	ds := make(map[int]float64, len(chains))
 	for _, chain := range chains {
 		g := clusterChain(chain)
-		d := float64(graph.Eccentricity(g, 0))
-		var dr, cr2, gr []float64
-		for s := 0; s < seeds; s++ {
-			if r, ok := RunDecay(g, uint64(s), 1<<22); ok {
-				dr = append(dr, float64(r))
-			}
-			if r, ok := RunCR(g, int(d), uint64(s), 1<<22); ok {
-				cr2 = append(cr2, float64(r))
-			}
-			if r, ok := RunGSTSingle(g, false, uint64(s), 1<<22); ok {
-				gr = append(gr, float64(r))
+		d := graph.Eccentricity(g, 0)
+		ds[chain] = float64(d)
+		for _, proto := range protos {
+			for s := 0; s < seeds; s++ {
+				p.Cells = append(p.Cells, singleCell("E2", g, d, proto, uint64(s),
+					fmt.Sprintf("chain=%d/%s", chain, proto)))
 			}
 		}
-		ds = append(ds, d)
-		decayM = append(decayM, stats.Summarize(dr, 0, 0).Mean)
-		crM = append(crM, stats.Summarize(cr2, 0, 0).Mean)
-		gstM = append(gstM, stats.Summarize(gr, 0, 0).Mean)
 	}
-	fd := stats.LinearFit(ds, decayM)
-	fc := stats.LinearFit(ds, crM)
-	fg := stats.LinearFit(ds, gstM)
-	t := &stats.Table{
-		Title:   "E2: rounds-vs-D linear fits (cluster chains)",
-		Comment: "paper: GST broadcast slope is O(1) per layer; Decay/CR slopes carry a log factor",
-		Header:  []string{"protocol", "slope rounds/D", "intercept", "R2"},
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		means := map[string][]float64{}
+		var xs []float64
+		for _, chain := range chains {
+			xs = append(xs, ds[chain])
+			for _, proto := range protos {
+				var rs []float64
+				for s := 0; s < seeds; s++ {
+					r := idx[exp.Key{Experiment: "E2", Config: fmt.Sprintf("chain=%d/%s", chain, proto), Seed: uint64(s)}]
+					if r.Completed {
+						rs = append(rs, float64(r.Rounds))
+					}
+				}
+				means[proto] = append(means[proto], stats.Summarize(rs, 0, 0).Mean)
+			}
+		}
+		fd := stats.LinearFit(xs, means["decay"])
+		fc := stats.LinearFit(xs, means["cr"])
+		fg := stats.LinearFit(xs, means["gst"])
+		t := &stats.Table{
+			Title:   "E2: rounds-vs-D linear fits (cluster chains)",
+			Comment: "paper: GST broadcast slope is O(1) per layer; Decay/CR slopes carry a log factor",
+			Header:  []string{"protocol", "slope rounds/D", "intercept", "R2"},
+		}
+		t.AddRow("decay", stats.F(fd.Slope), stats.F(fd.Intercept), stats.F(fd.R2))
+		t.AddRow("cr", stats.F(fc.Slope), stats.F(fc.Intercept), stats.F(fc.R2))
+		t.AddRow("gst-bcast", stats.F(fg.Slope), stats.F(fg.Intercept), stats.F(fg.R2))
+		return t
 	}
-	t.AddRow("decay", stats.F(fd.Slope), stats.F(fd.Intercept), stats.F(fd.R2))
-	t.AddRow("cr", stats.F(fc.Slope), stats.F(fc.Intercept), stats.F(fc.R2))
-	t.AddRow("gst-bcast", stats.F(fg.Slope), stats.F(fg.Intercept), stats.F(fg.R2))
-	return t
+	return p
 }
 
-// E3GSTConstruction measures the distributed construction and
-// validates its output.
-func E3GSTConstruction(seeds int, quick bool) *stats.Table {
+// E2DiameterScaling runs E2 sequentially (compat wrapper).
+func E2DiameterScaling(seeds int, quick bool) *stats.Table { return runPlan(E2Plan(seeds, quick)) }
+
+// E3Plan measures the distributed construction and validates its
+// output.
+func E3Plan(seeds int, quick bool) *exp.Plan {
 	gs := []*graph.Graph{
 		graph.Grid(4, 8),
 		graph.GNP(48, 0.12, 3),
@@ -151,32 +226,59 @@ func E3GSTConstruction(seeds int, quick bool) *stats.Table {
 	if !quick {
 		gs = append(gs, graph.Grid(6, 10), graph.GNP(96, 0.07, 4))
 	}
-	t := &stats.Table{
-		Title: "E3: distributed GST construction (Thm 2.1)",
-		Comment: "rounds are the fixed O(D log^5 n) schedule (sequential boundaries); valid = Tree.Validate;\n" +
-			"c is the global Θ-constant — w.h.p. correctness needs c=2 at these sizes, exactly the constants-vs-\n" +
-			"failure-probability trade-off the paper's Θ(·) notation hides",
-		Header: []string{"graph", "n", "D", "c", "rounds", "rounds/(D+1)L^5", "valid"},
-	}
+	p := &exp.Plan{ID: "E3", Title: "Distributed GST construction (Thm 2.1)"}
 	for _, g := range gs {
 		d := graph.Eccentricity(g, 0)
 		for _, c := range []int{1, 2} {
 			cfg := gstdist.DefaultConfig(g.N(), d, c, gstdist.LayerCD, false)
-			valid := 0
 			for s := 0; s < seeds; s++ {
-				if runConstructionValid(g, cfg, uint64(s)) {
-					valid++
-				}
+				p.Cells = append(p.Cells, exp.Cell{
+					Key: exp.Key{Experiment: "E3", Config: fmt.Sprintf("graph=%s/c=%d", g.Name(), c), Seed: uint64(s)},
+					Run: func(int64) exp.Result {
+						valid := runConstructionValid(g, cfg, uint64(s))
+						res := exp.Result{Rounds: cfg.TotalRounds(), Completed: valid}
+						if valid {
+							res.Value = 1
+						}
+						return res
+					},
+				})
 			}
-			l := float64(sched.LogN(g.N()))
-			norm := float64(cfg.TotalRounds()) / (float64(d+1) * l * l * l * l * l)
-			t.AddRow(g.Name(), fmt.Sprint(g.N()), fmt.Sprint(d), fmt.Sprint(c),
-				fmt.Sprint(cfg.TotalRounds()), stats.F(norm),
-				fmt.Sprintf("%d/%d", valid, seeds))
 		}
 	}
-	return t
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title: "E3: distributed GST construction (Thm 2.1)",
+			Comment: "rounds are the fixed O(D log^5 n) schedule (sequential boundaries); valid = Tree.Validate;\n" +
+				"c is the global Θ-constant — w.h.p. correctness needs c=2 at these sizes, exactly the constants-vs-\n" +
+				"failure-probability trade-off the paper's Θ(·) notation hides",
+			Header: []string{"graph", "n", "D", "c", "rounds", "rounds/(D+1)L^5", "valid"},
+		}
+		for _, g := range gs {
+			d := graph.Eccentricity(g, 0)
+			for _, c := range []int{1, 2} {
+				cfg := gstdist.DefaultConfig(g.N(), d, c, gstdist.LayerCD, false)
+				valid := 0
+				for s := 0; s < seeds; s++ {
+					if idx[exp.Key{Experiment: "E3", Config: fmt.Sprintf("graph=%s/c=%d", g.Name(), c), Seed: uint64(s)}].Completed {
+						valid++
+					}
+				}
+				l := float64(sched.LogN(g.N()))
+				norm := float64(cfg.TotalRounds()) / (float64(d+1) * l * l * l * l * l)
+				t.AddRow(g.Name(), fmt.Sprint(g.N()), fmt.Sprint(d), fmt.Sprint(c),
+					fmt.Sprint(cfg.TotalRounds()), stats.F(norm),
+					fmt.Sprintf("%d/%d", valid, seeds))
+			}
+		}
+		return t
+	}
+	return p
 }
+
+// E3GSTConstruction runs E3 sequentially (compat wrapper).
+func E3GSTConstruction(seeds int, quick bool) *stats.Table { return runPlan(E3Plan(seeds, quick)) }
 
 func runConstructionValid(g *graph.Graph, cfg gstdist.Config, seed uint64) bool {
 	nw := radio.New(g, radio.Config{CollisionDetection: true})
@@ -196,32 +298,56 @@ func runConstructionValid(g *graph.Graph, cfg gstdist.Config, seed uint64) bool 
 	return tree.Validate() == nil
 }
 
-// E4Recruiting verifies Lemma 2.3's Θ(log^3 n) round budget.
-func E4Recruiting(seeds int, quick bool) *stats.Table {
+// E4Plan verifies Lemma 2.3's Θ(log^3 n) round budget.
+func E4Plan(seeds int, quick bool) *exp.Plan {
 	sizes := []int{16, 32, 64}
 	if !quick {
 		sizes = append(sizes, 128)
 	}
-	t := &stats.Table{
-		Title:   "E4: recruiting protocol (Lemma 2.3)",
-		Comment: "fixed Θ(log^3 n) schedule; success = properties (a),(b),(c) all hold",
-		Header:  []string{"nodes/side", "rounds", "rounds/log^3 n", "success"},
-	}
+	p := &exp.Plan{ID: "E4", Title: "Recruiting protocol (Lemma 2.3)"}
 	for _, half := range sizes {
 		params := recruit.DefaultParams(2*half, 2)
-		success := 0
 		for s := 0; s < seeds; s++ {
-			if recruitingRun(half, params, uint64(s)) {
-				success++
-			}
+			p.Cells = append(p.Cells, exp.Cell{
+				Key: exp.Key{Experiment: "E4", Config: fmt.Sprintf("half=%d", half), Seed: uint64(s)},
+				Run: func(int64) exp.Result {
+					ok := recruitingRun(half, params, uint64(s))
+					res := exp.Result{Rounds: params.Rounds(), Completed: ok}
+					if ok {
+						res.Value = 1
+					}
+					return res
+				},
+			})
 		}
-		l := float64(sched.LogN(2 * half))
-		t.AddRow(fmt.Sprint(half), fmt.Sprint(params.Rounds()),
-			stats.F(float64(params.Rounds())/(l*l*l)),
-			fmt.Sprintf("%d/%d", success, seeds))
 	}
-	return t
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title:   "E4: recruiting protocol (Lemma 2.3)",
+			Comment: "fixed Θ(log^3 n) schedule; success = properties (a),(b),(c) all hold",
+			Header:  []string{"nodes/side", "rounds", "rounds/log^3 n", "success"},
+		}
+		for _, half := range sizes {
+			params := recruit.DefaultParams(2*half, 2)
+			success := 0
+			for s := 0; s < seeds; s++ {
+				if idx[exp.Key{Experiment: "E4", Config: fmt.Sprintf("half=%d", half), Seed: uint64(s)}].Completed {
+					success++
+				}
+			}
+			l := float64(sched.LogN(2 * half))
+			t.AddRow(fmt.Sprint(half), fmt.Sprint(params.Rounds()),
+				stats.F(float64(params.Rounds())/(l*l*l)),
+				fmt.Sprintf("%d/%d", success, seeds))
+		}
+		return t
+	}
+	return p
 }
+
+// E4Recruiting runs E4 sequentially (compat wrapper).
+func E4Recruiting(seeds int, quick bool) *stats.Table { return runPlan(E4Plan(seeds, quick)) }
 
 func recruitingRun(half int, params recruit.Params, seed uint64) bool {
 	r := rng.New(seed, 0x41)
@@ -276,15 +402,18 @@ func recruitingRun(half int, params recruit.Params, seed uint64) bool {
 	return true
 }
 
-// E5AssignmentShrinkage varies the per-rank epoch budget and reports
-// the unassigned fraction — Lemma 2.4's geometric shrinkage means the
-// failure fraction collapses as epochs grow.
-func E5AssignmentShrinkage(seeds int, quick bool) *stats.Table {
-	budgets := []int{1, 2, 4, 8}
-	// Loner-free worst case: a complete bipartite boundary (every blue
-	// has many active reds), so only the brisk/lazy epoch machinery of
-	// Lemma 2.4 can make progress. Levels and ranks are synthetic:
-	// reds at level 0, blues at level 1, all blues rank 1.
+// shrinkageCase is the shared loner-free worst case of E5: a complete
+// bipartite boundary (every blue has many active reds), so only the
+// brisk/lazy epoch machinery of Lemma 2.4 can make progress. Levels
+// and ranks are synthetic: reds at level 0, blues at level 1, all
+// blues rank 1. All fields are read-only after construction.
+type shrinkageCase struct {
+	g    *graph.Graph
+	dist []int32
+	tree *gst.Tree
+}
+
+func newShrinkageCase() *shrinkageCase {
 	const nRed, nBlue = 6, 24
 	b := graph.NewBuilder(nRed + nBlue)
 	for v := 0; v < nRed; v++ {
@@ -301,25 +430,60 @@ func E5AssignmentShrinkage(seeds int, quick bool) *stats.Table {
 		}
 		tree.Rank[v] = 1
 	}
-	t := &stats.Table{
-		Title:   "E5: blues left unassigned vs epoch budget (Lemma 2.4)",
-		Comment: "loner-free complete-bipartite boundary; per-rank epochs = budget (not Θ(log n)); unassigned fraction must collapse",
-		Header:  []string{"epochs/rank", "unassigned frac", "runs"},
-	}
+	return &shrinkageCase{g: g, dist: dist, tree: tree}
+}
+
+// shrinkageCount carries one cell's (miss, total) pair to Assemble.
+type shrinkageCount struct{ miss, total int }
+
+// E5Plan varies the per-rank epoch budget and reports the unassigned
+// fraction — Lemma 2.4's geometric shrinkage means the failure
+// fraction collapses as epochs grow.
+func E5Plan(seeds int, quick bool) *exp.Plan {
+	budgets := []int{1, 2, 4, 8}
+	sc := newShrinkageCase()
 	repeats := 4 * seeds
+	p := &exp.Plan{ID: "E5", Title: "Assignment shrinkage per epoch budget (Lemma 2.4)"}
 	for _, budget := range budgets {
-		total, miss := 0, 0
 		for s := 0; s < repeats; s++ {
-			m, tot := assignmentMisses(g, dist, tree, budget, uint64(s))
-			miss += m
-			total += tot
+			p.Cells = append(p.Cells, exp.Cell{
+				Key: exp.Key{Experiment: "E5", Config: fmt.Sprintf("epochs=%d", budget), Seed: uint64(s)},
+				Run: func(int64) exp.Result {
+					miss, total := assignmentMisses(sc.g, sc.dist, sc.tree, budget, uint64(s))
+					return exp.Result{
+						Completed: true,
+						Value:     float64(miss) / float64(maxInt(total, 1)),
+						Payload:   shrinkageCount{miss, total},
+					}
+				},
+			})
 		}
-		frac := float64(miss) / float64(maxInt(total, 1))
-		t.AddRow(fmt.Sprint(budget), stats.F(frac), fmt.Sprint(repeats))
+	}
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title:   "E5: blues left unassigned vs epoch budget (Lemma 2.4)",
+			Comment: "loner-free complete-bipartite boundary; per-rank epochs = budget (not Θ(log n)); unassigned fraction must collapse",
+			Header:  []string{"epochs/rank", "unassigned frac", "runs"},
+		}
+		for _, budget := range budgets {
+			total, miss := 0, 0
+			for s := 0; s < repeats; s++ {
+				c, _ := idx[exp.Key{Experiment: "E5", Config: fmt.Sprintf("epochs=%d", budget), Seed: uint64(s)}].Payload.(shrinkageCount)
+				miss += c.miss
+				total += c.total
+			}
+			frac := float64(miss) / float64(maxInt(total, 1))
+			t.AddRow(fmt.Sprint(budget), stats.F(frac), fmt.Sprint(repeats))
+		}
+		return t
 	}
 	_ = quick
-	return t
+	return p
 }
+
+// E5AssignmentShrinkage runs E5 sequentially (compat wrapper).
+func E5AssignmentShrinkage(seeds int, quick bool) *stats.Table { return runPlan(E5Plan(seeds, quick)) }
 
 // assignmentMisses runs one boundary (levels 0/1 of g) with an exact
 // per-rank epoch budget and counts unassigned blues.

@@ -72,7 +72,7 @@ func TestTheorem11RunnerDecomposition(t *testing.T) {
 }
 
 func TestPlainStoreContent(t *testing.T) {
-	ps := &PlainStore{K: 2, Held: map[int32]int64{}, Rng: fakeIntn{}}
+	ps := NewPlainStore(2, fakeIntn{})
 	if ps.Done() || ps.Fresh() != nil {
 		t.Fatal("empty store should be idle")
 	}

@@ -207,39 +207,56 @@ type PlainPacket struct {
 func (PlainPacket) Bits() int { return 96 }
 
 // PlainStore is the store-and-forward content layer (no coding): when
-// prompted, the node sends a uniformly random message it holds.
+// prompted, the node sends a uniformly random message it holds. Held
+// messages live in an insertion-ordered slice — never a map — so the
+// random pick consumes the RNG deterministically (map iteration order
+// would make reruns diverge).
 type PlainStore struct {
-	K    int
-	Held map[int32]int64
-	Rng  interface{ Intn(int) int }
+	K   int
+	Rng interface{ Intn(int) int }
+
+	order   []int32
+	payload map[int32]int64
+}
+
+// NewPlainStore creates a store for k messages; source nodes call Put
+// to seed their initial inventory.
+func NewPlainStore(k int, rng interface{ Intn(int) int }) *PlainStore {
+	return &PlainStore{K: k, Rng: rng, payload: make(map[int32]int64)}
+}
+
+// Put records a message if it is new.
+func (ps *PlainStore) Put(index int32, payload int64) {
+	if ps.payload == nil {
+		ps.payload = make(map[int32]int64)
+	}
+	if _, ok := ps.payload[index]; ok {
+		return
+	}
+	ps.payload[index] = payload
+	ps.order = append(ps.order, index)
 }
 
 var _ mmv.Content = (*PlainStore)(nil)
 
 // Fresh implements mmv.Content.
 func (ps *PlainStore) Fresh() radio.Packet {
-	if len(ps.Held) == 0 {
+	if len(ps.order) == 0 {
 		return nil
 	}
-	pick := ps.Rng.Intn(len(ps.Held))
-	for idx, pay := range ps.Held {
-		if pick == 0 {
-			return PlainPacket{Index: idx, Payload: pay}
-		}
-		pick--
-	}
-	return nil
+	idx := ps.order[ps.Rng.Intn(len(ps.order))]
+	return PlainPacket{Index: idx, Payload: ps.payload[idx]}
 }
 
 // OnReceive implements mmv.Content.
 func (ps *PlainStore) OnReceive(pkt radio.Packet, _ radio.NodeID) {
 	if p, ok := pkt.(PlainPacket); ok {
-		ps.Held[p.Index] = p.Payload
+		ps.Put(p.Index, p.Payload)
 	}
 }
 
 // Done implements mmv.Content.
-func (ps *PlainStore) Done() bool { return len(ps.Held) == ps.K }
+func (ps *PlainStore) Done() bool { return len(ps.order) == ps.K }
 
 // RunGSTMultiRouting is the A2 baseline: k messages with plain
 // store-and-forward routing on the same schedule.
@@ -250,13 +267,12 @@ func RunGSTMultiRouting(g *graph.Graph, k int, seed uint64, limit int64) (int64,
 	nw := radio.New(g, radio.Config{})
 	contents := make([]*PlainStore, g.N())
 	for v := 0; v < g.N(); v++ {
-		held := map[int32]int64{}
+		contents[v] = NewPlainStore(k, rng.New(seed, 0x17, uint64(v)))
 		if v == 0 {
 			for i := 0; i < k; i++ {
-				held[int32(i)] = int64(1000 + i)
+				contents[v].Put(int32(i), int64(1000+i))
 			}
 		}
-		contents[v] = &PlainStore{K: k, Held: held, Rng: rng.New(seed, 0x17, uint64(v))}
 		nw.SetProtocol(graph.NodeID(v),
 			mmv.New(s, infos[v], contents[v], false, rng.New(seed, 0x18, uint64(v))))
 	}

@@ -18,7 +18,6 @@
 package radio
 
 import (
-	"container/heap"
 	"fmt"
 
 	"radiocast/internal/graph"
@@ -115,9 +114,11 @@ type Stats struct {
 
 // Network is a synchronous radio network simulation over a fixed graph.
 type Network struct {
-	g     *graph.Graph
-	cfg   Config
-	proto []Protocol
+	g       *graph.Graph
+	cfg     Config
+	proto   []Protocol
+	offsets []int32 // CSR aliases, hoisted out of the delivery loop
+	edges   []NodeID
 
 	round int64
 	wake  wakeQueue
@@ -138,10 +139,13 @@ type Network struct {
 // nil-protocol nodes are permanently silent and asleep.
 func New(g *graph.Graph, cfg Config) *Network {
 	n := g.N()
+	offsets, edges := g.CSR()
 	nw := &Network{
 		g:           g,
 		cfg:         cfg,
 		proto:       make([]Protocol, n),
+		offsets:     offsets,
+		edges:       edges,
 		listenStamp: make([]int64, n),
 		hearCount:   make([]int32, n),
 		hearStamp:   make([]int64, n),
@@ -223,11 +227,12 @@ func (nw *Network) step() {
 	if nw.cfg.Tracer != nil {
 		nw.cfg.Tracer.OnRound(r, nw.transmitter)
 	}
-	// Delivery: count transmitting neighbors of each awake listener.
+	// Delivery: count transmitting neighbors of each awake listener,
+	// iterating the CSR arrays directly.
 	nw.touched = nw.touched[:0]
 	for _, t := range nw.transmitter {
 		pkt := nw.hearPkt[t]
-		for _, u := range nw.g.Neighbors(t) {
+		for _, u := range nw.edges[nw.offsets[t]:nw.offsets[t+1]] {
 			if nw.listenStamp[u] != r {
 				continue // transmitting, sleeping, or protocol-less
 			}
@@ -318,53 +323,133 @@ func (nw *Network) RunUntil(limit int64, pred func() bool) (int64, bool) {
 	return nw.round, pred()
 }
 
-// wakeQueue schedules node wake-ups by round: a bucket map keyed by
-// round plus a min-heap of distinct round keys.
+// wakeWindow is the span of the near-future ring buckets; must be a
+// power of two. Wakes within wakeWindow rounds of the queue front are
+// stored in reusable ring slices (the overwhelmingly common case: a
+// node that acted in round r wakes at r+1), so the steady-state round
+// loop performs no map or heap operations and no allocations. Only
+// long sleeps (SleepUntil beyond the window) touch the far map.
+const wakeWindow = 64
+
+// wakeQueue schedules node wake-ups by round. Rounds below base have
+// already been popped; rounds in [base, base+wakeWindow) live in the
+// ring bucket round%wakeWindow; later rounds live in the far map,
+// fronted by a manual min-heap of distinct round keys (no interface
+// boxing, unlike container/heap).
 type wakeQueue struct {
-	buckets map[int64][]NodeID
-	keys    int64Heap
+	base    int64
+	ringLen int
+	ring    [wakeWindow][]NodeID
+	far     map[int64][]NodeID
+	farKeys []int64
+	out     []NodeID // reused popAt result buffer
 }
 
 func (q *wakeQueue) push(round int64, v NodeID) {
-	if q.buckets == nil {
-		q.buckets = make(map[int64][]NodeID)
+	if round < q.base {
+		// A protocol installed mid-run on the already-executed current
+		// round: it wakes at the queue front (the next executed round),
+		// matching the historical bucket-map behavior.
+		round = q.base
 	}
-	lst, ok := q.buckets[round]
+	if round < q.base+wakeWindow {
+		i := round & (wakeWindow - 1)
+		q.ring[i] = append(q.ring[i], v)
+		q.ringLen++
+		return
+	}
+	if q.far == nil {
+		q.far = make(map[int64][]NodeID)
+	}
+	lst, ok := q.far[round]
 	if !ok {
-		heap.Push(&q.keys, round)
+		q.farKeys = heapPushInt64(q.farKeys, round)
 	}
-	q.buckets[round] = append(lst, v)
+	q.far[round] = append(lst, v)
 }
 
 // popAt removes and returns all nodes scheduled to wake at or before r.
+// The returned slice is reused by the next popAt call. r must not
+// decrease across calls.
 func (q *wakeQueue) popAt(r int64) []NodeID {
-	var out []NodeID
-	for q.keys.Len() > 0 && q.keys[0] <= r {
-		key := heap.Pop(&q.keys).(int64)
-		out = append(out, q.buckets[key]...)
-		delete(q.buckets, key)
+	out := q.out[:0]
+	for q.base <= r && q.ringLen > 0 {
+		i := q.base & (wakeWindow - 1)
+		if b := q.ring[i]; len(b) > 0 {
+			out = append(out, b...)
+			q.ringLen -= len(b)
+			q.ring[i] = b[:0]
+		}
+		q.base++
 	}
+	if q.base <= r {
+		q.base = r + 1 // ring empty: skip the idle gap in O(1)
+	}
+	for len(q.farKeys) > 0 && q.farKeys[0] <= r {
+		var key int64
+		q.farKeys, key = heapPopInt64(q.farKeys)
+		out = append(out, q.far[key]...)
+		delete(q.far, key)
+	}
+	q.out = out
 	return out
 }
 
 // nextWake returns the earliest scheduled wake round.
 func (q *wakeQueue) nextWake() (int64, bool) {
-	if q.keys.Len() == 0 {
-		return 0, false
+	if q.ringLen > 0 {
+		for d := int64(0); d < wakeWindow; d++ {
+			if len(q.ring[(q.base+d)&(wakeWindow-1)]) > 0 {
+				ringMin := q.base + d
+				if len(q.farKeys) > 0 && q.farKeys[0] < ringMin {
+					return q.farKeys[0], true
+				}
+				return ringMin, true
+			}
+		}
 	}
-	return q.keys[0], true
+	if len(q.farKeys) > 0 {
+		return q.farKeys[0], true
+	}
+	return 0, false
 }
 
-type int64Heap []int64
+// heapPushInt64 appends x to the min-heap h and restores heap order.
+func heapPushInt64(h []int64, x int64) []int64 {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
 
-func (h int64Heap) Len() int            { return len(h) }
-func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *int64Heap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// heapPopInt64 removes and returns the minimum of the min-heap h.
+func heapPopInt64(h []int64) ([]int64, int64) {
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l] < h[small] {
+			small = l
+		}
+		if r < n && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h, min
 }
