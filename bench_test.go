@@ -172,6 +172,48 @@ func BenchmarkE12_RLNC(b *testing.B) {
 	}
 }
 
+// E13: loss-rate robustness sweep (adversarial channel subsystem).
+func BenchmarkE13_LossSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E13LossSweep(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// E14: jammer-budget robustness sweep.
+func BenchmarkE14_JammerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E14JammerSweep(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// E15: unreliable-CD robustness sweep.
+func BenchmarkE15_NoisyCDSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E15NoisyCDSweep(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkEngine_LossyChannel measures the adversarial delivery path
+// (per-link erasure) against the nil-channel fast path on the same
+// workload — the adverse path allocates only in the channel's keyed
+// draws, never per round.
+func BenchmarkEngine_LossyChannel_Decay(b *testing.B) {
+	g := graph.ClusterChain(16, 8)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		rounds, ok, _ := harness.RunDecayOn(g, ErasureChannel(0.1, seed), seed, 1<<22)
+		return rounds, ok
+	})
+}
+
 // A1: slow-slot keying ablation.
 func BenchmarkA1_VirtualDistanceAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {

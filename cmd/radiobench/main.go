@@ -4,12 +4,13 @@
 // Usage:
 //
 //	radiobench [-seeds N] [-quick] [-format text|csv|markdown]
-//	           [-only E1,E7] [-parallel] [-workers N]
-//	           [-timeout 30s] [-roundlimit N] [-json FILE]
+//	           [-only E1,E7] [-experiments E13,E14,E15] [-parallel]
+//	           [-workers N] [-timeout 30s] [-roundlimit N] [-json FILE]
 //
 // Each experiment reproduces one theorem/lemma of the paper as a
-// measured round-complexity table; see EXPERIMENTS.md for the mapping
-// and the expected shapes.
+// measured round-complexity table — plus the E13-E15 robustness sweeps
+// over the adversarial channels of internal/channel; see
+// EXPERIMENTS.md for the mapping and the expected shapes.
 //
 // Experiments are compiled to cell plans (internal/exp) and executed
 // by a worker-pool runner: -parallel fans the (configuration × seed)
@@ -38,6 +39,7 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
 	format := flag.String("format", "text", "output format: text, csv, or markdown")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	experiments := flag.String("experiments", "", "alias for -only")
 	parallel := flag.Bool("parallel", false, "fan experiment cells across GOMAXPROCS workers")
 	workers := flag.Int("workers", 0, "worker count; setting it implies -parallel (0 with -parallel = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock guard (0 = none)")
@@ -45,6 +47,9 @@ func main() {
 	jsonPath := flag.String("json", "", "write a JSON bench artifact to this file (\"-\" = stdout)")
 	flag.Parse()
 
+	if *only == "" {
+		*only = *experiments
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {

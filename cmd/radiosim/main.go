@@ -5,10 +5,21 @@
 //
 //	radiosim -graph clusterchain -n 256 -protocol cd -seed 1
 //	radiosim -graph grid -n 64 -protocol k-known -k 8
+//	radiosim -protocol decay -loss 0.2            # 20% per-link loss
+//	radiosim -protocol cd -cdnoise 0.1            # 10% missed ⊤
+//	radiosim -protocol decay -jam 500 -jamadaptive
 //
 // Protocols: decay, cr, gst (known-topology single message),
 // cd (Theorem 1.1), k-known (Theorem 1.2), k-cd (Theorem 1.3).
 // Graphs: path, grid, clusterchain, udg, gnp, star.
+//
+// Channel adversity: -loss, -jam, -cdnoise/-cdspurious, and -faults
+// each enable one model of internal/channel when nonzero; the active
+// models are stacked. -channel ideal forces the ideal channel
+// regardless. Exit codes: 0 on a completed broadcast, 3 when the
+// broadcast fails to complete within its round budget, 1 on invalid
+// graph/protocol/channel arguments, 2 on malformed flags (the flag
+// package's own exit).
 package main
 
 import (
@@ -16,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"radiocast"
 	"radiocast/internal/graph"
@@ -50,12 +62,72 @@ func buildGraph(kind string, n int, seed uint64) (*radiocast.Graph, error) {
 	}
 }
 
+// channelFlags holds the adversity configuration parsed from flags.
+type channelFlags struct {
+	mode        string
+	loss        float64
+	jam         int64
+	jamAdaptive bool
+	cdNoise     float64
+	cdSpurious  float64
+	faults      float64
+}
+
+// build assembles the channel stack (nil = ideal). Each model is
+// enabled by its nonzero flag; -channel ideal disables everything.
+func (cf channelFlags) build(n int, seed uint64) (radiocast.Channel, []string, error) {
+	if cf.mode == "ideal" {
+		return nil, nil, nil
+	}
+	if cf.mode != "auto" {
+		return nil, nil, fmt.Errorf("unknown -channel mode %q (want auto or ideal)", cf.mode)
+	}
+	var models []radiocast.Channel
+	var names []string
+	if cf.loss > 0 {
+		models = append(models, radiocast.ErasureChannel(cf.loss, seed^0x10c5))
+		names = append(names, fmt.Sprintf("loss=%g", cf.loss))
+	}
+	if cf.jam != 0 {
+		models = append(models, radiocast.JammerChannel(cf.jam, 0.5, cf.jamAdaptive, seed^0x4a77))
+		policy := "oblivious"
+		if cf.jamAdaptive {
+			policy = "adaptive"
+		}
+		names = append(names, fmt.Sprintf("jam=%d(%s)", cf.jam, policy))
+	}
+	if cf.cdNoise > 0 || cf.cdSpurious > 0 {
+		models = append(models, radiocast.NoisyCDChannel(cf.cdNoise, cf.cdSpurious, seed^0xcd01))
+		names = append(names, fmt.Sprintf("cdnoise=%g/%g", cf.cdNoise, cf.cdSpurious))
+	}
+	if cf.faults > 0 {
+		models = append(models, radiocast.FaultChannel(n, 0, cf.faults, 256, cf.faults/2, 1<<20, seed^0xfa07))
+		names = append(names, fmt.Sprintf("faults=%g", cf.faults))
+	}
+	switch len(models) {
+	case 0:
+		return nil, nil, nil
+	case 1:
+		return models[0], names, nil
+	default:
+		return radiocast.StackChannels(models...), names, nil
+	}
+}
+
 func main() {
 	kind := flag.String("graph", "clusterchain", "workload: path, grid, clusterchain, udg, gnp, star")
 	n := flag.Int("n", 128, "approximate node count")
 	protocol := flag.String("protocol", "cd", "protocol: decay, cr, gst, cd, k-known, k-cd")
 	k := flag.Int("k", 8, "message count for k-message protocols")
 	seed := flag.Uint64("seed", 1, "run seed")
+	var cf channelFlags
+	flag.StringVar(&cf.mode, "channel", "auto", "channel adversity: auto (models enabled by their flags) or ideal")
+	flag.Float64Var(&cf.loss, "loss", 0, "per-link, per-round packet erasure probability")
+	flag.Int64Var(&cf.jam, "jam", 0, "jammer round budget (negative = unlimited)")
+	flag.BoolVar(&cf.jamAdaptive, "jamadaptive", false, "jammer targets busiest slots instead of random rounds")
+	flag.Float64Var(&cf.cdNoise, "cdnoise", 0, "probability a true collision symbol is missed")
+	flag.Float64Var(&cf.cdSpurious, "cdspurious", 0, "probability silence is observed as a spurious collision symbol")
+	flag.Float64Var(&cf.faults, "faults", 0, "per-node late-wakeup probability (crash probability is half of it)")
 	flag.Parse()
 
 	g, err := buildGraph(*kind, *n, *seed)
@@ -63,11 +135,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	ch, chNames, err := cf.build(g.N(), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	d := graph.Eccentricity(g, 0)
 	fmt.Printf("workload %s: n=%d m=%d ecc(source)=%d maxdeg=%d\n",
 		g.Name(), g.N(), g.M(), d, g.MaxDegree())
+	if len(chNames) > 0 {
+		fmt.Printf("channel: %s\n", strings.Join(chNames, " + "))
+	}
 
-	opts := radiocast.Options{Seed: *seed}
+	opts := radiocast.Options{Seed: *seed, Channel: ch}
 	var res radiocast.Result
 	switch *protocol {
 	case "decay":
@@ -94,4 +174,10 @@ func main() {
 		status = "INCOMPLETE (round limit)"
 	}
 	fmt.Printf("%s: %s in %d rounds\n", *protocol, status, res.Rounds)
+	if res.Dropped > 0 || res.Jammed > 0 {
+		fmt.Printf("adversity: %d deliveries dropped, %d observations jammed\n", res.Dropped, res.Jammed)
+	}
+	if !res.Completed {
+		os.Exit(3)
+	}
 }

@@ -42,6 +42,51 @@ func TestDeterminismAcrossProtocols(t *testing.T) {
 	}
 }
 
+// Channel adversity must preserve the reproducibility contract:
+// identical (graph, channel parameters, seed) give identical rounds
+// and identical Dropped/Jammed counters, and a nonzero adversity
+// leaves its fingerprint in the counters.
+func TestChannelDeterminism(t *testing.T) {
+	g := NewClusterChain(6, 6)
+	runs := []struct {
+		name string
+		fn   func() (Result, error)
+	}{
+		{"decay-loss", func() (Result, error) {
+			return DecayBroadcast(g, Options{Seed: 5, Channel: ErasureChannel(0.2, 11)})
+		}},
+		{"cr-jam", func() (Result, error) {
+			return CRBroadcast(g, Options{Seed: 5, Channel: JammerChannel(64, 0.5, false, 12)})
+		}},
+		{"cd-noisycd", func() (Result, error) {
+			return BroadcastCD(g, Options{Seed: 5, Channel: NoisyCDChannel(0.05, 0.001, 13)})
+		}},
+		{"gst-stack", func() (Result, error) {
+			return BroadcastKnownTopology(g, Options{Seed: 5, Channel: StackChannels(
+				ErasureChannel(0.1, 14), JammerChannel(32, 0.25, true, 15))})
+		}},
+	}
+	for _, r := range runs {
+		r := r
+		t.Run(r.name, func(t *testing.T) {
+			a, err := r.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := r.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("nondeterministic under adversity:\n%+v\n%+v", a, b)
+			}
+			if a.Dropped == 0 && a.Jammed == 0 {
+				t.Fatalf("adversarial channel left no fingerprint: %+v", a)
+			}
+		})
+	}
+}
+
 func TestSeedsChangeOutcomes(t *testing.T) {
 	g := NewGNP(60, 0.1, 4)
 	a, err := DecayBroadcast(g, Options{Seed: 1})
@@ -75,8 +120,13 @@ func TestParallelRunnerMatchesSequential(t *testing.T) {
 	}
 	// A fast, representative subset: protocol sweeps (E1), paired
 	// jamming cells (E9), batched micro-trials (E11), payload-carrying
-	// cells (E12), and a fixed-schedule ablation (A3).
-	ids := map[string]bool{"E1": true, "E9": true, "E11": true, "E12": true, "A3": true}
+	// cells (E12), a fixed-schedule ablation (A3), and the three
+	// adversarial-channel robustness sweeps (E13-E15) whose cells carry
+	// the Dropped/Jammed counters into the canonical artifact.
+	ids := map[string]bool{
+		"E1": true, "E9": true, "E11": true, "E12": true, "A3": true,
+		"E13": true, "E14": true, "E15": true,
+	}
 	for _, e := range harness.All() {
 		if !ids[e.ID] {
 			continue

@@ -1,0 +1,311 @@
+// Package channel provides pluggable channel-adversity models for the
+// radio engine: per-link packet erasure, unreliable collision
+// detection, budgeted jammers, and per-node radio faults. A model
+// implements radio.Channel and is installed via radio.Config.Channel
+// (nil = the ideal channel of the paper's Section 1.1 model).
+//
+// Every probabilistic draw is a keyed SplitMix64 mix of
+// (model seed, round, node/link), so a run remains fully determined by
+// (graph, parameters, seed) regardless of hook evaluation order, and
+// stacked models never perturb each other's streams. Models may carry
+// mutable per-run state (jammer budgets), so construct a fresh
+// instance per run.
+package channel
+
+import (
+	"radiocast/internal/radio"
+	"radiocast/internal/rng"
+)
+
+// chance reports a deterministic Bernoulli(p) draw keyed by the given
+// values: the top 53 bits of the mix are compared against p.
+func chance(p float64, keys ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(rng.Mix(keys...)>>11)/(1<<53) < p
+}
+
+// linkKey packs a directed link into one mix key. NodeIDs are
+// non-negative and well below 2^32.
+func linkKey(from, to radio.NodeID) uint64 {
+	return uint64(from)<<32 | uint64(to)
+}
+
+// Nop is an embeddable no-op Channel: every hook passes through.
+// Models embed it and override only the hooks they perturb.
+type Nop struct{}
+
+var _ radio.Channel = Nop{}
+
+// RoundStart implements radio.Channel.
+func (Nop) RoundStart(int64, []radio.NodeID) {}
+
+// SuppressTransmit implements radio.Channel.
+func (Nop) SuppressTransmit(int64, radio.NodeID) bool { return false }
+
+// DropLink implements radio.Channel.
+func (Nop) DropLink(int64, radio.NodeID, radio.NodeID) bool { return false }
+
+// Observe implements radio.Channel.
+func (Nop) Observe(_ int64, _ radio.NodeID, _ int, out radio.Outcome, ok bool) (radio.Outcome, bool) {
+	return out, ok
+}
+
+// Erasure is the probabilistic packet-loss model: each (link, round)
+// delivery is erased independently with probability P. Erasure can
+// both starve a listener (its only transmitter dropped) and rescue one
+// (a two-transmitter collision thinned to a clean reception), exactly
+// like physical fading.
+type Erasure struct {
+	Nop
+	// P is the per-link, per-round erasure probability.
+	P    float64
+	seed uint64
+}
+
+// NewErasure returns an erasure channel with loss probability p.
+func NewErasure(p float64, seed uint64) *Erasure {
+	return &Erasure{P: p, seed: seed}
+}
+
+// DropLink implements radio.Channel.
+func (e *Erasure) DropLink(r int64, from, to radio.NodeID) bool {
+	return chance(e.P, e.seed, 0xe7a5, uint64(r), linkKey(from, to))
+}
+
+// NoisyCD models unreliable collision detection: a true collision
+// symbol is missed — downgraded to silence — with probability Miss,
+// and a silent reception is upgraded to a spurious ⊤ with probability
+// Spurious, independently per (listener, round). Single-transmitter
+// deliveries are untouched, so the model only matters to protocols
+// that consume the ⊤ symbol: on a network without CD the engine
+// sanitizes the spurious symbol back to silence and the model is a
+// no-op.
+type NoisyCD struct {
+	Nop
+	// Miss is the probability a true ⊤ is observed as silence.
+	Miss float64
+	// Spurious is the probability silence is observed as ⊤.
+	Spurious float64
+	seed     uint64
+}
+
+// NewNoisyCD returns an unreliable-CD channel.
+func NewNoisyCD(miss, spurious float64, seed uint64) *NoisyCD {
+	return &NoisyCD{Miss: miss, Spurious: spurious, seed: seed}
+}
+
+// Observe implements radio.Channel.
+func (c *NoisyCD) Observe(r int64, to radio.NodeID, _ int, out radio.Outcome, ok bool) (radio.Outcome, bool) {
+	switch {
+	case ok && out.Collision:
+		if chance(c.Miss, c.seed, 0x6d15, uint64(r), uint64(to)) {
+			return radio.Outcome{}, false
+		}
+	case !ok:
+		if chance(c.Spurious, c.seed, 0x59c4, uint64(r), uint64(to)) {
+			return radio.Outcome{Collision: true}, true
+		}
+	}
+	return out, ok
+}
+
+// Jammer is a budgeted wide-band jammer: in a jammed round every
+// listener's reception is destroyed — observed as ⊤ on a CD network,
+// silence otherwise (the engine sanitizes the symbol). Two targeting
+// policies share the budget accounting:
+//
+//   - oblivious (Adaptive=false): jam each round independently with
+//     probability Rate, blind to the traffic;
+//   - adaptive busiest-slot (Adaptive=true): snoop the transmitter set
+//     in RoundStart and jam exactly the rounds with at least
+//     MinTransmitters transmitters — budget is spent only where it
+//     destroys real traffic.
+//
+// Each jammed round costs one unit of Budget; once spent, the jammer
+// falls silent. A negative Budget is unlimited.
+type Jammer struct {
+	Nop
+	// Budget is the total number of rounds the jammer may jam
+	// (negative = unlimited).
+	Budget int64
+	// Rate is the oblivious per-round jam probability.
+	Rate float64
+	// Adaptive switches to the busiest-slot policy.
+	Adaptive bool
+	// MinTransmitters is the adaptive trigger threshold (minimum 1).
+	MinTransmitters int
+
+	seed    uint64
+	spent   int64
+	jamming bool
+}
+
+// NewJammer returns an oblivious jammer: jam each round with
+// probability rate until budget rounds are spent.
+func NewJammer(budget int64, rate float64, seed uint64) *Jammer {
+	return &Jammer{Budget: budget, Rate: rate, seed: seed}
+}
+
+// NewAdaptiveJammer returns a busiest-slot jammer: jam every round
+// with at least minTransmitters transmitters until budget rounds are
+// spent.
+func NewAdaptiveJammer(budget int64, minTransmitters int, seed uint64) *Jammer {
+	return &Jammer{Budget: budget, Adaptive: true, MinTransmitters: minTransmitters, seed: seed}
+}
+
+// RoundStart implements radio.Channel.
+func (j *Jammer) RoundStart(r int64, transmitters []radio.NodeID) {
+	j.jamming = false
+	if j.Budget >= 0 && j.spent >= j.Budget {
+		return
+	}
+	if j.Adaptive {
+		min := j.MinTransmitters
+		if min < 1 {
+			min = 1
+		}
+		j.jamming = len(transmitters) >= min
+	} else {
+		j.jamming = chance(j.Rate, j.seed, 0x4a6d, uint64(r))
+	}
+	if j.jamming {
+		j.spent++
+	}
+}
+
+// Observe implements radio.Channel.
+func (j *Jammer) Observe(_ int64, _ radio.NodeID, _ int, out radio.Outcome, ok bool) (radio.Outcome, bool) {
+	if j.jamming {
+		return radio.Outcome{Collision: true}, true
+	}
+	return out, ok
+}
+
+// Spent reports how many rounds the jammer has jammed so far.
+func (j *Jammer) Spent() int64 { return j.spent }
+
+// Faults models per-node radio faults: a node's radio may start dead
+// until a wake round (late wakeup) and die permanently at a crash
+// round. A dead radio neither transmits nor hears; the protocol still
+// runs (and is still polled) — only its channel access is cut, so
+// round accounting and determinism are unaffected.
+//
+// Real packets to a dead radio are erased at the link level, so that
+// guarantee holds in any Stack order; but a later observation-
+// injecting model (NoisyCD spurious ⊤, Jammer) can still overwrite
+// the silence Faults returns from Observe. Place Faults last in a
+// Stack to keep dead radios fully deaf.
+type Faults struct {
+	Nop
+	wakeAt  []int64 // radio dead before this round (0 = from the start)
+	crashAt []int64 // radio dead at and after this round (-1 = never)
+}
+
+// NewFaults returns a fault table for n nodes with every radio
+// healthy; program it with SetWake/SetCrash.
+func NewFaults(n int) *Faults {
+	f := &Faults{wakeAt: make([]int64, n), crashAt: make([]int64, n)}
+	for v := range f.crashAt {
+		f.crashAt[v] = -1
+	}
+	return f
+}
+
+// SetWake makes v's radio dead before round r (late wakeup).
+func (f *Faults) SetWake(v radio.NodeID, r int64) { f.wakeAt[v] = r }
+
+// SetCrash makes v's radio dead at and after round r.
+func (f *Faults) SetCrash(v radio.NodeID, r int64) { f.crashAt[v] = r }
+
+// RandomFaults derives a fault table from a seed: every node except
+// the protected source independently wakes late (uniform in
+// [1, maxDelay]) with probability lateFrac and crashes (uniform in
+// [1, horizon]) with probability crashFrac.
+func RandomFaults(n int, source radio.NodeID, lateFrac float64, maxDelay int64, crashFrac float64, horizon int64, seed uint64) *Faults {
+	f := NewFaults(n)
+	for v := 0; v < n; v++ {
+		if radio.NodeID(v) == source {
+			continue
+		}
+		if maxDelay > 0 && chance(lateFrac, seed, 0x1a7e, uint64(v)) {
+			f.wakeAt[v] = 1 + int64(rng.Mix(seed, 0xd31a, uint64(v))%uint64(maxDelay))
+		}
+		if horizon > 0 && chance(crashFrac, seed, 0xc0a5, uint64(v)) {
+			f.crashAt[v] = 1 + int64(rng.Mix(seed, 0xc0a6, uint64(v))%uint64(horizon))
+		}
+	}
+	return f
+}
+
+func (f *Faults) dead(r int64, v radio.NodeID) bool {
+	return r < f.wakeAt[v] || (f.crashAt[v] >= 0 && r >= f.crashAt[v])
+}
+
+// SuppressTransmit implements radio.Channel.
+func (f *Faults) SuppressTransmit(r int64, v radio.NodeID) bool { return f.dead(r, v) }
+
+// DropLink implements radio.Channel: a dead receiver's inbound links
+// are erased, so no real packet reaches it regardless of how Observe
+// hooks compose.
+func (f *Faults) DropLink(r int64, _, to radio.NodeID) bool { return f.dead(r, to) }
+
+// Observe implements radio.Channel.
+func (f *Faults) Observe(r int64, to radio.NodeID, _ int, out radio.Outcome, ok bool) (radio.Outcome, bool) {
+	if f.dead(r, to) {
+		return radio.Outcome{}, false
+	}
+	return out, ok
+}
+
+// Stack composes models into one channel: suppression and link loss
+// OR together, and the tentative observation flows through every
+// model's Observe in order, so later models see (and may re-perturb)
+// earlier models' output — an erasure-thinned reception can still be
+// jammed, a jammer's ⊤ can still be missed by noisy CD. Order
+// matters for exactly that reason: a model that silences a listener
+// (Faults) should come after models that inject observations
+// (Jammer, NoisyCD's spurious ⊤), or the injection resurrects the
+// silenced listener.
+type Stack []radio.Channel
+
+var _ radio.Channel = Stack(nil)
+
+// RoundStart implements radio.Channel.
+func (s Stack) RoundStart(r int64, transmitters []radio.NodeID) {
+	for _, m := range s {
+		m.RoundStart(r, transmitters)
+	}
+}
+
+// SuppressTransmit implements radio.Channel.
+func (s Stack) SuppressTransmit(r int64, v radio.NodeID) bool {
+	for _, m := range s {
+		if m.SuppressTransmit(r, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// DropLink implements radio.Channel.
+func (s Stack) DropLink(r int64, from, to radio.NodeID) bool {
+	for _, m := range s {
+		if m.DropLink(r, from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Observe implements radio.Channel.
+func (s Stack) Observe(r int64, to radio.NodeID, count int, out radio.Outcome, ok bool) (radio.Outcome, bool) {
+	for _, m := range s {
+		out, ok = m.Observe(r, to, count, out, ok)
+	}
+	return out, ok
+}

@@ -1,0 +1,246 @@
+package channel
+
+import (
+	"testing"
+
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+	"radiocast/internal/rng"
+)
+
+// randomNet builds a network of non-adaptive random actors (their
+// actions depend only on their own RNG stream, never on observations),
+// so the transmission schedule is identical under every channel.
+func randomNet(g *graph.Graph, cd bool, ch radio.Channel, seed uint64) *radio.Network {
+	nw := radio.New(g, radio.Config{CollisionDetection: cd, Channel: ch})
+	for v := 0; v < g.N(); v++ {
+		r := rng.New(seed, uint64(v))
+		nw.SetProtocol(graph.NodeID(v), &radio.FuncProtocol{ActFunc: func(round int64) radio.Action {
+			if r.Intn(4) == 0 {
+				return radio.Transmit(radio.RawPacket{Value: round})
+			}
+			return radio.Listen
+		}})
+	}
+	return nw
+}
+
+// A pass-through channel must reproduce the ideal path exactly: same
+// deliveries, collisions, transmissions, and zero adversity counters.
+func TestNopChannelMatchesIdeal(t *testing.T) {
+	g := graph.GNP(40, 0.12, 3)
+	for _, cd := range []bool{false, true} {
+		ideal := randomNet(g, cd, nil, 7)
+		ideal.Run(200)
+		nop := randomNet(g, cd, Nop{}, 7)
+		nop.Run(200)
+		a, b := ideal.Stats(), nop.Stats()
+		if a != b {
+			t.Fatalf("cd=%v: Nop channel diverged from ideal:\nideal %+v\nnop   %+v", cd, a, b)
+		}
+		if b.Dropped != 0 || b.Jammed != 0 {
+			t.Fatalf("cd=%v: Nop channel counted adversity: %+v", cd, b)
+		}
+	}
+}
+
+func TestErasureExtremes(t *testing.T) {
+	g := graph.Grid(5, 5)
+	full := randomNet(g, true, NewErasure(1, 9), 5)
+	full.Run(100)
+	st := full.Stats()
+	if st.Deliveries != 0 || st.CollisionObs != 0 {
+		t.Fatalf("p=1 erasure delivered: %+v", st)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("p=1 erasure dropped nothing")
+	}
+	none := randomNet(g, true, NewErasure(0, 9), 5)
+	none.Run(100)
+	ideal := randomNet(g, true, nil, 5)
+	ideal.Run(100)
+	if none.Stats() != ideal.Stats() {
+		t.Fatalf("p=0 erasure diverged from ideal:\n%+v\n%+v", ideal.Stats(), none.Stats())
+	}
+}
+
+func TestErasureDeterminism(t *testing.T) {
+	g := graph.GNP(30, 0.15, 2)
+	run := func() radio.Stats {
+		nw := randomNet(g, true, NewErasure(0.3, 11), 4)
+		nw.Run(300)
+		return nw.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("erasure nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// Path 0-1-2 with both ends transmitting every round: the middle
+// observes ⊤ with CD. Miss=1 must silence every collision; Spurious=1
+// must turn every silent listener-round into ⊤ (and be sanitized to
+// silence without CD).
+func TestNoisyCDMissAndSpurious(t *testing.T) {
+	g := graph.Path(3)
+	bothEndsTx := func(nw *radio.Network) *radio.Silent {
+		tx := func(int64) radio.Action { return radio.Transmit(radio.RawPacket{}) }
+		nw.SetProtocol(0, &radio.FuncProtocol{ActFunc: tx})
+		nw.SetProtocol(2, &radio.FuncProtocol{ActFunc: tx})
+		mid := &radio.Silent{}
+		nw.SetProtocol(1, mid)
+		return mid
+	}
+
+	nw := radio.New(g, radio.Config{CollisionDetection: true, Channel: NewNoisyCD(1, 0, 1)})
+	mid := bothEndsTx(nw)
+	nw.Run(50)
+	if mid.Collisions != 0 {
+		t.Fatalf("miss=1 still delivered %d collisions", mid.Collisions)
+	}
+	if st := nw.Stats(); st.Jammed != 50 {
+		t.Fatalf("miss=1 jammed = %d, want 50", st.Jammed)
+	}
+
+	// Spurious ⊤: everyone silent, one listener; every round becomes ⊤.
+	nw2 := radio.New(g, radio.Config{CollisionDetection: true, Channel: NewNoisyCD(0, 1, 1)})
+	probe := &radio.Silent{}
+	nw2.SetProtocol(0, probe)
+	nw2.SetProtocol(1, &radio.Silent{})
+	nw2.SetProtocol(2, &radio.Silent{})
+	nw2.Run(20)
+	if probe.Collisions != 20 || probe.Packets != 0 {
+		t.Fatalf("spurious=1 with CD: %+v", probe)
+	}
+
+	// Without CD the spurious symbol is sanitized to silence.
+	nw3 := radio.New(g, radio.Config{Channel: NewNoisyCD(0, 1, 1)})
+	probe3 := &radio.Silent{}
+	nw3.SetProtocol(0, probe3)
+	nw3.SetProtocol(1, &radio.Silent{})
+	nw3.SetProtocol(2, &radio.Silent{})
+	nw3.Run(20)
+	if probe3.Collisions != 0 || probe3.Packets != 0 {
+		t.Fatalf("spurious ⊤ leaked through a no-CD network: %+v", probe3)
+	}
+}
+
+// An adaptive jammer with budget B destroys exactly the first B active
+// rounds, then falls silent and lets traffic through.
+func TestAdaptiveJammerBudget(t *testing.T) {
+	g := graph.Path(2)
+	j := NewAdaptiveJammer(10, 1, 3)
+	nw := radio.New(g, radio.Config{CollisionDetection: true, Channel: j})
+	nw.SetProtocol(0, &radio.FuncProtocol{ActFunc: func(int64) radio.Action {
+		return radio.Transmit(radio.RawPacket{})
+	}})
+	probe := &radio.Silent{}
+	nw.SetProtocol(1, probe)
+	nw.Run(50)
+	if j.Spent() != 10 {
+		t.Fatalf("spent = %d, want 10", j.Spent())
+	}
+	if probe.Collisions != 10 || probe.Packets != 40 {
+		t.Fatalf("probe: collisions=%d packets=%d, want 10,40", probe.Collisions, probe.Packets)
+	}
+	if st := nw.Stats(); st.Jammed != 10 {
+		t.Fatalf("jammed = %d, want 10", st.Jammed)
+	}
+}
+
+// An oblivious jammer never exceeds its budget and keys its rounds off
+// the seed, not the traffic.
+func TestObliviousJammerBudget(t *testing.T) {
+	g := graph.Path(2)
+	j := NewJammer(5, 1, 4) // rate 1: jams the first 5 rounds
+	nw := radio.New(g, radio.Config{CollisionDetection: true, Channel: j})
+	nw.SetProtocol(0, &radio.FuncProtocol{ActFunc: func(int64) radio.Action {
+		return radio.Transmit(radio.RawPacket{})
+	}})
+	probe := &radio.Silent{}
+	nw.SetProtocol(1, probe)
+	nw.Run(30)
+	if j.Spent() != 5 || probe.Collisions != 5 || probe.Packets != 25 {
+		t.Fatalf("spent=%d probe=%+v", j.Spent(), probe)
+	}
+}
+
+// A crashed radio stops transmitting and hearing; a late-wakeup radio
+// misses everything before its wake round.
+func TestFaults(t *testing.T) {
+	g := graph.Path(2)
+	f := NewFaults(2)
+	f.SetCrash(0, 10) // transmitter dies at round 10
+	f.SetWake(1, 5)   // listener's radio off before round 5
+	nw := radio.New(g, radio.Config{Channel: f})
+	nw.SetProtocol(0, &radio.FuncProtocol{ActFunc: func(int64) radio.Action {
+		return radio.Transmit(radio.RawPacket{})
+	}})
+	probe := &radio.Silent{}
+	nw.SetProtocol(1, probe)
+	nw.Run(30)
+	// Rounds 0-4: listener dead (inbound links erased). Rounds 5-9:
+	// delivered. Round 10+: transmitter dead (suppressed at source).
+	if probe.Packets != 5 {
+		t.Fatalf("packets = %d, want 5", probe.Packets)
+	}
+	st := nw.Stats()
+	if st.Dropped != 25 { // 5 dead-receiver links + 20 suppressed transmissions
+		t.Fatalf("dropped = %d, want 25", st.Dropped)
+	}
+	if st.Jammed != 0 { // link-level erasure means silence was already tentative
+		t.Fatalf("jammed = %d, want 0", st.Jammed)
+	}
+}
+
+// Stacked models compose: loss thins a collision into a reception, the
+// jammer destroys it anyway.
+func TestStackComposes(t *testing.T) {
+	g := graph.Grid(4, 4)
+	run := func() radio.Stats {
+		ch := Stack{NewErasure(0.2, 21), NewAdaptiveJammer(15, 2, 22), NewNoisyCD(0.3, 0.05, 23)}
+		nw := randomNet(g, true, ch, 6)
+		nw.Run(200)
+		return nw.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("stack nondeterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Dropped == 0 || a.Jammed == 0 {
+		t.Fatalf("stack produced no adversity: %+v", a)
+	}
+}
+
+func TestRandomFaultsProtectsSource(t *testing.T) {
+	f := RandomFaults(50, 7, 0.5, 100, 0.5, 1000, 3)
+	if f.wakeAt[7] != 0 || f.crashAt[7] != -1 {
+		t.Fatalf("source faulted: wake=%d crash=%d", f.wakeAt[7], f.crashAt[7])
+	}
+	faulted := 0
+	for v := 0; v < 50; v++ {
+		if f.wakeAt[v] != 0 || f.crashAt[v] != -1 {
+			faulted++
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("no node faulted at 50% rates")
+	}
+}
+
+func TestChanceBounds(t *testing.T) {
+	if chance(0, 1, 2) {
+		t.Fatal("p=0 fired")
+	}
+	if !chance(1, 1, 2) {
+		t.Fatal("p=1 did not fire")
+	}
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if chance(0.3, 42, uint64(i)) {
+			hits++
+		}
+	}
+	if hits < 2700 || hits > 3300 {
+		t.Fatalf("p=0.3 hit rate %d/10000", hits)
+	}
+}

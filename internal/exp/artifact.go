@@ -16,6 +16,8 @@ type CellRecord struct {
 	Rounds     int64   `json:"rounds"`
 	Completed  bool    `json:"completed"`
 	Value      float64 `json:"value,omitempty"`
+	Dropped    int64   `json:"dropped,omitempty"`
+	Jammed     int64   `json:"jammed,omitempty"`
 	Error      string  `json:"error,omitempty"`
 	WallMicros int64   `json:"wall_us"`
 }
@@ -68,6 +70,8 @@ func (a *Artifact) Add(p *Plan, tb *stats.Table, results []Result, wall time.Dur
 			Rounds:     r.Rounds,
 			Completed:  r.Completed,
 			Value:      r.Value,
+			Dropped:    r.Dropped,
+			Jammed:     r.Jammed,
 			Error:      r.Err,
 			WallMicros: r.Wall.Microseconds(),
 		}

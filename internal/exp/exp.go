@@ -45,6 +45,11 @@ type Result struct {
 	Completed bool `json:"completed"`
 	// Value is an experiment-specific scalar (success count, rate, ...).
 	Value float64 `json:"value,omitempty"`
+	// Dropped and Jammed are the channel-adversity counters of the run
+	// (zero on the ideal channel): deliveries erased by the channel and
+	// observations whose class the channel changed.
+	Dropped int64 `json:"dropped,omitempty"`
+	Jammed  int64 `json:"jammed,omitempty"`
 	// Err is set when the cell timed out or panicked.
 	Err string `json:"error,omitempty"`
 	// Wall is the cell's wall-clock execution time.
@@ -62,6 +67,11 @@ func Rounds(rounds int64, completed bool) Result {
 // Value is a convenience Result for scalar measurements.
 func Value(v float64) Result {
 	return Result{Completed: true, Value: v}
+}
+
+// RoundsOn is Rounds plus the channel-adversity counters of the run.
+func RoundsOn(rounds int64, completed bool, dropped, jammed int64) Result {
+	return Result{Rounds: rounds, Completed: completed, Dropped: dropped, Jammed: jammed}
 }
 
 // Cell is one schedulable unit of work.

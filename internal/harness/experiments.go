@@ -51,6 +51,9 @@ func All() []Experiment {
 		{"E10", "MMV GST schedule under noise (Lemma 3.3)", E10Plan},
 		{"E11", "Decay phase progress (Lemma 2.2)", E11Plan},
 		{"E12", "RLNC infection and decoding (Def 3.8 / Prop 3.9)", E12Plan},
+		{"E13", "Robustness: loss-rate sweep (Decay vs CR vs Thm 1.1 vs Thm 1.3)", E13Plan},
+		{"E14", "Robustness: jammer-budget sweep (oblivious vs adaptive)", E14Plan},
+		{"E15", "Robustness: unreliable collision detection sweep", E15Plan},
 		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1Plan},
 		{"A2", "Ablation: RLNC vs store-and-forward routing", A2Plan},
 		{"A3", "Ablation: ring width in Theorem 1.1", A3Plan},

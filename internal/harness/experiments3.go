@@ -1,0 +1,306 @@
+package harness
+
+// Robustness experiments E13-E15: the paper's protocols on the
+// adversarial channels of internal/channel. The fixed-schedule theorem
+// stacks (Thm 1.1/1.3) trade retries for round-optimal pipelines, so
+// channel adversity is exactly where they should break before the
+// retry-forever baselines do — these sweeps measure where.
+
+import (
+	"fmt"
+	"math"
+
+	"radiocast/internal/channel"
+	"radiocast/internal/exp"
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+	"radiocast/internal/rng"
+	"radiocast/internal/stats"
+)
+
+// robustnessChain is the shared E13/E15 workload: moderate diameter,
+// dense cliques — the regime where the CD machinery matters and runs
+// stay fast enough for a per-loss-rate sweep.
+func robustnessChain() *graph.Graph { return graph.ClusterChain(6, 6) }
+
+// meanOrDash renders the mean of xs, or "-" when nothing completed.
+func meanOrDash(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return stats.Summarize(xs, 0, 0).Mean
+}
+
+// e13Protocols orders the protocol columns of E13.
+var e13Protocols = []string{"decay", "cr", "th11", "th13"}
+
+// E13Plan sweeps a per-link erasure rate under all four broadcast
+// stacks. Expected shape: Decay and CR retry forever, so they stay
+// complete with a slowdown growing in 1/(1-p)-ish fashion; the fixed
+// round budgets of Theorems 1.1/1.3 absorb small loss inside their
+// Θ(·) slack, then fall off a completion cliff.
+func E13Plan(seeds int, quick bool) *exp.Plan {
+	losses := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	if quick {
+		losses = []float64{0, 0.1, 0.3}
+	}
+	g := robustnessChain()
+	d := graph.Eccentricity(g, 0)
+	const k = 4
+	p := &exp.Plan{ID: "E13", Title: "Robustness: loss-rate sweep (Decay vs CR vs Thm 1.1 vs Thm 1.3)"}
+	for _, loss := range losses {
+		for _, proto := range e13Protocols {
+			for s := 0; s < seeds; s++ {
+				loss, proto, seed := loss, proto, uint64(s)
+				p.Cells = append(p.Cells, exp.Cell{
+					Key:        exp.Key{Experiment: "E13", Config: fmt.Sprintf("loss=%g/%s", loss, proto), Seed: seed},
+					RoundLimit: broadcastLimit,
+					Run: func(limit int64) exp.Result {
+						ch := lossChannel(loss, seed)
+						switch proto {
+						case "decay":
+							r, ok, st := RunDecayOn(g, ch, seed, limit)
+							return exp.RoundsOn(r, ok, st.Dropped, st.Jammed)
+						case "cr":
+							r, ok, st := RunCROn(g, d, ch, seed, limit)
+							return exp.RoundsOn(r, ok, st.Dropped, st.Jammed)
+						case "th11":
+							res := RunTheorem11On(g, d, 1, ch, seed)
+							return exp.RoundsOn(res.Rounds, res.Completed, res.Stats.Dropped, res.Stats.Jammed)
+						default: // "th13"
+							r, ok, _, st := RunTheorem13On(g, d, k, 1, ch, seed)
+							return exp.RoundsOn(r, ok, st.Dropped, st.Jammed)
+						}
+					},
+				})
+			}
+		}
+	}
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title: "E13: broadcast under per-link packet loss (clusterchain-6x6)",
+			Comment: "mean rounds over completed seeds; slowdown vs loss=0; retry-forever baselines degrade gracefully,\n" +
+				"the fixed-budget theorem stacks (th11/th13) fall off a completion cliff",
+			Header: []string{"loss", "protocol", "rounds", "slowdown", "dropped", "ok"},
+		}
+		base := map[string]float64{}
+		for _, loss := range losses {
+			for _, proto := range e13Protocols {
+				var rs, dr []float64
+				okCount := 0
+				for s := 0; s < seeds; s++ {
+					r := idx[exp.Key{Experiment: "E13", Config: fmt.Sprintf("loss=%g/%s", loss, proto), Seed: uint64(s)}]
+					dr = append(dr, float64(r.Dropped))
+					if r.Completed {
+						okCount++
+						rs = append(rs, float64(r.Rounds))
+					}
+				}
+				mean := meanOrDash(rs)
+				if loss == 0 {
+					base[proto] = mean
+				}
+				t.AddRow(stats.F(loss), proto, stats.F(mean), stats.F(mean/base[proto]),
+					stats.F(meanOrDash(dr)), fmt.Sprintf("%d/%d", okCount, seeds))
+			}
+		}
+		return t
+	}
+	return p
+}
+
+// lossChannel returns a fresh per-run erasure channel; loss 0 is the
+// ideal channel (nil), anchoring the sweep's baseline to the
+// fast-path engine.
+func lossChannel(loss float64, seed uint64) radio.Channel {
+	if loss == 0 {
+		return nil
+	}
+	return channel.NewErasure(loss, rng.Mix(seed, 0xe13))
+}
+
+// E13LossSweep runs E13 sequentially (compat wrapper).
+func E13LossSweep(seeds int, quick bool) *stats.Table { return runPlan(E13Plan(seeds, quick)) }
+
+// e14Variants orders the jammer policies of E14.
+var e14Variants = []string{"oblivious", "adaptive"}
+
+// E14Plan sweeps a jammer's round budget under both targeting
+// policies. Expected shape: Decay absorbs any finite budget (it
+// retries past the jam; completion time ≈ budget + base for the
+// adaptive jammer, which wastes nothing on idle slots), while
+// Theorem 1.1's one-shot schedule loses its wave/build phases to the
+// jam and cannot recover within its budget.
+func E14Plan(seeds int, quick bool) *exp.Plan {
+	budgets := []int64{0, 64, 256, 1024}
+	if quick {
+		budgets = []int64{0, 256}
+	}
+	g := graph.Grid(8, 8)
+	d := graph.Eccentricity(g, 0)
+	protos := []string{"decay", "th11"}
+	p := &exp.Plan{ID: "E14", Title: "Robustness: jammer-budget sweep (oblivious vs adaptive)"}
+	for _, budget := range budgets {
+		for _, variant := range e14Variants {
+			for _, proto := range protos {
+				for s := 0; s < seeds; s++ {
+					budget, variant, proto, seed := budget, variant, proto, uint64(s)
+					p.Cells = append(p.Cells, exp.Cell{
+						Key:        exp.Key{Experiment: "E14", Config: fmt.Sprintf("jam=%d/%s/%s", budget, variant, proto), Seed: seed},
+						RoundLimit: broadcastLimit,
+						Run: func(limit int64) exp.Result {
+							ch := jamChannel(budget, variant == "adaptive", seed)
+							if proto == "decay" {
+								r, ok, st := RunDecayOn(g, ch, seed, limit)
+								return exp.RoundsOn(r, ok, st.Dropped, st.Jammed)
+							}
+							res := RunTheorem11On(g, d, 1, ch, seed)
+							return exp.RoundsOn(res.Rounds, res.Completed, res.Stats.Dropped, res.Stats.Jammed)
+						},
+					})
+				}
+			}
+		}
+	}
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title: "E14: broadcast under a budgeted jammer (grid-8x8)",
+			Comment: "oblivious jams each round w.p. 1/2 until the budget is spent; adaptive jams every slot with\n" +
+				"traffic (busiest-slot policy) — Decay retries past any finite budget, Thm 1.1's one-shot schedule cannot",
+			Header: []string{"budget", "policy", "decay rounds", "decay ok", "th11 rounds", "th11 ok", "jammed obs"},
+		}
+		for _, budget := range budgets {
+			for _, variant := range e14Variants {
+				cell := func(proto string) ([]float64, int, float64) {
+					var rs []float64
+					okCount := 0
+					jam := 0.0
+					for s := 0; s < seeds; s++ {
+						r := idx[exp.Key{Experiment: "E14", Config: fmt.Sprintf("jam=%d/%s/%s", budget, variant, proto), Seed: uint64(s)}]
+						jam += float64(r.Jammed)
+						if r.Completed {
+							okCount++
+							rs = append(rs, float64(r.Rounds))
+						}
+					}
+					return rs, okCount, jam / float64(seeds)
+				}
+				dr, dok, djam := cell("decay")
+				tr, tok, tjam := cell("th11")
+				t.AddRow(fmt.Sprint(budget), variant,
+					stats.F(meanOrDash(dr)), fmt.Sprintf("%d/%d", dok, seeds),
+					stats.F(meanOrDash(tr)), fmt.Sprintf("%d/%d", tok, seeds),
+					stats.F(djam+tjam))
+			}
+		}
+		return t
+	}
+	return p
+}
+
+// jamChannel returns a fresh per-run jammer; budget 0 is the ideal
+// channel (nil).
+func jamChannel(budget int64, adaptive bool, seed uint64) radio.Channel {
+	if budget == 0 {
+		return nil
+	}
+	if adaptive {
+		return channel.NewAdaptiveJammer(budget, 1, rng.Mix(seed, 0xe14))
+	}
+	return channel.NewJammer(budget, 0.5, rng.Mix(seed, 0xe14))
+}
+
+// E14JammerSweep runs E14 sequentially (compat wrapper).
+func E14JammerSweep(seeds int, quick bool) *stats.Table { return runPlan(E14Plan(seeds, quick)) }
+
+// E15Plan sweeps unreliable collision detection — the most
+// paper-relevant adversity: Theorem 1.1's collision-wave layering *is*
+// the CD signal, so missed ⊤ (a node joins the wave late) and spurious
+// ⊤ (a node joins early) both corrupt the BFS layering the whole stack
+// is built on. Decay never consumes the ⊤ symbol, so it rides the same
+// noisy channel untouched — the control column demonstrating that the
+// breakage is CD-specific, not channel overhead.
+func E15Plan(seeds int, quick bool) *exp.Plan {
+	qs := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	if quick {
+		qs = []float64{0, 0.1, 0.4}
+	}
+	g := robustnessChain()
+	d := graph.Eccentricity(g, 0)
+	variants := []string{"decay", "th11miss", "th11spur"}
+	p := &exp.Plan{ID: "E15", Title: "Robustness: unreliable collision detection sweep"}
+	for _, q := range qs {
+		for _, variant := range variants {
+			for s := 0; s < seeds; s++ {
+				q, variant, seed := q, variant, uint64(s)
+				p.Cells = append(p.Cells, exp.Cell{
+					Key:        exp.Key{Experiment: "E15", Config: fmt.Sprintf("q=%g/%s", q, variant), Seed: seed},
+					RoundLimit: broadcastLimit,
+					Run: func(limit int64) exp.Result {
+						switch variant {
+						case "decay":
+							// Same noisy channel; Decay never reads ⊤, so this
+							// column must match q=0 exactly.
+							r, ok, st := RunDecayOn(g, cdChannel(q, q, seed), seed, limit)
+							return exp.RoundsOn(r, ok, st.Dropped, st.Jammed)
+						case "th11miss":
+							res := RunTheorem11On(g, d, 1, cdChannel(q, 0, seed), seed)
+							return exp.RoundsOn(res.Rounds, res.Completed, res.Stats.Dropped, res.Stats.Jammed)
+						default: // "th11spur"
+							res := RunTheorem11On(g, d, 1, cdChannel(0, q, seed), seed)
+							return exp.RoundsOn(res.Rounds, res.Completed, res.Stats.Dropped, res.Stats.Jammed)
+						}
+					},
+				})
+			}
+		}
+	}
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title: "E15: broadcast under unreliable collision detection (clusterchain-6x6)",
+			Comment: "miss: true ⊤ observed as silence w.p. q; spur: silence observed as ⊤ w.p. q; Decay ignores ⊤\n" +
+				"entirely (identical rounds at every q) while Thm 1.1's collision-wave layering degrades",
+			Header: []string{"q", "decay rounds", "miss rounds", "miss ok", "spur rounds", "spur ok", "jammed obs"},
+		}
+		for _, q := range qs {
+			collect := func(variant string) ([]float64, int, float64) {
+				var rs []float64
+				okCount := 0
+				jam := 0.0
+				for s := 0; s < seeds; s++ {
+					r := idx[exp.Key{Experiment: "E15", Config: fmt.Sprintf("q=%g/%s", q, variant), Seed: uint64(s)}]
+					jam += float64(r.Jammed)
+					if r.Completed {
+						okCount++
+						rs = append(rs, float64(r.Rounds))
+					}
+				}
+				return rs, okCount, jam / float64(seeds)
+			}
+			dr, _, _ := collect("decay")
+			mr, mok, mjam := collect("th11miss")
+			sr, sok, sjam := collect("th11spur")
+			t.AddRow(stats.F(q), stats.F(meanOrDash(dr)),
+				stats.F(meanOrDash(mr)), fmt.Sprintf("%d/%d", mok, seeds),
+				stats.F(meanOrDash(sr)), fmt.Sprintf("%d/%d", sok, seeds),
+				stats.F(mjam+sjam))
+		}
+		return t
+	}
+	return p
+}
+
+// cdChannel returns a fresh per-run unreliable-CD channel; q=0 on both
+// axes is the ideal channel (nil).
+func cdChannel(miss, spurious float64, seed uint64) radio.Channel {
+	if miss == 0 && spurious == 0 {
+		return nil
+	}
+	return channel.NewNoisyCD(miss, spurious, rng.Mix(seed, 0xe15))
+}
+
+// E15NoisyCDSweep runs E15 sequentially (compat wrapper).
+func E15NoisyCDSweep(seeds int, quick bool) *stats.Table { return runPlan(E15Plan(seeds, quick)) }

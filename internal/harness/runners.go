@@ -21,13 +21,20 @@ import (
 // RunDecay measures the classic Decay broadcast (BGI baseline) from
 // node 0. Returns rounds and completion.
 func RunDecay(g *graph.Graph, seed uint64, limit int64) (int64, bool) {
-	nw := radio.New(g, radio.Config{})
+	rounds, ok, _ := RunDecayOn(g, nil, seed, limit)
+	return rounds, ok
+}
+
+// RunDecayOn is RunDecay over an adversarial channel (nil = ideal),
+// additionally returning the engine counters.
+func RunDecayOn(g *graph.Graph, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	nw := radio.New(g, radio.Config{Channel: ch})
 	protos := make([]*decay.Broadcast, g.N())
 	for v := 0; v < g.N(); v++ {
 		protos[v] = decay.NewBroadcast(g.N(), v == 0, decay.Message{Data: 1}, rng.New(seed, 0xd0, uint64(v)))
 		nw.SetProtocol(graph.NodeID(v), protos[v])
 	}
-	return nw.RunUntil(limit, func() bool {
+	rounds, ok := nw.RunUntil(limit, func() bool {
 		for _, p := range protos {
 			if !p.Has() {
 				return false
@@ -35,18 +42,25 @@ func RunDecay(g *graph.Graph, seed uint64, limit int64) (int64, bool) {
 		}
 		return true
 	})
+	return rounds, ok, nw.Stats()
 }
 
 // RunCR measures the Czumaj–Rytter-shaped baseline.
 func RunCR(g *graph.Graph, d int, seed uint64, limit int64) (int64, bool) {
+	rounds, ok, _ := RunCROn(g, d, nil, seed, limit)
+	return rounds, ok
+}
+
+// RunCROn is RunCR over an adversarial channel (nil = ideal).
+func RunCROn(g *graph.Graph, d int, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
 	p := cr.NewParams(g.N(), d)
-	nw := radio.New(g, radio.Config{})
+	nw := radio.New(g, radio.Config{Channel: ch})
 	protos := make([]*cr.Broadcast, g.N())
 	for v := 0; v < g.N(); v++ {
 		protos[v] = cr.NewBroadcast(p, v == 0, decay.Message{Data: 1}, rng.New(seed, 0xc0, uint64(v)))
 		nw.SetProtocol(graph.NodeID(v), protos[v])
 	}
-	return nw.RunUntil(limit, func() bool {
+	rounds, ok := nw.RunUntil(limit, func() bool {
 		for _, pr := range protos {
 			if !pr.Has() {
 				return false
@@ -54,23 +68,31 @@ func RunCR(g *graph.Graph, d int, seed uint64, limit int64) (int64, bool) {
 		}
 		return true
 	})
+	return rounds, ok, nw.Stats()
 }
 
 // RunGSTSingle measures the single-message GST broadcast atop a
 // centralized GST (the amortized / known-structure regime), optionally
 // with the MMV noise adversary.
 func RunGSTSingle(g *graph.Graph, noising bool, seed uint64, limit int64) (int64, bool) {
+	rounds, ok, _ := RunGSTSingleOn(g, noising, nil, seed, limit)
+	return rounds, ok
+}
+
+// RunGSTSingleOn is RunGSTSingle over an adversarial channel
+// (nil = ideal).
+func RunGSTSingleOn(g *graph.Graph, noising bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
 	tree := gst.Construct(g, 0)
 	infos := mmv.InfoFromTree(tree)
 	s := mmv.NewSchedule(g.N())
-	nw := radio.New(g, radio.Config{})
+	nw := radio.New(g, radio.Config{Channel: ch})
 	contents := make([]*mmv.SingleMessage, g.N())
 	for v := 0; v < g.N(); v++ {
 		contents[v] = mmv.NewSingleMessage(v == 0, decay.Message{Data: 1})
 		nw.SetProtocol(graph.NodeID(v),
 			mmv.New(s, infos[v], contents[v], noising, rng.New(seed, 0xe0, uint64(v))))
 	}
-	return nw.RunUntil(limit, func() bool {
+	rounds, ok := nw.RunUntil(limit, func() bool {
 		for _, c := range contents {
 			if !c.Done() {
 				return false
@@ -78,6 +100,7 @@ func RunGSTSingle(g *graph.Graph, noising bool, seed uint64, limit int64) (int64
 		}
 		return true
 	})
+	return rounds, ok, nw.Stats()
 }
 
 // Theorem11Result decomposes a full Theorem 1.1 run.
@@ -87,12 +110,19 @@ type Theorem11Result struct {
 	WaveRounds, BuildRounds   int64
 	SpreadBudget, TotalBudget int64
 	Rings, Width              int
+	Stats                     radio.Stats
 }
 
 // RunTheorem11 executes the full unknown-topology CD pipeline.
 func RunTheorem11(g *graph.Graph, d, c int, seed uint64) Theorem11Result {
+	return RunTheorem11On(g, d, c, nil, seed)
+}
+
+// RunTheorem11On is RunTheorem11 over an adversarial channel
+// (nil = ideal).
+func RunTheorem11On(g *graph.Graph, d, c int, ch radio.Channel, seed uint64) Theorem11Result {
 	cfg := rings.DefaultConfig(g.N(), d, 0, c)
-	nw := radio.New(g, radio.Config{CollisionDetection: true})
+	nw := radio.New(g, radio.Config{CollisionDetection: true, Channel: ch})
 	protos := make([]*rings.Protocol, g.N())
 	for v := 0; v < g.N(); v++ {
 		protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, nil, rng.New(seed, 0x11, uint64(v)))
@@ -115,12 +145,20 @@ func RunTheorem11(g *graph.Graph, d, c int, seed uint64) Theorem11Result {
 		TotalBudget:  cfg.TotalRounds(),
 		Rings:        cfg.Rings(),
 		Width:        cfg.W,
+		Stats:        nw.Stats(),
 	}
 }
 
 // RunGSTMulti measures the Theorem 1.2 k-message broadcast (known
 // topology, RLNC atop the MMV schedule). Verifies decoded payloads.
 func RunGSTMulti(g *graph.Graph, k int, seed uint64, limit int64) (int64, bool) {
+	rounds, ok, _ := RunGSTMultiOn(g, k, nil, seed, limit)
+	return rounds, ok
+}
+
+// RunGSTMultiOn is RunGSTMulti over an adversarial channel
+// (nil = ideal).
+func RunGSTMultiOn(g *graph.Graph, k int, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
 	const l = 32
 	r := rng.New(seed, 0x12)
 	msgs := make([]rlnc.Message, k)
@@ -130,7 +168,7 @@ func RunGSTMulti(g *graph.Graph, k int, seed uint64, limit int64) (int64, bool) 
 	tree := gst.Construct(g, 0)
 	infos := mmv.InfoFromTree(tree)
 	s := mmv.NewSchedule(g.N())
-	nw := radio.New(g, radio.Config{})
+	nw := radio.New(g, radio.Config{Channel: ch})
 	contents := make([]*mmv.RLNC, g.N())
 	for v := 0; v < g.N(); v++ {
 		var buf *rlnc.Buffer
@@ -151,32 +189,40 @@ func RunGSTMulti(g *graph.Graph, k int, seed uint64, limit int64) (int64, bool) 
 		}
 		return true
 	})
+	st := nw.Stats()
 	if !ok {
-		return rounds, false
+		return rounds, false, st
 	}
 	for _, c := range contents {
 		got, dok := c.Buffer().Decode()
 		if !dok {
-			return rounds, false
+			return rounds, false, st
 		}
 		for i := range msgs {
 			if !bitvec.Equal(got[i], msgs[i]) {
-				return rounds, false
+				return rounds, false, st
 			}
 		}
 	}
-	return rounds, true
+	return rounds, true, st
 }
 
 // RunTheorem13 executes the full Theorem 1.3 pipeline.
 func RunTheorem13(g *graph.Graph, d, k, c int, seed uint64) (rounds int64, completed bool, cfg rings.Config) {
+	rounds, completed, cfg, _ = RunTheorem13On(g, d, k, c, nil, seed)
+	return rounds, completed, cfg
+}
+
+// RunTheorem13On is RunTheorem13 over an adversarial channel
+// (nil = ideal).
+func RunTheorem13On(g *graph.Graph, d, k, c int, ch radio.Channel, seed uint64) (rounds int64, completed bool, cfg rings.Config, st radio.Stats) {
 	cfg = rings.DefaultConfig(g.N(), d, k, c)
 	r := rng.New(seed, 0x15)
 	msgs := make([]rlnc.Message, k)
 	for i := range msgs {
 		msgs[i] = bitvec.RandomVec(cfg.PayloadBits, r.Uint64)
 	}
-	nw := radio.New(g, radio.Config{CollisionDetection: true})
+	nw := radio.New(g, radio.Config{CollisionDetection: true, Channel: ch})
 	protos := make([]*rings.Protocol, g.N())
 	for v := 0; v < g.N(); v++ {
 		var m []rlnc.Message
@@ -194,7 +240,7 @@ func RunTheorem13(g *graph.Graph, d, k, c int, seed uint64) (rounds int64, compl
 		}
 		return true
 	})
-	return rounds, completed, cfg
+	return rounds, completed, cfg, nw.Stats()
 }
 
 // PlainPacket is an uncoded message for the routing baseline of A2.

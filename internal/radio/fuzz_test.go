@@ -45,6 +45,134 @@ func TestEngineFuzzConsistency(t *testing.T) {
 	}
 }
 
+// lossyChannel is a minimal in-package erasure channel (the stock
+// models live in internal/channel, which imports this package): it
+// drops each (link, round) delivery with probability P via a keyed
+// hash, so evaluation order is irrelevant.
+type lossyChannel struct{ P float64 }
+
+func (lossyChannel) RoundStart(int64, []NodeID)          {}
+func (lossyChannel) SuppressTransmit(int64, NodeID) bool { return false }
+func (c lossyChannel) DropLink(r int64, from, to NodeID) bool {
+	return float64(rng.Mix(uint64(r), uint64(from)<<32|uint64(to))>>11)/(1<<53) < c.P
+}
+func (lossyChannel) Observe(_ int64, _ NodeID, _ int, out Outcome, ok bool) (Outcome, bool) {
+	return out, ok
+}
+
+// conservationTracer cross-checks every delivery against the round's
+// transmitter set and the graph: an Observe must go to a non-transmitting
+// listener, and a delivered packet must come from a transmitting
+// neighbor.
+type conservationTracer struct {
+	t  *testing.T
+	g  *graph.Graph
+	tx map[NodeID]bool
+}
+
+func (c *conservationTracer) OnRound(_ int64, transmitters []NodeID) {
+	c.tx = make(map[NodeID]bool, len(transmitters))
+	for _, v := range transmitters {
+		c.tx[v] = true
+	}
+}
+
+func (c *conservationTracer) OnDeliver(r int64, to NodeID, out Outcome) {
+	if c.tx[to] {
+		c.t.Errorf("round %d: Observe delivered to transmitter %d", r, to)
+	}
+	if out.Packet != nil {
+		if !c.tx[out.From] {
+			c.t.Errorf("round %d: node %d received from non-transmitter %d", r, to, out.From)
+		}
+		if !c.g.HasEdge(out.From, to) {
+			c.t.Errorf("round %d: node %d received from non-neighbor %d", r, to, out.From)
+		}
+	}
+}
+
+// Fuzz-style stress under a lossy channel: conservation invariants
+// must hold, and — because the random actors never adapt to what they
+// hear — the transmission schedule must match the ideal channel's,
+// with every delivery accounted against a real transmitting neighbor.
+func TestEngineFuzzLossyConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.GNP(40, 0.1, seed)
+		loss := float64(seed%10) / 10
+		run := func(ch Channel) Stats {
+			tr := &conservationTracer{t: t, g: g}
+			nw := New(g, Config{CollisionDetection: seed%2 == 0, Channel: ch, Tracer: tr})
+			for v := 0; v < g.N(); v++ {
+				r := rng.New(seed, uint64(v))
+				nw.SetProtocol(graph.NodeID(v), &FuncProtocol{ActFunc: func(round int64) Action {
+					switch r.Intn(5) {
+					case 0:
+						return Transmit(RawPacket{Value: round})
+					case 1:
+						return Sleep(round + int64(r.Intn(20)))
+					default:
+						return Listen
+					}
+				}})
+			}
+			nw.Run(300)
+			return nw.Stats()
+		}
+		ideal := run(nil)
+		lossy := run(lossyChannel{P: loss})
+		// The channel cannot create traffic: same transmission schedule,
+		// and every (listener, round) yields at most one observation.
+		if lossy.Transmissions != ideal.Transmissions {
+			return false
+		}
+		if lossy.Deliveries+lossy.CollisionObs > lossy.Polls {
+			return false
+		}
+		if lossy.Deliveries > lossy.Transmissions*int64(g.MaxDegree()) {
+			return false
+		}
+		// Drops are bounded by link opportunities: each transmission can
+		// be erased on at most deg(t) links (plus once at the source).
+		if lossy.Dropped > lossy.Transmissions*int64(g.MaxDegree()+1) {
+			return false
+		}
+		if loss == 0 && (lossy.Dropped != 0 || lossy.Deliveries != ideal.Deliveries) {
+			return false
+		}
+		return lossy.Rounds == 300 && lossy.Jammed == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Total loss is total silence: with every link erased, nothing is ever
+// observed, and every potential delivery is accounted as dropped.
+func TestEngineFullLossSilence(t *testing.T) {
+	g := graph.Grid(6, 6)
+	nw := New(g, Config{CollisionDetection: true, Channel: lossyChannel{P: 1}})
+	for v := 0; v < g.N(); v++ {
+		r := rng.New(3, uint64(v))
+		nw.SetProtocol(graph.NodeID(v), &FuncProtocol{
+			ActFunc: func(round int64) Action {
+				if r.Intn(3) == 0 {
+					return Transmit(RawPacket{Value: round})
+				}
+				return Listen
+			},
+			ObserveFunc: func(int64, Outcome) { t.Error("observation leaked through full loss") },
+		})
+	}
+	nw.Run(200)
+	st := nw.Stats()
+	if st.Deliveries != 0 || st.CollisionObs != 0 {
+		t.Fatalf("full loss delivered: %+v", st)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("full loss dropped nothing")
+	}
+}
+
 // The sleep/fast-forward path must agree with an always-awake run on
 // what listeners observe: a sleeping node is by contract discarding,
 // so runs that never sleep see a superset of events but identical

@@ -90,6 +90,41 @@ type Tracer interface {
 	OnDeliver(r int64, to NodeID, out Outcome)
 }
 
+// Channel mediates the delivery pass, modeling channel adversity:
+// packet loss, jamming, unreliable collision detection, radio faults.
+// Implementations must be deterministic given their construction — the
+// engine consults the hooks in a fixed order, but robust models key
+// their randomness on (round, node/link) so even that order is
+// irrelevant. A Channel may carry mutable per-run state (jammer
+// budgets, fault clocks), so instances must not be shared across
+// networks or reused across runs. See internal/channel for the stock
+// models; a nil Config.Channel is the ideal channel of Section 1.1.
+type Channel interface {
+	// RoundStart fires once per executed round, after actions are
+	// collected and before any other hook, with the round's transmitter
+	// set (aliases engine storage: copy to retain). Adaptive
+	// adversaries snoop the traffic here.
+	RoundStart(r int64, transmitters []NodeID)
+	// SuppressTransmit reports whether v's transmission this round is
+	// erased at the source (crashed radio, not-yet-woken node, jammed
+	// transmitter). A suppressed transmission reaches no neighbor and
+	// increments Stats.Dropped once.
+	SuppressTransmit(r int64, v NodeID) bool
+	// DropLink reports whether the packet from from is erased on the
+	// link to to this round (per-link, per-round loss). Each erased
+	// link delivery increments Stats.Dropped.
+	DropLink(r int64, from, to NodeID) bool
+	// Observe finalizes what listener to perceives. count is the number
+	// of channel-surviving transmitting neighbors; (out, ok) is the
+	// tentative ideal observation for that count (ok=false means
+	// silence). The returned pair replaces it; returning ok=false
+	// silences the listener. A returned collision symbol on a network
+	// without collision detection is sanitized to silence by the engine
+	// (⊤ is unobservable without CD), so models need not know the CD
+	// setting.
+	Observe(r int64, to NodeID, count int, out Outcome, ok bool) (Outcome, bool)
+}
+
 // Config configures a Network.
 type Config struct {
 	// CollisionDetection enables delivery of the ⊤ symbol.
@@ -100,6 +135,10 @@ type Config struct {
 	MaxPacketBits int
 	// Tracer, when non-nil, observes every round.
 	Tracer Tracer
+	// Channel, when non-nil, mediates every delivery (loss, jamming,
+	// unreliable CD, radio faults). nil is the ideal channel and keeps
+	// the zero-allocation delivery fast path.
+	Channel Channel
 }
 
 // Stats aggregates engine counters for a run.
@@ -110,6 +149,8 @@ type Stats struct {
 	Deliveries    int64 // successful single-transmitter receptions
 	CollisionObs  int64 // ⊤ observations delivered (CD only)
 	Polls         int64 // Act calls (wall-clock work proxy)
+	Dropped       int64 // transmissions/link deliveries erased by the channel
+	Jammed        int64 // observations whose class the channel changed
 }
 
 // Network is a synchronous radio network simulation over a fixed graph.
@@ -131,6 +172,7 @@ type Network struct {
 	hearPkt     []Packet
 	touched     []NodeID
 	transmitter []NodeID
+	keptTx      []NodeID // channel path: transmitters surviving source suppression
 
 	stats Stats
 }
@@ -227,6 +269,12 @@ func (nw *Network) step() {
 	if nw.cfg.Tracer != nil {
 		nw.cfg.Tracer.OnRound(r, nw.transmitter)
 	}
+	if nw.cfg.Channel != nil {
+		nw.deliverAdverse(r, awake)
+		nw.round = r + 1
+		nw.stats.Rounds = nw.round
+		return
+	}
 	// Delivery: count transmitting neighbors of each awake listener,
 	// iterating the CSR arrays directly.
 	nw.touched = nw.touched[:0]
@@ -267,6 +315,103 @@ func (nw *Network) step() {
 	}
 	nw.round = r + 1
 	nw.stats.Rounds = nw.round
+}
+
+// deliverAdverse is the Channel-mediated delivery pass. It mirrors the
+// ideal pass but consults the channel at every stage, and its Observe
+// sweep visits every awake listener — not only neighbors of
+// transmitters — so the channel can inject observations (spurious ⊤,
+// jamming) into silent receptions. Listener order follows the awake
+// slice, which is deterministic; robust models additionally key their
+// draws by (round, node/link) so ordering never matters.
+func (nw *Network) deliverAdverse(r int64, awake []NodeID) {
+	ch := nw.cfg.Channel
+	ch.RoundStart(r, nw.transmitter)
+	kept := nw.keptTx[:0]
+	for _, t := range nw.transmitter {
+		if ch.SuppressTransmit(r, t) {
+			nw.stats.Dropped++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	nw.keptTx = kept
+	for _, t := range kept {
+		pkt := nw.hearPkt[t]
+		for _, u := range nw.edges[nw.offsets[t]:nw.offsets[t+1]] {
+			if nw.listenStamp[u] != r {
+				continue // transmitting, sleeping, or protocol-less
+			}
+			if ch.DropLink(r, t, u) {
+				nw.stats.Dropped++
+				continue
+			}
+			if nw.hearStamp[u] != r {
+				nw.hearStamp[u] = r
+				nw.hearCount[u] = 0
+			}
+			nw.hearCount[u]++
+			if nw.hearCount[u] == 1 {
+				nw.hearFrom[u] = t
+				nw.hearPkt[u] = pkt
+			}
+		}
+	}
+	for _, u := range awake {
+		if nw.listenStamp[u] != r {
+			continue
+		}
+		count := 0
+		if nw.hearStamp[u] == r {
+			count = int(nw.hearCount[u])
+		}
+		var out Outcome
+		ok := false
+		switch {
+		case count == 1:
+			out = Outcome{Packet: nw.hearPkt[u], From: nw.hearFrom[u]}
+			ok = true
+		case count >= 2 && nw.cfg.CollisionDetection:
+			out = Outcome{Collision: true}
+			ok = true
+		}
+		ideal := outcomeClass(out, ok)
+		fin, fok := ch.Observe(r, u, count, out, ok)
+		if fok && fin.Collision && !nw.cfg.CollisionDetection {
+			fin, fok = Outcome{}, false // ⊤ is unobservable without CD
+		}
+		if fok && !fin.Collision && fin.Packet == nil {
+			fin, fok = Outcome{}, false // no payload and no symbol: silence
+		}
+		if outcomeClass(fin, fok) != ideal {
+			nw.stats.Jammed++
+		}
+		if !fok {
+			continue
+		}
+		if fin.Collision {
+			nw.stats.CollisionObs++
+		} else {
+			nw.stats.Deliveries++
+		}
+		nw.proto[u].Observe(r, fin)
+		if nw.cfg.Tracer != nil {
+			nw.cfg.Tracer.OnDeliver(r, u, fin)
+		}
+	}
+}
+
+// outcomeClass buckets an observation for Jammed accounting:
+// 0 silence, 1 packet, 2 collision symbol.
+func outcomeClass(out Outcome, ok bool) int {
+	switch {
+	case !ok:
+		return 0
+	case out.Collision:
+		return 2
+	default:
+		return 1
+	}
 }
 
 // Run executes rounds until the round counter reaches limit,

@@ -23,6 +23,11 @@
 //     centralized ([7]) and distributed (Theorem 2.1 + Lemma 3.10).
 //   - DecayBroadcast / CRBroadcast — the prior-art baselines.
 //
+// Every broadcast accepts an adversarial channel via Options.Channel
+// (packet loss, jamming, unreliable collision detection, radio
+// faults — see ErasureChannel, NoisyCDChannel, JammerChannel,
+// FaultChannel, StackChannels); nil is the paper's ideal channel.
+//
 // All functions are deterministic given (graph, options, seed). See
 // DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction results.
@@ -32,6 +37,7 @@ import (
 	"fmt"
 
 	"radiocast/internal/bitvec"
+	"radiocast/internal/channel"
 	"radiocast/internal/graph"
 	"radiocast/internal/gst"
 	"radiocast/internal/gstdist"
@@ -65,6 +71,51 @@ var (
 	NewGNP = graph.GNP
 )
 
+// Channel is the pluggable channel-adversity interface of the engine:
+// a model of packet loss, jamming, unreliable collision detection, or
+// radio faults that mediates every delivery. Construct instances with
+// the *Channel builders below (or internal/channel directly); a nil
+// Channel is the ideal synchronous channel of the paper. Channels
+// carry per-run state — build a fresh one for every run.
+type Channel = radio.Channel
+
+// ErasureChannel returns a per-link loss channel: each (link, round)
+// delivery is erased independently with probability p.
+func ErasureChannel(p float64, seed uint64) Channel { return channel.NewErasure(p, seed) }
+
+// NoisyCDChannel returns an unreliable collision-detection channel: a
+// true ⊤ is missed with probability miss, silence becomes a spurious ⊤
+// with probability spurious (per listener, per round).
+func NoisyCDChannel(miss, spurious float64, seed uint64) Channel {
+	return channel.NewNoisyCD(miss, spurious, seed)
+}
+
+// JammerChannel returns a budgeted wide-band jammer. Oblivious
+// (adaptive=false) jams each round with probability rate; adaptive
+// jams exactly the rounds with traffic (busiest-slot policy). Each
+// jammed round costs one unit of budget (negative = unlimited).
+func JammerChannel(budget int64, rate float64, adaptive bool, seed uint64) Channel {
+	if adaptive {
+		return channel.NewAdaptiveJammer(budget, 1, seed)
+	}
+	return channel.NewJammer(budget, rate, seed)
+}
+
+// FaultChannel returns a random radio-fault channel: every node except
+// the source independently wakes late (uniform in [1, maxDelay]) with
+// probability lateFrac and crashes (uniform in [1, horizon]) with
+// probability crashFrac.
+func FaultChannel(n int, source NodeID, lateFrac float64, maxDelay int64, crashFrac float64, horizon int64, seed uint64) Channel {
+	return channel.RandomFaults(n, source, lateFrac, maxDelay, crashFrac, horizon, seed)
+}
+
+// StackChannels composes several channel models into one: losses OR
+// together and observations flow through every model in order — so
+// place a FaultChannel last, after observation-injecting models
+// (JammerChannel, NoisyCDChannel's spurious ⊤), to keep dead radios
+// fully deaf.
+func StackChannels(chs ...Channel) Channel { return channel.Stack(chs) }
+
 // Options configures a protocol run.
 type Options struct {
 	// Source is the broadcasting node (default 0).
@@ -77,6 +128,9 @@ type Options struct {
 	// RoundLimit caps the simulated rounds (0 = the protocol's own
 	// schedule budget).
 	RoundLimit int64
+	// Channel, when non-nil, perturbs every delivery (loss, jamming,
+	// unreliable CD, radio faults). nil is the ideal channel.
+	Channel Channel
 }
 
 func (o Options) scale() int {
@@ -93,6 +147,11 @@ type Result struct {
 	Rounds int64
 	// Completed is false if the round limit elapsed first.
 	Completed bool
+	// Dropped and Jammed are the channel-adversity counters: deliveries
+	// erased by the channel and observations whose class it changed
+	// (both zero on the ideal channel).
+	Dropped int64
+	Jammed  int64
 }
 
 // BroadcastCD runs Theorem 1.1: single-message broadcast over unknown
@@ -104,8 +163,9 @@ func BroadcastCD(g *Graph, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	d := graph.Eccentricity(g, opts.Source)
-	res := harness.RunTheorem11(g, d, opts.scale(), opts.Seed)
-	return Result{Rounds: res.Rounds, Completed: res.Completed}, nil
+	res := harness.RunTheorem11On(g, d, opts.scale(), opts.Channel, opts.Seed)
+	return Result{Rounds: res.Rounds, Completed: res.Completed,
+		Dropped: res.Stats.Dropped, Jammed: res.Stats.Jammed}, nil
 }
 
 // BroadcastKnownTopology runs the O(D + log^2 n) single-message
@@ -119,8 +179,8 @@ func BroadcastKnownTopology(g *Graph, opts Options) (Result, error) {
 	if limit == 0 {
 		limit = 1 << 24
 	}
-	rounds, ok := harness.RunGSTSingle(g, false, opts.Seed, limit)
-	return Result{Rounds: rounds, Completed: ok}, nil
+	rounds, ok, st := harness.RunGSTSingleOn(g, false, opts.Channel, opts.Seed, limit)
+	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
 // BroadcastK runs Theorem 1.2: k-message broadcast with random linear
@@ -136,8 +196,8 @@ func BroadcastK(g *Graph, k int, opts Options) (Result, error) {
 	if limit == 0 {
 		limit = 1 << 24
 	}
-	rounds, ok := harness.RunGSTMulti(g, k, opts.Seed, limit)
-	return Result{Rounds: rounds, Completed: ok}, nil
+	rounds, ok, st := harness.RunGSTMultiOn(g, k, opts.Channel, opts.Seed, limit)
+	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
 // BroadcastKCD runs Theorem 1.3: k-message broadcast over unknown
@@ -151,8 +211,8 @@ func BroadcastKCD(g *Graph, k int, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("radiocast: k must be positive, got %d", k)
 	}
 	d := graph.Eccentricity(g, opts.Source)
-	rounds, ok, _ := harness.RunTheorem13(g, d, k, opts.scale(), opts.Seed)
-	return Result{Rounds: rounds, Completed: ok}, nil
+	rounds, ok, _, st := harness.RunTheorem13On(g, d, k, opts.scale(), opts.Channel, opts.Seed)
+	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
 // DecayBroadcast runs the classic BGI Decay baseline,
@@ -165,8 +225,8 @@ func DecayBroadcast(g *Graph, opts Options) (Result, error) {
 	if limit == 0 {
 		limit = 1 << 24
 	}
-	rounds, ok := harness.RunDecay(g, opts.Seed, limit)
-	return Result{Rounds: rounds, Completed: ok}, nil
+	rounds, ok, st := harness.RunDecayOn(g, opts.Channel, opts.Seed, limit)
+	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
 // CRBroadcast runs the Czumaj–Rytter-shaped baseline,
@@ -180,8 +240,8 @@ func CRBroadcast(g *Graph, opts Options) (Result, error) {
 		limit = 1 << 24
 	}
 	d := graph.Eccentricity(g, opts.Source)
-	rounds, ok := harness.RunCR(g, d, opts.Seed, limit)
-	return Result{Rounds: rounds, Completed: ok}, nil
+	rounds, ok, st := harness.RunCROn(g, d, opts.Channel, opts.Seed, limit)
+	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
 // GST is a constructed gathering spanning tree with per-node levels,
