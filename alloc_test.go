@@ -1,0 +1,99 @@
+package radiocast
+
+// Allocation-regression guards for the run-reuse layer. These pin the
+// two properties the perf work established:
+//
+//  1. the steady-state round loop — wake queue, CSR delivery, cached
+//     boxed packets — allocates NOTHING per round;
+//  2. a Reset-reused Theorem 1.3 run (the allocation-heaviest stack)
+//     stays under a fixed per-run allocation budget, two orders of
+//     magnitude below the construct-per-run historical cost (~33k).
+//
+// CI runs these on every push; the benchmarks in bench_test.go track
+// the same numbers with -benchmem for humans.
+
+import (
+	"testing"
+
+	"radiocast/internal/decay"
+	"radiocast/internal/graph"
+	"radiocast/internal/harness"
+	"radiocast/internal/radio"
+	"radiocast/internal/rng"
+)
+
+// TestSteadyStateRoundLoopAllocsZero drives a warmed-up Decay network
+// one round at a time: after the first few rounds have sized the
+// scratch buffers and boxed the message packets, stepping must be
+// allocation-free — the engine's ring wake buckets, stamp arrays, and
+// reused pop buffer do all per-round work in place.
+func TestSteadyStateRoundLoopAllocsZero(t *testing.T) {
+	g := graph.ClusterChain(4, 6)
+	nw := radio.New(g, radio.Config{})
+	for v := 0; v < g.N(); v++ {
+		nw.SetProtocol(graph.NodeID(v),
+			decay.NewBroadcast(g.N(), v == 0, decay.Message{Data: 1}, rng.New(7, uint64(v))))
+	}
+	nw.Run(64) // warm: scratch sized, packets boxed, message spread
+	allocs := testing.AllocsPerRun(100, func() { nw.Step() })
+	if allocs != 0 {
+		t.Fatalf("steady-state round loop allocates %.1f objects/round, want 0", allocs)
+	}
+}
+
+// TestSteadyStateRoundLoopAllocsZeroCD repeats the guard with
+// collision detection enabled and all nodes transmitting (dense ⊤
+// deliveries) — the CD delivery branch must be in-place too.
+func TestSteadyStateRoundLoopAllocsZeroCD(t *testing.T) {
+	g := graph.ClusterChain(4, 6)
+	nw := radio.New(g, radio.Config{CollisionDetection: true})
+	for v := 0; v < g.N(); v++ {
+		// Every node holds the message: the clique interiors collide
+		// every phase, exercising ⊤ delivery.
+		nw.SetProtocol(graph.NodeID(v),
+			decay.NewBroadcast(g.N(), true, decay.Message{Data: 1}, rng.New(7, uint64(v))))
+	}
+	nw.Run(64)
+	allocs := testing.AllocsPerRun(100, func() { nw.Step() })
+	if allocs != 0 {
+		t.Fatalf("steady-state CD round loop allocates %.1f objects/round, want 0", allocs)
+	}
+}
+
+// theorem13ReuseAllocBudget is the per-run allocation ceiling for a
+// Reset-reused Theorem 1.3 run on grid-4x12/k=8. The measured
+// steady-state cost is ~1.5k objects (per-boundary assign/recruit
+// machines built mid-run, per-epoch RNG reseeds); the budget leaves
+// headroom for toolchain drift while still failing loudly if per-round
+// or per-packet allocation creeps back in (the construct-per-run cost
+// this layer replaced was ~33k, and even one allocation per round
+// would add ~95k).
+const theorem13ReuseAllocBudget = 4000
+
+// TestTheorem13ResetReuseAllocBudget pins the Reset-reuse contract on
+// the heaviest stack: after a warm-up run, each reused run must stay
+// under the fixed budget, with round counts identical to fresh runs.
+func TestTheorem13ResetReuseAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Theorem 1.3 runs are slow")
+	}
+	g := graph.Grid(4, 12)
+	d := graph.Eccentricity(g, 0)
+	run := harness.NewTheorem13Run(g, d, 8, 1)
+	wantRounds, wantOK, _ := harness.RunTheorem13(g, d, 8, 1, 3)
+	if !wantOK {
+		t.Fatal("fresh reference run incomplete")
+	}
+	var rounds int64
+	var ok bool
+	allocs := testing.AllocsPerRun(2, func() {
+		rounds, ok, _ = run.Run(nil, 3)
+	})
+	if !ok || rounds != wantRounds {
+		t.Fatalf("reused run diverged: rounds=%d ok=%v, fresh rounds=%d", rounds, ok, wantRounds)
+	}
+	if allocs > theorem13ReuseAllocBudget {
+		t.Fatalf("Reset-reused Theorem 1.3 run allocates %.0f objects, budget %d",
+			allocs, theorem13ReuseAllocBudget)
+	}
+}

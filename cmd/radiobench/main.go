@@ -6,20 +6,28 @@
 //	radiobench [-seeds N] [-quick] [-format text|csv|markdown]
 //	           [-only E1,E7] [-experiments E13,E14,E15] [-parallel]
 //	           [-workers N] [-timeout 30s] [-roundlimit N] [-json FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each experiment reproduces one theorem/lemma of the paper as a
-// measured round-complexity table — plus the E13-E15 robustness sweeps
+// measured round-complexity table — plus the E13-E16 robustness sweeps
 // over the adversarial channels of internal/channel; see
 // EXPERIMENTS.md for the mapping and the expected shapes.
 //
 // Experiments are compiled to cell plans (internal/exp) and executed
-// by a worker-pool runner: -parallel fans the (configuration × seed)
-// cells of each experiment across GOMAXPROCS goroutines (-workers
-// overrides the count). Results merge in cell-key order, so the table
-// output on stdout is byte-identical to a sequential run; timing
-// diagnostics go to stderr. -timeout and -roundlimit bound each cell's
-// wall clock and simulated rounds. -json writes a machine-readable
-// bench artifact with per-cell rounds and wall times ("-" for stdout).
+// by ONE global worker pool (exp.Runner.RunAll): the (configuration ×
+// seed) cells of every selected experiment feed the pool together,
+// longest-cell-first, so a sweep is never serialized behind its
+// slowest experiment. -parallel fans the pool across GOMAXPROCS
+// goroutines (-workers overrides the count). Results merge in
+// per-plan cell-key order, so the table output on stdout is
+// byte-identical to a sequential run; timing diagnostics go to stderr
+// (per-experiment figures are summed cell wall times — under the
+// global pool an experiment has no wall-clock of its own). -timeout
+// and -roundlimit bound each cell's wall clock and simulated rounds.
+// -json writes a machine-readable bench artifact with per-cell rounds
+// and wall times ("-" for stdout). -cpuprofile/-memprofile write
+// runtime/pprof profiles of the sweep so perf work can show profiles
+// instead of guesses.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,6 +54,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock guard (0 = none)")
 	roundLimit := flag.Int64("roundlimit", 0, "per-cell simulated-round cap (0 = experiment defaults)")
 	jsonPath := flag.String("json", "", "write a JSON bench artifact to this file (\"-\" = stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
 	flag.Parse()
 
 	if *only == "" {
@@ -57,6 +68,32 @@ func main() {
 		}
 	}
 
+	// The CPU profile is stopped (and flushed) explicitly right after
+	// the sweep rather than via defer: later os.Exit error paths
+	// (artifact write failures) must not leave a truncated profile of
+	// the very sweep the flag exists to diagnose.
+	var cpuFile *os.File
+	stopCPU := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
 	runner := &exp.Runner{Parallelism: 1, Timeout: *timeout, RoundLimit: *roundLimit}
 	if *parallel || *workers > 0 {
 		runner.Parallelism = *workers // 0 = GOMAXPROCS
@@ -67,18 +104,38 @@ func main() {
 	}
 	artifact := exp.NewArtifact(*seeds, *quick, resolved)
 
-	ran := 0
-	total := time.Duration(0)
+	// Compile every selected plan, then execute ALL their cells through
+	// one pool: the global scheduler keeps every worker busy until the
+	// whole sweep drains.
+	var selected []harness.Experiment
+	var plans []*exp.Plan
 	for _, e := range harness.All() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		start := time.Now()
-		plan := e.Plan(*seeds, *quick)
-		tb, results := runner.RunTable(plan)
-		elapsed := time.Since(start)
-		total += elapsed
-		artifact.Add(plan, tb, results, elapsed)
+		selected = append(selected, e)
+		plans = append(plans, e.Plan(*seeds, *quick))
+	}
+	if len(selected) == 0 {
+		stopCPU()
+		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
+		os.Exit(1)
+	}
+	start := time.Now()
+	allResults := runner.RunAll(plans)
+	total := time.Since(start)
+	stopCPU() // the profile covers compile + sweep, not output rendering
+
+	for i, e := range selected {
+		plan, results := plans[i], allResults[i]
+		tb := plan.Assemble(results)
+		// An experiment has no private wall clock under the global pool;
+		// report its summed cell time (its single-core execution cost).
+		cellWall := time.Duration(0)
+		for _, r := range results {
+			cellWall += r.Wall
+		}
+		artifact.Add(plan, tb, results, cellWall)
 		switch *format {
 		case "csv":
 			fmt.Printf("# %s: %s\n%s\n", e.ID, e.Title, tb.CSV())
@@ -87,20 +144,34 @@ func main() {
 		default:
 			fmt.Printf("%s\n", tb.String())
 		}
-		fmt.Fprintf(os.Stderr, "[%s: %d cell(s), %d seed(s), %v]\n",
-			e.ID, len(plan.Cells), *seeds, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s: %d cell(s), %d seed(s), %v cell time]\n",
+			e.ID, len(plan.Cells), *seeds, cellWall.Round(time.Millisecond))
 		for _, r := range results {
 			if r.Err != "" {
 				fmt.Fprintf(os.Stderr, "[%s: cell %s failed: %s]\n", e.ID, r.Key, r.Err)
 			}
 		}
-		ran++
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
-		os.Exit(1)
+	fmt.Fprintf(os.Stderr, "[total: %d experiment(s) in %v wall, %d worker(s)]\n",
+		len(selected), total.Round(time.Millisecond), resolved)
+
+	// The allocation profile is written before the JSON artifact so a
+	// failed artifact write cannot discard the profile of a sweep that
+	// already ran (mirroring the cpuprofile early-flush above).
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the final heap state
+		err = pprof.Lookup("allocs").WriteTo(f, 0)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "[total: %d experiment(s) in %v]\n", ran, total.Round(time.Millisecond))
 
 	if *jsonPath != "" {
 		blob, err := artifact.JSON()

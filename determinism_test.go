@@ -120,12 +120,12 @@ func TestParallelRunnerMatchesSequential(t *testing.T) {
 	}
 	// A fast, representative subset: protocol sweeps (E1), paired
 	// jamming cells (E9), batched micro-trials (E11), payload-carrying
-	// cells (E12), a fixed-schedule ablation (A3), and the three
-	// adversarial-channel robustness sweeps (E13-E15) whose cells carry
+	// cells (E12), a fixed-schedule ablation (A3), and the four
+	// adversarial-channel robustness sweeps (E13-E16) whose cells carry
 	// the Dropped/Jammed counters into the canonical artifact.
 	ids := map[string]bool{
 		"E1": true, "E9": true, "E11": true, "E12": true, "A3": true,
-		"E13": true, "E14": true, "E15": true,
+		"E13": true, "E14": true, "E15": true, "E16": true,
 	}
 	for _, e := range harness.All() {
 		if !ids[e.ID] {
@@ -154,5 +154,56 @@ func TestParallelRunnerMatchesSequential(t *testing.T) {
 				t.Fatalf("canonical artifacts diverge:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqJSON, parJSON)
 			}
 		})
+	}
+}
+
+// TestRunAllMatchesSequential pins the global-pool contract: feeding
+// the cells of SEVERAL experiments through one longest-cell-first
+// worker pool (Runner.RunAll — what cmd/radiobench runs) must produce
+// exactly the tables and canonical artifacts of per-plan sequential
+// execution, at any worker count. This is the cross-experiment
+// scheduler's determinism guarantee: admission order and worker count
+// affect only wall clock, never output bytes.
+func TestRunAllMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	ids := map[string]bool{"E9": true, "E11": true, "E12": true, "E16": true}
+	var selected []harness.Experiment
+	for _, e := range harness.All() {
+		if ids[e.ID] {
+			selected = append(selected, e)
+		}
+	}
+	run := func(workers int, useRunAll bool) []byte {
+		plans := make([]*exp.Plan, len(selected))
+		for i, e := range selected {
+			plans[i] = e.Plan(1, true)
+		}
+		runner := &exp.Runner{Parallelism: workers}
+		var all [][]exp.Result
+		if useRunAll {
+			all = runner.RunAll(plans)
+		} else {
+			all = make([][]exp.Result, len(plans))
+			for i, p := range plans {
+				all[i] = runner.Run(p)
+			}
+		}
+		a := exp.NewArtifact(1, true, 0)
+		for i, p := range plans {
+			a.Add(p, p.Assemble(all[i]), all[i], time.Duration(0))
+		}
+		blob, err := a.Canonical().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	want := run(1, false)
+	for _, workers := range []int{1, 8} {
+		if got := run(workers, true); string(got) != string(want) {
+			t.Fatalf("RunAll(workers=%d) diverges from sequential per-plan execution", workers)
+		}
 	}
 }

@@ -139,37 +139,71 @@ func (p Params) RankLen() int64 { return p.IdentLen() + int64(p.Epochs())*p.Epoc
 // BoundaryRounds returns the total rounds for one boundary.
 func (p Params) BoundaryRounds() int64 { return int64(p.MaxRank()) * p.RankLen() }
 
-// Locate maps a boundary-local offset to its schedule position.
-func (p Params) Locate(off int64) Pos {
-	if off < 0 || off >= p.BoundaryRounds() {
-		panic(fmt.Sprintf("assign: offset %d outside boundary [0,%d)", off, p.BoundaryRounds()))
+// layout is the precomputed form of a Params' schedule arithmetic.
+// Locate runs for every boundary node in every round (Act and
+// Observe), and recomputing the length chain — RankLen → EpochLen →
+// Rec.Rounds → ... — dominated full-sweep CPU profiles
+// (assign.Params.RankLen alone was ~27% of flat samples); nodes cache
+// a layout at construction instead.
+type layout struct {
+	identLen int64
+	lonerLen int64
+	epochLen int64
+	recLen   int64
+	rankLen  int64
+	boundary int64
+	maxRank  int
+}
+
+// layout precomputes the Params' schedule lengths.
+func (p Params) layout() layout {
+	ly := layout{
+		identLen: p.IdentLen(),
+		lonerLen: p.LonerLen(),
+		epochLen: p.EpochLen(),
+		recLen:   p.Rec.Rounds(),
+		rankLen:  p.RankLen(),
+		maxRank:  p.MaxRank(),
 	}
-	rankIdx := off / p.RankLen()
-	rank := p.MaxRank() - int(rankIdx)
-	rem := off % p.RankLen()
-	if rem < p.IdentLen() {
+	ly.boundary = int64(ly.maxRank) * ly.rankLen
+	return ly
+}
+
+// locate maps a boundary-local offset to its schedule position using
+// the cached lengths.
+func (ly layout) locate(off int64) Pos {
+	if off < 0 || off >= ly.boundary {
+		panic(fmt.Sprintf("assign: offset %d outside boundary [0,%d)", off, ly.boundary))
+	}
+	rankIdx := off / ly.rankLen
+	rank := ly.maxRank - int(rankIdx)
+	rem := off % ly.rankLen
+	if rem < ly.identLen {
 		return Pos{Rank: rank, Epoch: -1, Win: WinIdent, Off: rem}
 	}
-	rem -= p.IdentLen()
-	epoch := int(rem / p.EpochLen())
-	rem %= p.EpochLen()
+	rem -= ly.identLen
+	epoch := int(rem / ly.epochLen)
+	rem %= ly.epochLen
 	if rem < 1 {
 		return Pos{Rank: rank, Epoch: epoch, Win: WinPing, Off: rem}
 	}
 	rem--
-	if rem < p.LonerLen() {
+	if rem < ly.lonerLen {
 		return Pos{Rank: rank, Epoch: epoch, Win: WinLoner, Off: rem}
 	}
-	rem -= p.LonerLen()
-	rr := p.Rec.Rounds()
+	rem -= ly.lonerLen
 	for part := 0; part < 3; part++ {
-		if rem < rr {
+		if rem < ly.recLen {
 			return Pos{Rank: rank, Epoch: epoch, Win: WinPart1 + Window(part), Off: rem}
 		}
-		rem -= rr
+		rem -= ly.recLen
 	}
 	return Pos{Rank: rank, Epoch: epoch, Win: WinMop, Off: rem}
 }
+
+// Locate maps a boundary-local offset to its schedule position. Hot
+// paths (Node) cache the layout instead of re-deriving it per call.
+func (p Params) Locate(off int64) Pos { return p.layout().locate(off) }
 
 // Packets.
 

@@ -27,6 +27,7 @@ const (
 // leaves unless a deeper boundary already ranked them.
 type Node struct {
 	p    Params
+	ly   layout // cached schedule arithmetic (hot: every Act/Observe)
 	id   NodeID
 	role Role
 	rng  *rand.Rand
@@ -55,6 +56,13 @@ type Node struct {
 	brisk         bool
 	recR          *recruit.Red
 	recRWin       Window
+
+	// Boxed packets reused across transmissions: ident/loner are
+	// constant per node, mop re-boxes only when the rank changes.
+	identPkt radio.Packet
+	lonerPkt radio.Packet
+	mopPkt   radio.Packet
+	mopRank  int32
 }
 
 // NewNode creates a boundary state machine.
@@ -66,8 +74,9 @@ type Node struct {
 // (l-1, l); here red ranks are always learned fresh, so preRanked is
 // false in the composed construction and exists for testing.
 func NewNode(p Params, id NodeID, role Role, blueRank int32, rng *rand.Rand) *Node {
-	return &Node{
+	nd := &Node{
 		p:        p,
+		ly:       p.layout(),
 		id:       id,
 		role:     role,
 		rng:      rng,
@@ -77,6 +86,11 @@ func NewNode(p Params, id NodeID, role Role, blueRank int32, rng *rand.Rand) *No
 		parent:   -1,
 		markedAt: -1,
 	}
+	if role == Blue {
+		nd.identPkt = IdentPacket{Blue: id}
+		nd.lonerPkt = LonerPacket{Blue: id}
+	}
+	return nd
 }
 
 // Blue results.
@@ -212,7 +226,7 @@ func (nd *Node) redActive() bool {
 
 // Act drives the node at boundary-local offset off.
 func (nd *Node) Act(off int64) radio.Action {
-	pos := nd.p.Locate(off)
+	pos := nd.ly.locate(off)
 	nd.sync(pos)
 	if nd.role == Blue {
 		return nd.blueAct(pos)
@@ -222,7 +236,7 @@ func (nd *Node) Act(off int64) radio.Action {
 
 // Observe drives the node with the outcome at offset off.
 func (nd *Node) Observe(off int64, out radio.Outcome) {
-	pos := nd.p.Locate(off)
+	pos := nd.ly.locate(off)
 	nd.sync(pos)
 	if nd.role == Blue {
 		nd.blueObserve(pos, out)
@@ -237,14 +251,14 @@ func (nd *Node) blueAct(pos Pos) radio.Action {
 		if !nd.assigned && int32(pos.Rank) == nd.blueRank {
 			slot := int(pos.Off) % nd.p.L
 			if nd.rng.Float64() < decay.TransmitProb(slot) {
-				return radio.Transmit(IdentPacket{Blue: nd.id})
+				return radio.Transmit(nd.identPkt)
 			}
 		}
 	case WinLoner:
 		if nd.blueActive(pos) && nd.isLoner {
 			slot := int(pos.Off) % nd.p.L
 			if nd.rng.Float64() < decay.TransmitProb(slot) {
-				return radio.Transmit(LonerPacket{Blue: nd.id})
+				return radio.Transmit(nd.lonerPkt)
 			}
 		}
 	case WinPart1, WinPart2, WinPart3:
@@ -311,7 +325,11 @@ func (nd *Node) redAct(pos Pos) radio.Action {
 		if nd.mopEligible(pos) {
 			slot := int(pos.Off) % nd.p.L
 			if nd.rng.Float64() < decay.TransmitProb(slot) {
-				return radio.Transmit(MopPacket{Red: nd.id, Rank: nd.redRank})
+				if nd.mopPkt == nil || nd.mopRank != nd.redRank {
+					nd.mopPkt = MopPacket{Red: nd.id, Rank: nd.redRank}
+					nd.mopRank = nd.redRank
+				}
+				return radio.Transmit(nd.mopPkt)
 			}
 		}
 	}

@@ -35,11 +35,19 @@ var _ radio.Protocol = (*Wave)(nil)
 // NewWave creates the protocol. horizon must be at least the
 // eccentricity of the source; the wave stops at that round.
 func NewWave(source bool, horizon int64) *Wave {
-	w := &Wave{isSource: source, horizon: horizon, level: -1}
+	w := &Wave{}
+	w.Reset(source, horizon)
+	return w
+}
+
+// Reset rewinds the protocol for a new run, allocation-free.
+func (w *Wave) Reset(source bool, horizon int64) {
+	w.isSource = source
+	w.horizon = horizon
+	w.level = -1
 	if source {
 		w.level = 0
 	}
-	return w
 }
 
 // Level returns the learned BFS level, or -1 if the wave has not

@@ -114,6 +114,13 @@ type Solver struct {
 	k      int
 	m      int
 	pivots map[int]solverRow
+	// scratch holds the equation being reduced. Reduction runs on the
+	// scratch pair, so the (overwhelmingly common) dependent insertions
+	// allocate nothing; only an independent equation is cloned into a
+	// stored row — and even that clone reuses a freed row when the
+	// solver has been Reset (the RLNC run-reuse path).
+	scratch solverRow
+	free    []solverRow // rows released by Reset, recycled by Add
 }
 
 type solverRow struct {
@@ -126,6 +133,16 @@ func NewSolver(k, m int) *Solver {
 	return &Solver{k: k, m: m, pivots: make(map[int]solverRow)}
 }
 
+// Reset empties the solver for a new run with the same dimensions.
+// Stored rows move to an internal freelist, so a reset-reused solver
+// performs no per-row allocation in its next run.
+func (s *Solver) Reset() {
+	for col, r := range s.pivots {
+		s.free = append(s.free, r)
+		delete(s.pivots, col)
+	}
+}
+
 // Rank returns the number of linearly independent rows inserted.
 func (s *Solver) Rank() int { return len(s.pivots) }
 
@@ -133,12 +150,18 @@ func (s *Solver) Rank() int { return len(s.pivots) }
 func (s *Solver) CanSolve() bool { return len(s.pivots) == s.k }
 
 // Add inserts an equation coeff·x = payload. It returns true iff the
-// equation was linearly independent of the prior ones.
+// equation was linearly independent of the prior ones. The inputs are
+// never retained or modified.
 func (s *Solver) Add(coeff, payload Vec) bool {
 	if coeff.Len() != s.k || payload.Len() != s.m {
 		panic("bitvec: Solver.Add dimension mismatch")
 	}
-	c, p := coeff.Clone(), payload.Clone()
+	if s.scratch.coeff.n != s.k || s.scratch.payload.n != s.m {
+		s.scratch = solverRow{coeff: New(s.k), payload: New(s.m)}
+	}
+	c, p := s.scratch.coeff, s.scratch.payload
+	c.CopyFrom(coeff)
+	p.CopyFrom(payload)
 	// Fully reduce the new equation against every stored row so that c
 	// ends with zeros at all existing pivot columns.
 	for pos := c.LowestSetBit(); pos >= 0; {
@@ -163,7 +186,16 @@ func (s *Solver) Add(coeff, payload Vec) bool {
 			s.pivots[col] = r
 		}
 	}
-	s.pivots[piv] = solverRow{coeff: c, payload: p}
+	var stored solverRow
+	if n := len(s.free); n > 0 {
+		stored = s.free[n-1]
+		s.free = s.free[:n-1]
+		stored.coeff.CopyFrom(c)
+		stored.payload.CopyFrom(p)
+	} else {
+		stored = solverRow{coeff: c.Clone(), payload: p.Clone()}
+	}
+	s.pivots[piv] = stored
 	return true
 }
 

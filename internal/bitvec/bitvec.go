@@ -64,6 +64,13 @@ func (v Vec) Clear(i int) { v.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
 // Flip toggles bit i.
 func (v Vec) Flip(i int) { v.words[i/wordBits] ^= 1 << (uint(i) % wordBits) }
 
+// Zero clears every bit in place (no allocation).
+func (v Vec) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
 // IsZero reports whether every bit is 0.
 func (v Vec) IsZero() bool {
 	for _, w := range v.words {
@@ -88,6 +95,16 @@ func (v Vec) Clone() Vec {
 	w := Vec{n: v.n, words: make([]uint64, len(v.words))}
 	copy(w.words, v.words)
 	return w
+}
+
+// CopyFrom overwrites v's bits with u's. Panics if lengths differ.
+// Unlike Clone it performs no allocation, so hot paths can reuse a
+// scratch vector across operations.
+func (v Vec) CopyFrom(u Vec) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, u.n))
+	}
+	copy(v.words, u.words)
 }
 
 // XorInPlace adds (XORs) u into v. Panics if lengths differ.
@@ -184,11 +201,18 @@ func (v Vec) String() string {
 // a source of uniform uint64s (e.g. (*rand.Rand).Uint64).
 func RandomVec(n int, next func() uint64) Vec {
 	v := New(n)
+	v.Randomize(next)
+	return v
+}
+
+// Randomize overwrites v with uniformly random bits drawn from next —
+// the in-place, allocation-free counterpart of RandomVec (identical
+// draws: one uint64 per word).
+func (v Vec) Randomize(next func() uint64) {
 	for i := range v.words {
 		v.words[i] = next()
 	}
 	v.trim()
-	return v
 }
 
 // RandomNonZeroVec returns a uniformly random non-zero length-n vector.

@@ -1,0 +1,57 @@
+package bitvec
+
+import "testing"
+
+// TestSolverDoesNotRetainInputs pins the scratch-based Add: mutating
+// an input vector after Add must not affect the solver's rows.
+func TestSolverDoesNotRetainInputs(t *testing.T) {
+	s := NewSolver(3, 4)
+	c := FromBits([]bool{true, false, false})
+	p := FromBits([]bool{true, true, false, false})
+	if !s.Add(c, p) {
+		t.Fatal("independent equation rejected")
+	}
+	c.Flip(1)
+	p.Flip(2)
+	s.Add(FromBits([]bool{false, true, false}), New(4))
+	s.Add(FromBits([]bool{false, false, true}), New(4))
+	got, ok := s.Solve()
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	want := FromBits([]bool{true, true, false, false})
+	if !Equal(got[0], want) {
+		t.Fatalf("x0 = %v, want %v — solver aliased caller memory", got[0], want)
+	}
+}
+
+// TestSolverResetReuse verifies Reset rewinds the solver for an
+// identical replay, recycling row storage.
+func TestSolverResetReuse(t *testing.T) {
+	const k, m = 6, 8
+	next := func(seed uint64) func() uint64 {
+		state := seed
+		return func() uint64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return state
+		}
+	}
+	run := func(s *Solver, seed uint64) (adds, rank int) {
+		gen := next(seed)
+		for i := 0; i < 40; i++ {
+			s.Add(RandomVec(k, gen), RandomVec(m, gen))
+			adds++
+		}
+		return adds, s.Rank()
+	}
+	s := NewSolver(k, m)
+	_, r1 := run(s, 77)
+	s.Reset()
+	if s.Rank() != 0 {
+		t.Fatal("reset kept rank")
+	}
+	_, r2 := run(s, 77)
+	if r1 != r2 {
+		t.Fatalf("reset replay diverged: rank %d vs %d", r1, r2)
+	}
+}

@@ -72,18 +72,40 @@ type Broadcast struct {
 
 	has       bool
 	msg       decay.Message
+	pkt       radio.Packet // msg boxed once, reused every transmission
 	RecvRound int64
+
+	// DoneSet, when non-nil, is ticked on the first reception.
+	DoneSet *radio.DoneSet
 }
 
 var _ radio.Protocol = (*Broadcast)(nil)
 
 // NewBroadcast creates the protocol for one node.
 func NewBroadcast(p Params, source bool, msg decay.Message, rng *rand.Rand) *Broadcast {
-	return &Broadcast{params: p, rng: rng, has: source, msg: msg, RecvRound: -1}
+	b := &Broadcast{params: p, rng: rng}
+	b.Reset(source, msg)
+	return b
+}
+
+// Reset rewinds the protocol for a new run with the same schedule.
+// The RNG binding is unchanged; reseeding it is the caller's job.
+func (b *Broadcast) Reset(source bool, msg decay.Message) {
+	b.has = source
+	b.msg = msg
+	b.RecvRound = -1
+	if source {
+		b.pkt = msg
+	} else {
+		b.pkt = nil
+	}
 }
 
 // Has reports whether the node holds the message.
 func (b *Broadcast) Has() bool { return b.has }
+
+// Rng exposes the protocol's RNG so reuse harnesses can reseed it.
+func (b *Broadcast) Rng() *rand.Rand { return b.rng }
 
 // Act implements radio.Protocol.
 func (b *Broadcast) Act(r int64) radio.Action {
@@ -91,7 +113,7 @@ func (b *Broadcast) Act(r int64) radio.Action {
 		return radio.Listen
 	}
 	if b.rng.Float64() < decay.TransmitProb(b.params.slot(r)) {
-		return radio.Transmit(b.msg)
+		return radio.Transmit(b.pkt)
 	}
 	return radio.Listen
 }
@@ -104,6 +126,8 @@ func (b *Broadcast) Observe(r int64, out radio.Outcome) {
 	if m, ok := out.Packet.(decay.Message); ok {
 		b.has = true
 		b.msg = m
+		b.pkt = out.Packet
 		b.RecvRound = r
+		b.DoneSet.Tick()
 	}
 }

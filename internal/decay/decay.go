@@ -48,7 +48,13 @@ type Broadcast struct {
 
 	has       bool
 	msg       Message
-	RecvRound int64 // round of first reception (-1 for the source)
+	pkt       radio.Packet // msg boxed once, reused every transmission
+	RecvRound int64        // round of first reception (-1 for the source)
+
+	// DoneSet, when non-nil, is ticked on the first reception (the
+	// not-done -> done transition); initially-done sources are accounted
+	// by the harness's post-reset scan.
+	DoneSet *radio.DoneSet
 }
 
 var _ radio.Protocol = (*Broadcast)(nil)
@@ -56,17 +62,30 @@ var _ radio.Protocol = (*Broadcast)(nil)
 // NewBroadcast creates the protocol for one node. The source holds the
 // message from the start.
 func NewBroadcast(n int, source bool, msg Message, rng *rand.Rand) *Broadcast {
-	return &Broadcast{
-		rng:       rng,
-		l:         sched.LogN(n),
-		has:       source,
-		msg:       msg,
-		RecvRound: -1,
+	b := &Broadcast{rng: rng, l: sched.LogN(n)}
+	b.Reset(source, msg)
+	return b
+}
+
+// Reset rewinds the protocol for a new run on the same network size,
+// allocation-free except for re-boxing the source's message. The RNG
+// binding is unchanged; reseeding it is the caller's job.
+func (b *Broadcast) Reset(source bool, msg Message) {
+	b.has = source
+	b.msg = msg
+	b.RecvRound = -1
+	if source {
+		b.pkt = msg
+	} else {
+		b.pkt = nil
 	}
 }
 
 // Has reports whether the node has received the message.
 func (b *Broadcast) Has() bool { return b.has }
+
+// Rng exposes the protocol's RNG so reuse harnesses can reseed it.
+func (b *Broadcast) Rng() *rand.Rand { return b.rng }
 
 // Act implements radio.Protocol.
 func (b *Broadcast) Act(r int64) radio.Action {
@@ -75,7 +94,7 @@ func (b *Broadcast) Act(r int64) radio.Action {
 	}
 	_, slot := sched.Cycle(r, int64(b.l))
 	if b.rng.Float64() < TransmitProb(int(slot)) {
-		return radio.Transmit(b.msg)
+		return radio.Transmit(b.pkt)
 	}
 	return radio.Listen
 }
@@ -88,7 +107,9 @@ func (b *Broadcast) Observe(r int64, out radio.Outcome) {
 	if m, ok := out.Packet.(Message); ok {
 		b.has = true
 		b.msg = m
+		b.pkt = out.Packet // reuse the already-boxed message
 		b.RecvRound = r
+		b.DoneSet.Tick()
 	}
 }
 
@@ -106,7 +127,11 @@ type MMV struct {
 
 	has       bool
 	msg       Message
+	pkt       radio.Packet // msg boxed once, reused every transmission
 	RecvRound int64
+
+	// DoneSet, when non-nil, is ticked on the first reception.
+	DoneSet *radio.DoneSet
 }
 
 var _ radio.Protocol = (*MMV)(nil)
@@ -114,19 +139,31 @@ var _ radio.Protocol = (*MMV)(nil)
 // NewMMV creates the Lemma 3.2 protocol for a node at BFS level
 // `level`. The source is level 0 and holds the message.
 func NewMMV(n int, level int, noising bool, msg Message, rng *rand.Rand) *MMV {
-	return &MMV{
-		rng:       rng,
-		l:         sched.LogN(n),
-		level:     int64(level),
-		noising:   noising,
-		has:       level == 0,
-		msg:       msg,
-		RecvRound: -1,
+	m := &MMV{rng: rng, l: sched.LogN(n)}
+	m.Reset(level, noising, msg)
+	return m
+}
+
+// Reset rewinds the protocol for a new run on the same network size.
+// The RNG binding is unchanged; reseeding it is the caller's job.
+func (m *MMV) Reset(level int, noising bool, msg Message) {
+	m.level = int64(level)
+	m.noising = noising
+	m.has = level == 0
+	m.msg = msg
+	m.RecvRound = -1
+	if m.has {
+		m.pkt = msg
+	} else {
+		m.pkt = nil
 	}
 }
 
 // Has reports whether the node has received the message.
 func (m *MMV) Has() bool { return m.has }
+
+// Rng exposes the protocol's RNG so reuse harnesses can reseed it.
+func (m *MMV) Rng() *rand.Rand { return m.rng }
 
 // Act implements radio.Protocol.
 func (m *MMV) Act(r int64) radio.Action {
@@ -139,7 +176,7 @@ func (m *MMV) Act(r int64) radio.Action {
 		return radio.Listen
 	}
 	if m.has {
-		return radio.Transmit(m.msg)
+		return radio.Transmit(m.pkt)
 	}
 	if m.noising {
 		return radio.Transmit(radio.NoisePacket{})
@@ -155,6 +192,8 @@ func (m *MMV) Observe(r int64, out radio.Outcome) {
 	if msg, ok := out.Packet.(Message); ok {
 		m.has = true
 		m.msg = msg
+		m.pkt = out.Packet
 		m.RecvRound = r
+		m.DoneSet.Tick()
 	}
 }

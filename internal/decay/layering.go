@@ -60,6 +60,18 @@ func NewLayering(n int, source bool, phasesPerEpoch int, rng *rand.Rand) *Layeri
 	}
 }
 
+// Reset rewinds the layering for a new run, allocation-free.
+func (ly *Layering) Reset(source bool) {
+	ly.isSource = source
+	ly.has = source
+	ly.recvEpoch = -1
+}
+
+// layerMsg is the boxed empty layering message, shared by every
+// transmission (the payload carries no information — only the packet's
+// presence matters).
+var layerMsg radio.Packet = Message{}
+
 // Level returns the learned BFS level: 0 for the source, the 1-based
 // epoch of first reception otherwise, and -1 if the node was never
 // reached.
@@ -89,7 +101,7 @@ func (ly *Layering) Act(r int64) radio.Action {
 	}
 	_, slot := sched.Cycle(r, int64(ly.l))
 	if ly.rng.Float64() < TransmitProb(int(slot)) {
-		return radio.Transmit(Message{})
+		return radio.Transmit(layerMsg)
 	}
 	return radio.Listen
 }

@@ -16,6 +16,7 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -81,6 +82,11 @@ type Cell struct {
 	// Run (possibly lowered by Runner.RoundLimit). Zero means the
 	// experiment's own fixed budget applies.
 	RoundLimit int64
+	// Cost is an estimated execution weight (simulated rounds × nodes
+	// is the usual proxy). RunAll schedules costlier cells first so a
+	// handful of long cells cannot serialize the tail of a sweep; zero
+	// means unknown (scheduled after every costed cell, in plan order).
+	Cost int64
 	// Run executes the cell. It must be deterministic given the cell's
 	// construction (the runner may execute it on any worker) and must
 	// not mutate state shared with other cells.
@@ -168,6 +174,59 @@ func (r *Runner) Run(p *Plan) []Result {
 func (r *Runner) RunTable(p *Plan) (*stats.Table, []Result) {
 	results := r.Run(p)
 	return p.Assemble(results), results
+}
+
+// RunAll executes every cell of every plan through ONE worker pool —
+// the cross-experiment scheduler. A per-plan Run serializes sweeps
+// behind their slowest experiment (workers idle while the last long
+// cells of one plan drain before the next plan starts); RunAll instead
+// admits all cells at once, ordered longest-first by Cell.Cost, so
+// long cells start early and short cells backfill the stragglers.
+//
+// Results are stored at [plan][cell] exactly like the input slices, so
+// per-plan assembly — and therefore all rendered output — is
+// byte-identical to sequential execution regardless of worker count or
+// admission order.
+func (r *Runner) RunAll(plans []*Plan) [][]Result {
+	results := make([][]Result, len(plans))
+	type ref struct{ plan, cell int }
+	var refs []ref
+	for pi, p := range plans {
+		results[pi] = make([]Result, len(p.Cells))
+		for ci := range p.Cells {
+			refs = append(refs, ref{pi, ci})
+		}
+	}
+	// Longest-cell-first admission; stable, so zero-cost cells keep
+	// plan order among themselves.
+	sort.SliceStable(refs, func(i, j int) bool {
+		return plans[refs[i].plan].Cells[refs[i].cell].Cost >
+			plans[refs[j].plan].Cells[refs[j].cell].Cost
+	})
+	w := r.workers(len(refs))
+	if w == 1 {
+		for _, rf := range refs {
+			results[rf.plan][rf.cell] = r.runCell(&plans[rf.plan].Cells[rf.cell])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	next := make(chan ref)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rf := range next {
+				results[rf.plan][rf.cell] = r.runCell(&plans[rf.plan].Cells[rf.cell])
+			}
+		}()
+	}
+	for _, rf := range refs {
+		next <- rf
+	}
+	close(next)
+	wg.Wait()
+	return results
 }
 
 func (r *Runner) runCell(c *Cell) Result {

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRunAllIndexesByPlanAndCell pins the merge contract: results land
+// at [plan][cell] regardless of the cost-ordered admission.
+func TestRunAllIndexesByPlanAndCell(t *testing.T) {
+	mk := func(id string, n int, cost func(int) int64) *Plan {
+		p := &Plan{ID: id}
+		for i := 0; i < n; i++ {
+			i := i
+			p.Cells = append(p.Cells, Cell{
+				Key:  Key{Experiment: id, Config: fmt.Sprint(i)},
+				Cost: cost(i),
+				Run:  func(int64) Result { return Rounds(int64(i), true) },
+			})
+		}
+		return p
+	}
+	plans := []*Plan{
+		mk("A", 5, func(i int) int64 { return int64(i) }),
+		mk("B", 3, func(i int) int64 { return int64(100 - i) }),
+		mk("C", 4, func(int) int64 { return 0 }),
+	}
+	for _, workers := range []int{1, 4} {
+		r := &Runner{Parallelism: workers}
+		all := r.RunAll(plans)
+		if len(all) != len(plans) {
+			t.Fatalf("workers=%d: %d result slices, want %d", workers, len(all), len(plans))
+		}
+		for pi, p := range plans {
+			if len(all[pi]) != len(p.Cells) {
+				t.Fatalf("workers=%d: plan %s has %d results, want %d", workers, p.ID, len(all[pi]), len(p.Cells))
+			}
+			for ci, res := range all[pi] {
+				if res.Rounds != int64(ci) || res.Key != p.Cells[ci].Key {
+					t.Fatalf("workers=%d: plan %s cell %d got %+v", workers, p.ID, ci, res)
+				}
+			}
+		}
+	}
+}
+
+// TestRunAllLongestCellFirst verifies the admission order on one
+// worker: strictly by descending Cost, with zero-cost cells last in
+// plan order.
+func TestRunAllLongestCellFirst(t *testing.T) {
+	var mu sync.Mutex
+	var order []int64
+	mk := func(id string, costs ...int64) *Plan {
+		p := &Plan{ID: id}
+		for i, c := range costs {
+			c := c
+			p.Cells = append(p.Cells, Cell{
+				Key:  Key{Experiment: id, Config: fmt.Sprint(i)},
+				Cost: c,
+				Run: func(int64) Result {
+					mu.Lock()
+					order = append(order, c)
+					mu.Unlock()
+					return Rounds(0, true)
+				},
+			})
+		}
+		return p
+	}
+	r := &Runner{Parallelism: 1}
+	r.RunAll([]*Plan{mk("A", 5, 1, 0), mk("B", 10, 3)})
+	want := []int64{10, 5, 3, 1, 0}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d cells, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admission order %v, want %v", order, want)
+		}
+	}
+}

@@ -167,36 +167,67 @@ type Pos struct {
 	// stage 2: Decay round offset.
 }
 
+// Locator is the precomputed form of a Config's schedule arithmetic.
+// Locate runs for every node in every round (Act and Observe), and
+// recomputing the segment-length chains — BoundariesRounds →
+// assign.BoundaryRounds → RankLen → ... — dominated full-sweep CPU
+// profiles (~60% of flat samples). Protocols compute a Locator once
+// and locate against the cached lengths instead.
+type Locator struct {
+	layer      int64
+	boundaries int64
+	boundary   int64 // one boundary's length
+	vdist      int64
+	stage1     int64
+	blockLen   int64 // stage1 + stage2
+	waveSpan   int64 // DBound+1: stage-1 level clock span
+}
+
+// Locator precomputes the Config's schedule lengths.
+func (c Config) Locator() Locator {
+	return Locator{
+		layer:      c.LayerRounds(),
+		boundaries: c.BoundariesRounds(),
+		boundary:   c.Assign.BoundaryRounds(),
+		vdist:      c.VdistRounds(),
+		stage1:     c.VdistStage1Rounds(),
+		blockLen:   c.VdistStage1Rounds() + c.VdistStage2Rounds(),
+		waveSpan:   int64(c.DBound + 1),
+	}
+}
+
 // Locate maps a global round to a schedule position.
-func (c Config) Locate(r int64) Pos {
+func (l Locator) Locate(r int64) Pos {
 	if r < 0 {
 		panic(fmt.Sprintf("gstdist: negative round %d", r))
 	}
-	if r < c.LayerRounds() {
+	if r < l.layer {
 		return Pos{Seg: SegLayer, Off: r}
 	}
-	r -= c.LayerRounds()
-	if r < c.BoundariesRounds() {
-		br := c.Assign.BoundaryRounds()
-		return Pos{Seg: SegBoundary, Boundary: int(r / br), Off: r % br}
+	r -= l.layer
+	if r < l.boundaries {
+		return Pos{Seg: SegBoundary, Boundary: int(r / l.boundary), Off: r % l.boundary}
 	}
-	r -= c.BoundariesRounds()
-	if r < c.VdistRounds() {
-		blockLen := c.VdistStage1Rounds() + c.VdistStage2Rounds()
-		d := int(r / blockLen)
-		rem := r % blockLen
-		if rem < c.VdistStage1Rounds() {
-			perRank := 2 * int64(c.DBound+1)
+	r -= l.boundaries
+	if r < l.vdist {
+		d := int(r / l.blockLen)
+		rem := r % l.blockLen
+		if rem < l.stage1 {
+			perRank := 2 * l.waveSpan
 			rank := int(rem / perRank)
 			rem %= perRank
-			epoch := int(rem / int64(c.DBound+1))
+			epoch := int(rem / l.waveSpan)
 			return Pos{Seg: SegVdist, D: d, Stage: 1, Rank: rank + 1,
-				Epoch: epoch, VdOff: rem % int64(c.DBound+1)}
+				Epoch: epoch, VdOff: rem % l.waveSpan}
 		}
-		return Pos{Seg: SegVdist, D: d, Stage: 2, VdOff: rem - c.VdistStage1Rounds()}
+		return Pos{Seg: SegVdist, D: d, Stage: 2, VdOff: rem - l.stage1}
 	}
 	return Pos{Seg: SegDone}
 }
+
+// Locate maps a global round to a schedule position. Hot paths should
+// cache a Locator instead of re-deriving it per call.
+func (c Config) Locate(r int64) Pos { return c.Locator().Locate(r) }
 
 // BlueLevel returns the blue level of boundary index b: boundaries are
 // processed deepest-first.

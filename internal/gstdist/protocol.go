@@ -45,6 +45,7 @@ type Result struct {
 // Protocol is the per-node distributed GST construction state machine.
 type Protocol struct {
 	cfg    Config
+	loc    Locator // cached schedule arithmetic (hot: every Act/Observe)
 	id     radio.NodeID
 	isRoot bool
 	rng    *rand.Rand
@@ -68,6 +69,10 @@ type Protocol struct {
 	vdist     int32
 	waveRelay bool // received the stage-1 wave in the current block
 	curBlock  int64
+	// Per-block boxed packets (contents are fixed within a block, so
+	// they box once per block instead of once per transmission).
+	wavePkt  radio.Packet
+	floodPkt radio.Packet
 }
 
 var _ radio.Protocol = (*Protocol)(nil)
@@ -78,6 +83,7 @@ var _ radio.Protocol = (*Protocol)(nil)
 func New(cfg Config, id radio.NodeID, isRoot bool, presetLevel int32, rng *rand.Rand) *Protocol {
 	p := &Protocol{
 		cfg:       cfg,
+		loc:       cfg.Locator(),
 		id:        id,
 		isRoot:    isRoot,
 		rng:       rng,
@@ -102,6 +108,40 @@ func New(cfg Config, id radio.NodeID, isRoot bool, presetLevel int32, rng *rand.
 		p.vdist = 0
 	}
 	return p
+}
+
+// Reset rewinds the protocol for a new run with the same Config,
+// reusing the layering sub-protocol (boundary machines are per-window
+// and rebuilt during the run either way). The RNG binding is
+// unchanged; reseeding it is the caller's job.
+func (p *Protocol) Reset(isRoot bool, presetLevel int32) {
+	p.isRoot = isRoot
+	p.level = -1
+	p.bNode = nil
+	p.bIdx = -1
+	p.rank = 0
+	p.ranked = false
+	p.sameRank = false
+	p.parent = -1
+	p.parentRnk = 0
+	p.assigned = false
+	p.vdist = -1
+	p.waveRelay = false
+	p.curBlock = -1
+	p.wavePkt = nil
+	p.floodPkt = nil
+	switch p.cfg.Mode {
+	case LayerCD:
+		p.wave.Reset(isRoot, p.cfg.LayerRounds())
+	case LayerDecay:
+		p.layering.Reset(isRoot)
+	case LayerPreset:
+		p.level = presetLevel
+	}
+	if isRoot {
+		p.level = 0
+		p.vdist = 0
+	}
 }
 
 // Result returns the node's learned GST data. Valid once the schedule
@@ -193,7 +233,7 @@ func (p *Protocol) syncBoundary(pos Pos) {
 
 // Act implements radio.Protocol.
 func (p *Protocol) Act(r int64) radio.Action {
-	pos := p.cfg.Locate(r)
+	pos := p.loc.Locate(r)
 	switch pos.Seg {
 	case SegLayer:
 		var act radio.Action
@@ -205,8 +245,8 @@ func (p *Protocol) Act(r int64) radio.Action {
 		}
 		// Sub-protocols may sleep past their own end; clamp to the
 		// start of segment B so boundary windows are not missed.
-		if act.SleepUntil > p.cfg.LayerRounds() {
-			act.SleepUntil = p.cfg.LayerRounds()
+		if act.SleepUntil > p.loc.layer {
+			act.SleepUntil = p.loc.layer
 		}
 		return act
 	case SegBoundary:
@@ -235,13 +275,13 @@ func (p *Protocol) Act(r int64) radio.Action {
 // during segment B: the start of its red-role boundary, its blue-role
 // boundary, or segment C.
 func (p *Protocol) nextWake(r int64, pos Pos) int64 {
-	base := p.cfg.LayerRounds()
-	br := p.cfg.Assign.BoundaryRounds()
-	candidates := []int{
+	base := p.loc.layer
+	br := p.loc.boundary
+	candidates := [2]int{
 		p.cfg.BoundaryIndexForBlueLevel(int(p.level) + 1), // red role
 		p.cfg.BoundaryIndexForBlueLevel(int(p.level)),     // blue role
 	}
-	next := p.cfg.LayerRounds() + p.cfg.BoundariesRounds() // segment C
+	next := p.loc.layer + p.loc.boundaries // segment C
 	for _, b := range candidates {
 		if b < 0 || b >= p.cfg.DBound || b <= pos.Boundary {
 			continue
@@ -258,7 +298,7 @@ func (p *Protocol) nextWake(r int64, pos Pos) int64 {
 
 // Observe implements radio.Protocol.
 func (p *Protocol) Observe(r int64, out radio.Outcome) {
-	pos := p.cfg.Locate(r)
+	pos := p.loc.Locate(r)
 	switch pos.Seg {
 	case SegLayer:
 		switch {
@@ -290,7 +330,7 @@ func (p *Protocol) vdistAct(pos Pos) radio.Action {
 		launch := pos.Epoch == 0 && p.vdist == int32(pos.D) && p.isStretchStart()
 		relay := pos.Epoch == 1 && p.waveRelay
 		if launch || relay {
-			return radio.Transmit(WavePacket{D: int32(pos.D), Tag: p.cfg.Tag})
+			return radio.Transmit(p.wavePkt)
 		}
 		return radio.Listen
 	}
@@ -298,18 +338,21 @@ func (p *Protocol) vdistAct(pos Pos) radio.Action {
 	if p.vdist == int32(pos.D) {
 		slot := int(pos.VdOff) % p.cfg.L()
 		if p.rng.Float64() < decay.TransmitProb(slot) {
-			return radio.Transmit(FloodPacket{D: int32(pos.D), Tag: p.cfg.Tag})
+			return radio.Transmit(p.floodPkt)
 		}
 	}
 	return radio.Listen
 }
 
-// syncVdistBlock resets per-block wave state.
+// syncVdistBlock resets per-block wave state and re-boxes the block's
+// packets (their contents are constant within a block).
 func (p *Protocol) syncVdistBlock(pos Pos) {
 	block := int64(pos.D)
 	if block != p.curBlock {
 		p.curBlock = block
 		p.waveRelay = false
+		p.wavePkt = WavePacket{D: int32(pos.D), Tag: p.cfg.Tag}
+		p.floodPkt = FloodPacket{D: int32(pos.D), Tag: p.cfg.Tag}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"radiocast/internal/gstdist"
 	"radiocast/internal/radio"
 	"radiocast/internal/recruit"
+	"radiocast/internal/rings"
 	"radiocast/internal/rng"
 	"radiocast/internal/sched"
 	"radiocast/internal/stats"
@@ -54,6 +55,7 @@ func All() []Experiment {
 		{"E13", "Robustness: loss-rate sweep (Decay vs CR vs Thm 1.1 vs Thm 1.3)", E13Plan},
 		{"E14", "Robustness: jammer-budget sweep (oblivious vs adaptive)", E14Plan},
 		{"E15", "Robustness: unreliable collision detection sweep", E15Plan},
+		{"E16", "Robustness: radio-fault sweep (late wakeup / crash)", E16Plan},
 		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1Plan},
 		{"A2", "Ablation: RLNC vs store-and-forward routing", A2Plan},
 		{"A3", "Ablation: ring width in Theorem 1.1", A3Plan},
@@ -68,12 +70,25 @@ func clusterChain(chain int) *graph.Graph { return graph.ClusterChain(chain, 8) 
 // budgets).
 const broadcastLimit = 1 << 22
 
+// baselineCost estimates a baseline broadcast cell's work: n nodes
+// polled for roughly O(D log n + log^2 n) rounds. Only the relative
+// order against the budgeted theorem cells matters for scheduling.
+func baselineCost(g *graph.Graph, d int) int64 {
+	l := int64(sched.LogN(g.N()))
+	return int64(g.N()) * (int64(d)*l + l*l)
+}
+
+// budgetCost estimates a fixed-schedule cell's work: n nodes over its
+// full round budget.
+func budgetCost(n int, budget int64) int64 { return int64(n) * budget }
+
 // singleCell compiles one baseline broadcast run (decay, cr, or gst)
 // into a cell. The graph is shared read-only across cells.
 func singleCell(id string, g *graph.Graph, d int, proto string, seed uint64, config string) exp.Cell {
 	return exp.Cell{
 		Key:        exp.Key{Experiment: id, Config: config, Seed: seed},
 		RoundLimit: broadcastLimit,
+		Cost:       baselineCost(g, d),
 		Run: func(limit int64) exp.Result {
 			switch proto {
 			case "decay":
@@ -114,7 +129,8 @@ func E1Plan(seeds int, quick bool) *exp.Plan {
 			}
 		}
 		p.Cells = append(p.Cells, exp.Cell{
-			Key: exp.Key{Experiment: "E1", Config: fmt.Sprintf("chain=%d/th11", chain), Seed: 1},
+			Key:  exp.Key{Experiment: "E1", Config: fmt.Sprintf("chain=%d/th11", chain), Seed: 1},
+			Cost: budgetCost(g.N(), rings.DefaultConfig(g.N(), d, 0, 1).TotalRounds()),
 			Run: func(int64) exp.Result {
 				res := RunTheorem11(g, d, 1, 1)
 				return exp.Result{Rounds: res.Rounds, Completed: res.Completed, Payload: res}
@@ -236,7 +252,8 @@ func E3Plan(seeds int, quick bool) *exp.Plan {
 			cfg := gstdist.DefaultConfig(g.N(), d, c, gstdist.LayerCD, false)
 			for s := 0; s < seeds; s++ {
 				p.Cells = append(p.Cells, exp.Cell{
-					Key: exp.Key{Experiment: "E3", Config: fmt.Sprintf("graph=%s/c=%d", g.Name(), c), Seed: uint64(s)},
+					Key:  exp.Key{Experiment: "E3", Config: fmt.Sprintf("graph=%s/c=%d", g.Name(), c), Seed: uint64(s)},
+					Cost: budgetCost(g.N(), cfg.TotalRounds()),
 					Run: func(int64) exp.Result {
 						valid := runConstructionValid(g, cfg, uint64(s))
 						res := exp.Result{Rounds: cfg.TotalRounds(), Completed: valid}

@@ -32,6 +32,7 @@ func E7Plan(seeds int, quick bool) *exp.Plan {
 			p.Cells = append(p.Cells, exp.Cell{
 				Key:        exp.Key{Experiment: "E7", Config: fmt.Sprintf("k=%d", k), Seed: uint64(s)},
 				RoundLimit: broadcastLimit,
+				Cost:       baselineCost(g, d) + budgetCost(g.N(), int64(k*l)),
 				Run: func(limit int64) exp.Result {
 					return exp.Rounds(RunGSTMulti(g, k, uint64(s), limit))
 				},
@@ -90,9 +91,11 @@ func E8Plan(seeds int, quick bool) *exp.Plan {
 	p := &exp.Plan{ID: "E8", Title: "k-message broadcast, unknown topology + CD (Thm 1.3)"}
 	for _, c := range cases {
 		d := graph.Eccentricity(c.g, 0)
+		budget := rings.DefaultConfig(c.g.N(), d, c.k, 1).TotalRounds()
 		for s := 0; s < seeds; s++ {
 			p.Cells = append(p.Cells, exp.Cell{
-				Key: exp.Key{Experiment: "E8", Config: fmt.Sprintf("graph=%s/k=%d", c.g.Name(), c.k), Seed: uint64(s)},
+				Key:  exp.Key{Experiment: "E8", Config: fmt.Sprintf("graph=%s/k=%d", c.g.Name(), c.k), Seed: uint64(s)},
+				Cost: budgetCost(c.g.N(), budget),
 				Run: func(int64) exp.Result {
 					r, ok, _ := RunTheorem13(c.g, d, c.k, 1, uint64(s))
 					return exp.Rounds(r, ok)
@@ -145,11 +148,13 @@ func E9Plan(seeds int, quick bool) *exp.Plan {
 	}
 	p := &exp.Plan{ID: "E9", Title: "Decay is MMV (Lemma 3.2)"}
 	for _, g := range gs {
+		cost := 3 * baselineCost(g, graph.Eccentricity(g, 0))
 		for _, mode := range jamModes {
 			noising := mode == "jam"
 			for s := 0; s < seeds; s++ {
 				p.Cells = append(p.Cells, exp.Cell{
-					Key: exp.Key{Experiment: "E9", Config: fmt.Sprintf("graph=%s/%s", g.Name(), mode), Seed: uint64(s)},
+					Key:  exp.Key{Experiment: "E9", Config: fmt.Sprintf("graph=%s/%s", g.Name(), mode), Seed: uint64(s)},
+					Cost: cost,
 					Run: func(int64) exp.Result {
 						return exp.Rounds(runDecayMMV(g, noising, uint64(s)))
 					},
@@ -198,21 +203,17 @@ func E9DecayMMV(seeds int, quick bool) *stats.Table { return runPlan(E9Plan(seed
 func runDecayMMV(g *graph.Graph, noising bool, seed uint64) (int64, bool) {
 	levels := graph.BFS(g, 0)
 	nw := radio.New(g, radio.Config{})
+	var ds DoneSet
 	protos := make([]*decay.MMV, g.N())
 	for v := 0; v < g.N(); v++ {
 		protos[v] = decay.NewMMV(g.N(), int(levels.Dist[v]), noising, decay.Message{Data: 2}, rng.New(seed, 0x91, uint64(v)))
+		protos[v].DoneSet = &ds
 		nw.SetProtocol(graph.NodeID(v), protos[v])
 	}
+	initDone(&ds, g.N(), func(v int) bool { return protos[v].Has() })
 	l := int64(sched.LogN(g.N()))
 	limit := 200 * (int64(levels.MaxDist)*l + l*l)
-	return nw.RunUntil(limit, func() bool {
-		for _, p := range protos {
-			if !p.Has() {
-				return false
-			}
-		}
-		return true
-	})
+	return nw.RunUntil(limit, ds.Done)
 }
 
 // E10Plan reproduces Lemma 3.3: the GST schedule under jamming.
@@ -223,12 +224,14 @@ func E10Plan(seeds int, quick bool) *exp.Plan {
 	}
 	p := &exp.Plan{ID: "E10", Title: "MMV GST schedule under noise (Lemma 3.3)"}
 	for _, g := range gs {
+		cost := baselineCost(g, graph.Eccentricity(g, 0))
 		for _, mode := range jamModes {
 			noising := mode == "jam"
 			for s := 0; s < seeds; s++ {
 				p.Cells = append(p.Cells, exp.Cell{
 					Key:        exp.Key{Experiment: "E10", Config: fmt.Sprintf("graph=%s/%s", g.Name(), mode), Seed: uint64(s)},
 					RoundLimit: broadcastLimit,
+					Cost:       cost,
 					Run: func(limit int64) exp.Result {
 						return exp.Rounds(RunGSTSingle(g, noising, uint64(s), limit))
 					},
@@ -400,9 +403,11 @@ func a1Run(g *graph.Graph, levelKeyed bool, seed uint64) (int64, bool) {
 	infos := mmv.InfoFromTree(tree)
 	s := mmv.NewSchedule(g.N())
 	nw := radio.New(g, radio.Config{})
+	var ds DoneSet
 	contents := make([]*mmv.SingleMessage, g.N())
 	for v := 0; v < g.N(); v++ {
 		contents[v] = mmv.NewSingleMessage(v == 0, decay.Message{})
+		contents[v].DoneSet = &ds
 		var p *mmv.Protocol
 		if levelKeyed {
 			p = mmv.NewLevelKeyed(s, infos[v], contents[v], true, rng.New(seed, 0xa1, uint64(v)))
@@ -411,14 +416,8 @@ func a1Run(g *graph.Graph, levelKeyed bool, seed uint64) (int64, bool) {
 		}
 		nw.SetProtocol(graph.NodeID(v), p)
 	}
-	return nw.RunUntil(1<<18, func() bool {
-		for _, c := range contents {
-			if !c.Done() {
-				return false
-			}
-		}
-		return true
-	})
+	initDone(&ds, g.N(), func(v int) bool { return contents[v].Done() })
+	return nw.RunUntil(1<<18, ds.Done)
 }
 
 // A1Plan compares the MMV schedule's virtual-distance slow slots
@@ -431,11 +430,13 @@ func A1Plan(seeds int, quick bool) *exp.Plan {
 	variants := []string{"vdist", "level"}
 	p := &exp.Plan{ID: "A1", Title: "Ablation: virtual-distance vs level-keyed slow slots"}
 	for _, g := range gs {
+		cost := 2 * baselineCost(g, graph.Eccentricity(g, 0))
 		for _, variant := range variants {
 			levelKeyed := variant == "level"
 			for s := 0; s < seeds; s++ {
 				p.Cells = append(p.Cells, exp.Cell{
-					Key: exp.Key{Experiment: "A1", Config: fmt.Sprintf("graph=%s/%s", g.Name(), variant), Seed: uint64(s)},
+					Key:  exp.Key{Experiment: "A1", Config: fmt.Sprintf("graph=%s/%s", g.Name(), variant), Seed: uint64(s)},
+					Cost: cost,
 					Run: func(int64) exp.Result {
 						return exp.Rounds(a1Run(g, levelKeyed, uint64(s)))
 					},
@@ -483,6 +484,7 @@ func A2Plan(seeds int, quick bool) *exp.Plan {
 		ks = ks[:2]
 	}
 	g := graph.Grid(6, 6)
+	a2Cost := baselineCost(g, graph.Eccentricity(g, 0))
 	variants := []string{"rlnc", "routing"}
 	p := &exp.Plan{ID: "A2", Title: "Ablation: RLNC vs store-and-forward routing"}
 	for _, k := range ks {
@@ -492,6 +494,7 @@ func A2Plan(seeds int, quick bool) *exp.Plan {
 				p.Cells = append(p.Cells, exp.Cell{
 					Key:        exp.Key{Experiment: "A2", Config: fmt.Sprintf("k=%d/%s", k, variant), Seed: uint64(s)},
 					RoundLimit: broadcastLimit,
+					Cost:       a2Cost * int64(k),
 					Run: func(limit int64) exp.Result {
 						if coded {
 							return exp.Rounds(RunGSTMulti(g, k, uint64(s), limit))
@@ -551,23 +554,20 @@ func A3Plan(seeds int, quick bool) *exp.Plan {
 	for _, w := range widths {
 		for s := 0; s < seeds; s++ {
 			p.Cells = append(p.Cells, exp.Cell{
-				Key: exp.Key{Experiment: "A3", Config: fmt.Sprintf("w=%d", w), Seed: uint64(s)},
+				Key:  exp.Key{Experiment: "A3", Config: fmt.Sprintf("w=%d", w), Seed: uint64(s)},
+				Cost: budgetCost(g.N(), a3Config(g, d, w).TotalRounds()),
 				Run: func(int64) exp.Result {
 					cfg := a3Config(g, d, w)
 					nw := radio.New(g, radio.Config{CollisionDetection: true})
+					var ds DoneSet
 					protos := make([]*rings.Protocol, g.N())
 					for v := 0; v < g.N(); v++ {
 						protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, nil, rng.New(uint64(s), 0xa3, uint64(v)))
+						protos[v].SingleContent().DoneSet = &ds
 						nw.SetProtocol(graph.NodeID(v), protos[v])
 					}
-					r, ok := nw.RunUntil(cfg.TotalRounds(), func() bool {
-						for _, p := range protos {
-							if !p.Has() {
-								return false
-							}
-						}
-						return true
-					})
+					initDone(&ds, g.N(), func(v int) bool { return protos[v].Has() })
+					r, ok := nw.RunUntil(cfg.TotalRounds(), ds.Done)
 					return exp.Rounds(r, ok)
 				},
 			})

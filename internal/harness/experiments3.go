@@ -14,6 +14,7 @@ import (
 	"radiocast/internal/exp"
 	"radiocast/internal/graph"
 	"radiocast/internal/radio"
+	"radiocast/internal/rings"
 	"radiocast/internal/rng"
 	"radiocast/internal/stats"
 )
@@ -47,6 +48,12 @@ func E13Plan(seeds int, quick bool) *exp.Plan {
 	g := robustnessChain()
 	d := graph.Eccentricity(g, 0)
 	const k = 4
+	costs := map[string]int64{
+		"decay": 4 * baselineCost(g, d),
+		"cr":    4 * baselineCost(g, d),
+		"th11":  budgetCost(g.N(), rings.DefaultConfig(g.N(), d, 0, 1).TotalRounds()),
+		"th13":  budgetCost(g.N(), rings.DefaultConfig(g.N(), d, k, 1).TotalRounds()),
+	}
 	p := &exp.Plan{ID: "E13", Title: "Robustness: loss-rate sweep (Decay vs CR vs Thm 1.1 vs Thm 1.3)"}
 	for _, loss := range losses {
 		for _, proto := range e13Protocols {
@@ -55,6 +62,7 @@ func E13Plan(seeds int, quick bool) *exp.Plan {
 				p.Cells = append(p.Cells, exp.Cell{
 					Key:        exp.Key{Experiment: "E13", Config: fmt.Sprintf("loss=%g/%s", loss, proto), Seed: seed},
 					RoundLimit: broadcastLimit,
+					Cost:       costs[proto],
 					Run: func(limit int64) exp.Result {
 						ch := lossChannel(loss, seed)
 						switch proto {
@@ -140,6 +148,10 @@ func E14Plan(seeds int, quick bool) *exp.Plan {
 	g := graph.Grid(8, 8)
 	d := graph.Eccentricity(g, 0)
 	protos := []string{"decay", "th11"}
+	costs := map[string]int64{
+		"decay": 4 * baselineCost(g, d),
+		"th11":  budgetCost(g.N(), rings.DefaultConfig(g.N(), d, 0, 1).TotalRounds()),
+	}
 	p := &exp.Plan{ID: "E14", Title: "Robustness: jammer-budget sweep (oblivious vs adaptive)"}
 	for _, budget := range budgets {
 		for _, variant := range e14Variants {
@@ -149,6 +161,7 @@ func E14Plan(seeds int, quick bool) *exp.Plan {
 					p.Cells = append(p.Cells, exp.Cell{
 						Key:        exp.Key{Experiment: "E14", Config: fmt.Sprintf("jam=%d/%s/%s", budget, variant, proto), Seed: seed},
 						RoundLimit: broadcastLimit,
+						Cost:       costs[proto] + budget,
 						Run: func(limit int64) exp.Result {
 							ch := jamChannel(budget, variant == "adaptive", seed)
 							if proto == "decay" {
@@ -230,14 +243,20 @@ func E15Plan(seeds int, quick bool) *exp.Plan {
 	g := robustnessChain()
 	d := graph.Eccentricity(g, 0)
 	variants := []string{"decay", "th11miss", "th11spur"}
+	th11Cost := budgetCost(g.N(), rings.DefaultConfig(g.N(), d, 0, 1).TotalRounds())
 	p := &exp.Plan{ID: "E15", Title: "Robustness: unreliable collision detection sweep"}
 	for _, q := range qs {
 		for _, variant := range variants {
 			for s := 0; s < seeds; s++ {
 				q, variant, seed := q, variant, uint64(s)
+				cost := th11Cost
+				if variant == "decay" {
+					cost = 4 * baselineCost(g, d)
+				}
 				p.Cells = append(p.Cells, exp.Cell{
 					Key:        exp.Key{Experiment: "E15", Config: fmt.Sprintf("q=%g/%s", q, variant), Seed: seed},
 					RoundLimit: broadcastLimit,
+					Cost:       cost,
 					Run: func(limit int64) exp.Result {
 						switch variant {
 						case "decay":

@@ -1,0 +1,158 @@
+package harness
+
+// E16: the fault-rate sweep that completes the robustness catalog —
+// the Faults channel (crash / late wakeup) had engine and CLI support
+// since the adversarial-channel subsystem landed, but no experiment
+// exercised it.
+
+import (
+	"fmt"
+
+	"radiocast/internal/channel"
+	"radiocast/internal/exp"
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+	"radiocast/internal/rings"
+	"radiocast/internal/rng"
+	"radiocast/internal/stats"
+)
+
+// e16Variants orders the two fault modes: late wakeup (radios dead
+// until a random round, then healthy forever) and crash (radios die
+// at a random round, permanently).
+var e16Variants = []string{"late", "crash"}
+
+// e16Protocols orders the protocol columns.
+var e16Protocols = []string{"decay", "cr", "th11"}
+
+// E16 fault-model horizons: late radios wake uniformly in
+// [1, e16MaxDelay]; crashed radios die uniformly in [1, e16Horizon].
+// Both are on the order of the fault-free Decay completion time
+// (~80 rounds on the E16 workload), so faults actually intersect the
+// broadcast — a crash horizon far past completion would be invisible.
+const (
+	e16MaxDelay = 256
+	e16Horizon  = 128
+)
+
+// E16Plan sweeps a per-node fault probability under both fault modes.
+// Every protocol runs under the SAME round budget (Theorem 1.1's total
+// schedule), so the coverage columns compare equal air time. Expected
+// shape: under late wakeups the retry-forever baselines stay complete
+// (slower), while Theorem 1.1's collision wave has passed before late
+// radios wake — they miss their BFS layer and the stack's coverage
+// decays with the rate. Under crashes no protocol can finish (a
+// crashed radio that never received is unreachable), so the metric is
+// coverage: the baselines degrade with the crashed fraction, the
+// fixed pipeline collapses faster because a crash also severs the
+// relay structure it built.
+func E16Plan(seeds int, quick bool) *exp.Plan {
+	rates := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	if quick {
+		rates = []float64{0, 0.1, 0.4}
+	}
+	g := robustnessChain()
+	d := graph.Eccentricity(g, 0)
+	budget := rings.DefaultConfig(g.N(), d, 0, 1).TotalRounds()
+	costs := map[string]int64{
+		"decay": 4 * baselineCost(g, d),
+		"cr":    4 * baselineCost(g, d),
+		"th11":  budgetCost(g.N(), budget),
+	}
+	p := &exp.Plan{ID: "E16", Title: "Robustness: radio-fault sweep (late wakeup / crash)"}
+	for _, rate := range rates {
+		for _, variant := range e16Variants {
+			for _, proto := range e16Protocols {
+				for s := 0; s < seeds; s++ {
+					rate, variant, proto, seed := rate, variant, proto, uint64(s)
+					p.Cells = append(p.Cells, exp.Cell{
+						Key:        exp.Key{Experiment: "E16", Config: fmt.Sprintf("fault=%g/%s/%s", rate, variant, proto), Seed: seed},
+						RoundLimit: budget,
+						Cost:       costs[proto],
+						Run: func(limit int64) exp.Result {
+							return e16Cell(g, d, proto, variant, rate, seed, limit)
+						},
+					})
+				}
+			}
+		}
+	}
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title: "E16: broadcast under radio faults (clusterchain-6x6, shared round budget)",
+			Comment: fmt.Sprintf("late: radios dead until uniform wake in [1,%d]; crash: radios die at uniform round in [1,%d];\n"+
+				"cov = mean fraction of nodes holding the message when the run stops (budget %d rounds for every protocol);\n"+
+				"baselines retry past late wakeups, Thm 1.1's one-shot wave+build cannot; crashes cap everyone's coverage",
+				e16MaxDelay, e16Horizon, budget),
+			Header: []string{"fault", "rate", "decay cov", "decay rounds", "cr cov", "th11 cov", "th11 ok"},
+		}
+		for _, variant := range e16Variants {
+			for _, rate := range rates {
+				collect := func(proto string) (cov float64, rounds []float64, okCount int) {
+					var covs []float64
+					for s := 0; s < seeds; s++ {
+						r := idx[exp.Key{Experiment: "E16", Config: fmt.Sprintf("fault=%g/%s/%s", rate, variant, proto), Seed: uint64(s)}]
+						covs = append(covs, r.Value)
+						if r.Completed {
+							okCount++
+							rounds = append(rounds, float64(r.Rounds))
+						}
+					}
+					return stats.Summarize(covs, 0, 0).Mean, rounds, okCount
+				}
+				dcov, drounds, _ := collect("decay")
+				ccov, _, _ := collect("cr")
+				tcov, _, tok := collect("th11")
+				t.AddRow(variant, stats.F(rate),
+					stats.F(dcov), stats.F(meanOrDash(drounds)),
+					stats.F(ccov), stats.F(tcov),
+					fmt.Sprintf("%d/%d", tok, seeds))
+			}
+		}
+		return t
+	}
+	return p
+}
+
+// e16Cell executes one fault cell: proto under the variant's fault
+// table at the given rate, capped at the shared budget. Value is the
+// coverage fraction.
+func e16Cell(g *graph.Graph, d int, proto, variant string, rate float64, seed uint64, limit int64) exp.Result {
+	ch := faultChannel(g.N(), variant, rate, seed)
+	n := float64(g.N())
+	switch proto {
+	case "decay":
+		r := NewDecayRun(g)
+		rounds, ok, st := r.Run(ch, seed, limit)
+		res := exp.RoundsOn(rounds, ok, st.Dropped, st.Jammed)
+		res.Value = float64(r.Coverage()) / n
+		return res
+	case "cr":
+		r := NewCRRun(g, d)
+		rounds, ok, st := r.Run(ch, seed, limit)
+		res := exp.RoundsOn(rounds, ok, st.Dropped, st.Jammed)
+		res.Value = float64(r.Coverage()) / n
+		return res
+	default: // "th11"
+		r := RunTheorem11On(g, d, 1, ch, seed)
+		res := exp.RoundsOn(r.Rounds, r.Completed, r.Stats.Dropped, r.Stats.Jammed)
+		res.Value = float64(r.Covered) / n
+		return res
+	}
+}
+
+// faultChannel returns a fresh per-run fault table; rate 0 is the
+// ideal channel (nil), anchoring the sweep's baseline.
+func faultChannel(n int, variant string, rate float64, seed uint64) radio.Channel {
+	if rate == 0 {
+		return nil
+	}
+	if variant == "late" {
+		return channel.RandomFaults(n, 0, rate, e16MaxDelay, 0, 0, rng.Mix(seed, 0xe16))
+	}
+	return channel.RandomFaults(n, 0, 0, 0, rate, e16Horizon, rng.Mix(seed, 0xe16))
+}
+
+// E16FaultSweep runs E16 sequentially (compat wrapper).
+func E16FaultSweep(seeds int, quick bool) *stats.Table { return runPlan(E16Plan(seeds, quick)) }

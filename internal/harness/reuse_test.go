@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"testing"
+
+	"radiocast/internal/channel"
+	"radiocast/internal/graph"
+	"radiocast/internal/rng"
+)
+
+// TestReuseContextsMatchFreshRuns pins the harness half of the reuse
+// contract across every stack: executing N seeds through one reusable
+// context must produce exactly the rounds, completion, and engine
+// stats of N construct-per-run executions — including over an
+// adversarial channel.
+func TestReuseContextsMatchFreshRuns(t *testing.T) {
+	g := graph.ClusterChain(4, 5)
+	d := graph.Eccentricity(g, 0)
+	const limit = 1 << 20
+	seeds := []uint64{0, 1, 2, 5}
+
+	t.Run("decay", func(t *testing.T) {
+		run := NewDecayRun(g)
+		for _, s := range seeds {
+			fr, fok, fst := RunDecayOn(g, nil, s, limit)
+			rr, rok, rst := run.Run(nil, s, limit)
+			if fr != rr || fok != rok || fst != rst {
+				t.Fatalf("seed %d: fresh (%d,%v,%+v) vs reused (%d,%v,%+v)", s, fr, fok, fst, rr, rok, rst)
+			}
+		}
+	})
+	t.Run("decay-lossy", func(t *testing.T) {
+		run := NewDecayRun(g)
+		for _, s := range seeds {
+			fr, fok, fst := RunDecayOn(g, channel.NewErasure(0.2, rng.Mix(s, 1)), s, limit)
+			rr, rok, rst := run.Run(channel.NewErasure(0.2, rng.Mix(s, 1)), s, limit)
+			if fr != rr || fok != rok || fst != rst {
+				t.Fatalf("seed %d: fresh (%d,%v,%+v) vs reused (%d,%v,%+v)", s, fr, fok, fst, rr, rok, rst)
+			}
+		}
+	})
+	t.Run("cr", func(t *testing.T) {
+		run := NewCRRun(g, d)
+		for _, s := range seeds {
+			fr, fok, _ := RunCROn(g, d, nil, s, limit)
+			rr, rok, _ := run.Run(nil, s, limit)
+			if fr != rr || fok != rok {
+				t.Fatalf("seed %d: fresh (%d,%v) vs reused (%d,%v)", s, fr, fok, rr, rok)
+			}
+		}
+	})
+	t.Run("gst-single", func(t *testing.T) {
+		run := NewGSTSingleRun(g, false)
+		for _, s := range seeds {
+			fr, fok, _ := RunGSTSingleOn(g, false, nil, s, limit)
+			rr, rok, _ := run.Run(nil, s, limit)
+			if fr != rr || fok != rok {
+				t.Fatalf("seed %d: fresh (%d,%v) vs reused (%d,%v)", s, fr, fok, rr, rok)
+			}
+		}
+	})
+	t.Run("gst-multi", func(t *testing.T) {
+		run := NewGSTMultiRun(g, 4)
+		for _, s := range seeds {
+			fr, fok, _ := RunGSTMultiOn(g, 4, nil, s, limit)
+			rr, rok, _ := run.Run(nil, s, limit)
+			if fr != rr || fok != rok {
+				t.Fatalf("seed %d: fresh (%d,%v) vs reused (%d,%v)", s, fr, fok, rr, rok)
+			}
+		}
+	})
+	t.Run("theorem11", func(t *testing.T) {
+		run := NewTheorem11Run(g, d, 1)
+		for _, s := range seeds {
+			fresh := RunTheorem11(g, d, 1, s)
+			reused := run.Run(nil, s)
+			if fresh != reused {
+				t.Fatalf("seed %d:\nfresh  %+v\nreused %+v", s, fresh, reused)
+			}
+		}
+	})
+	t.Run("theorem13", func(t *testing.T) {
+		run := NewTheorem13Run(g, d, 4, 1)
+		for _, s := range seeds {
+			fr, fok, _, fst := RunTheorem13On(g, d, 4, 1, nil, s)
+			rr, rok, rst := run.Run(nil, s)
+			if fr != rr || fok != rok || fst != rst {
+				t.Fatalf("seed %d: fresh (%d,%v,%+v) vs reused (%d,%v,%+v)", s, fr, fok, fst, rr, rok, rst)
+			}
+		}
+	})
+}

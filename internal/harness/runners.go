@@ -1,11 +1,30 @@
-// Package harness defines every reproduction experiment (E1..E12, plus
+// Package harness defines every reproduction experiment (E1..E16, plus
 // the ablations A1..A3 of DESIGN.md) as a reusable runner producing a
 // stats.Table. The same runners back `go test -bench`, cmd/radiobench,
 // and the examples, so every number in EXPERIMENTS.md can be
 // regenerated three ways.
+//
+// Every protocol stack has two entry points:
+//
+//   - the one-shot Run* functions (construct, run once, discard) —
+//     what experiment cells use, since cells must share no mutable
+//     state across workers;
+//   - a reusable *Run context (NewDecayRun, NewTheorem13Run, ...) that
+//     executes N seeds on one configuration with zero per-seed
+//     construction: radio.Network.Reset rewinds the engine, every
+//     protocol Reset rewinds in place, and rng.Reseed rewinds the held
+//     RNG streams. A context-run is bit-identical to a fresh run with
+//     the same seed — same RNG streams, same draws, same rounds.
+//
+// Completion predicates are O(1): each protocol/content layer ticks a
+// radio.DoneSet exactly once on first completion, replacing the
+// historical all-nodes scan after every executed round (an O(n·R)
+// cost that dominated long runs).
 package harness
 
 import (
+	"math/rand"
+
 	"radiocast/internal/bitvec"
 	"radiocast/internal/cr"
 	"radiocast/internal/decay"
@@ -18,6 +37,69 @@ import (
 	"radiocast/internal/rng"
 )
 
+// DoneSet is the O(1) completion counter protocols tick on first
+// completion (alias of radio.DoneSet, which lives in the engine
+// package so every protocol layer can hold one without import cycles).
+type DoneSet = radio.DoneSet
+
+// initDone applies the DoneSet contract after a stack is constructed
+// or reset: rewind the counter LAST (wiping any stray ticks fired
+// while preloading source stores), then perform the single O(n) scan
+// ticking every node that starts completed. done reports node v's
+// initial completion. From here on, protocols tick only on their
+// not-done -> done transition, so RunUntil predicates are one integer
+// compare.
+func initDone(ds *DoneSet, n int, done func(v int) bool) {
+	ds.Reset(n)
+	for v := 0; v < n; v++ {
+		if done(v) {
+			ds.Tick()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Decay (BGI baseline).
+
+// DecayRun is a reusable Decay broadcast harness over one graph:
+// construct once, run any number of seeds with zero per-seed
+// construction.
+type DecayRun struct {
+	nw     *radio.Network
+	protos []*decay.Broadcast
+	ds     DoneSet
+}
+
+// NewDecayRun builds the reusable stack.
+func NewDecayRun(g *graph.Graph) *DecayRun {
+	n := g.N()
+	r := &DecayRun{nw: radio.New(g, radio.Config{}), protos: make([]*decay.Broadcast, n)}
+	for v := 0; v < n; v++ {
+		r.protos[v] = decay.NewBroadcast(n, v == 0, decay.Message{Data: 1}, rng.New())
+		r.protos[v].DoneSet = &r.ds
+	}
+	return r
+}
+
+// Run executes one seeded run over ch (nil = ideal; channels carry
+// per-run state, so pass a fresh one each call).
+func (r *DecayRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	r.nw.Reset()
+	r.nw.SetChannel(ch)
+	for v, p := range r.protos {
+		p.Reset(v == 0, decay.Message{Data: 1})
+		rng.Reseed(p.Rng(), seed, 0xd0, uint64(v))
+		r.nw.SetProtocol(graph.NodeID(v), p)
+	}
+	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Has() })
+	rounds, ok := r.nw.RunUntil(limit, r.ds.Done)
+	return rounds, ok, r.nw.Stats()
+}
+
+// Coverage returns how many nodes held the message when the last run
+// stopped (== n on completed runs).
+func (r *DecayRun) Coverage() int { return r.ds.Count() }
+
 // RunDecay measures the classic Decay broadcast (BGI baseline) from
 // node 0. Returns rounds and completion.
 func RunDecay(g *graph.Graph, seed uint64, limit int64) (int64, bool) {
@@ -28,22 +110,48 @@ func RunDecay(g *graph.Graph, seed uint64, limit int64) (int64, bool) {
 // RunDecayOn is RunDecay over an adversarial channel (nil = ideal),
 // additionally returning the engine counters.
 func RunDecayOn(g *graph.Graph, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
-	nw := radio.New(g, radio.Config{Channel: ch})
-	protos := make([]*decay.Broadcast, g.N())
-	for v := 0; v < g.N(); v++ {
-		protos[v] = decay.NewBroadcast(g.N(), v == 0, decay.Message{Data: 1}, rng.New(seed, 0xd0, uint64(v)))
-		nw.SetProtocol(graph.NodeID(v), protos[v])
-	}
-	rounds, ok := nw.RunUntil(limit, func() bool {
-		for _, p := range protos {
-			if !p.Has() {
-				return false
-			}
-		}
-		return true
-	})
-	return rounds, ok, nw.Stats()
+	return NewDecayRun(g).Run(ch, seed, limit)
 }
+
+// ---------------------------------------------------------------------
+// CR (Czumaj–Rytter-shaped baseline).
+
+// CRRun is the reusable Czumaj–Rytter-shaped harness.
+type CRRun struct {
+	nw     *radio.Network
+	protos []*cr.Broadcast
+	ds     DoneSet
+}
+
+// NewCRRun builds the reusable stack for diameter bound d.
+func NewCRRun(g *graph.Graph, d int) *CRRun {
+	n := g.N()
+	p := cr.NewParams(n, d)
+	r := &CRRun{nw: radio.New(g, radio.Config{}), protos: make([]*cr.Broadcast, n)}
+	for v := 0; v < n; v++ {
+		r.protos[v] = cr.NewBroadcast(p, v == 0, decay.Message{Data: 1}, rng.New())
+		r.protos[v].DoneSet = &r.ds
+	}
+	return r
+}
+
+// Run executes one seeded run over ch (nil = ideal).
+func (r *CRRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	r.nw.Reset()
+	r.nw.SetChannel(ch)
+	for v, p := range r.protos {
+		p.Reset(v == 0, decay.Message{Data: 1})
+		rng.Reseed(p.Rng(), seed, 0xc0, uint64(v))
+		r.nw.SetProtocol(graph.NodeID(v), p)
+	}
+	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Has() })
+	rounds, ok := r.nw.RunUntil(limit, r.ds.Done)
+	return rounds, ok, r.nw.Stats()
+}
+
+// Coverage returns how many nodes held the message when the last run
+// stopped (== n on completed runs).
+func (r *CRRun) Coverage() int { return r.ds.Count() }
 
 // RunCR measures the Czumaj–Rytter-shaped baseline.
 func RunCR(g *graph.Graph, d int, seed uint64, limit int64) (int64, bool) {
@@ -53,22 +161,56 @@ func RunCR(g *graph.Graph, d int, seed uint64, limit int64) (int64, bool) {
 
 // RunCROn is RunCR over an adversarial channel (nil = ideal).
 func RunCROn(g *graph.Graph, d int, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
-	p := cr.NewParams(g.N(), d)
-	nw := radio.New(g, radio.Config{Channel: ch})
-	protos := make([]*cr.Broadcast, g.N())
-	for v := 0; v < g.N(); v++ {
-		protos[v] = cr.NewBroadcast(p, v == 0, decay.Message{Data: 1}, rng.New(seed, 0xc0, uint64(v)))
-		nw.SetProtocol(graph.NodeID(v), protos[v])
+	return NewCRRun(g, d).Run(ch, seed, limit)
+}
+
+// ---------------------------------------------------------------------
+// GST single-message broadcast (known topology).
+
+// GSTSingleRun is the reusable single-message GST harness: the
+// centralized GST, schedule infos, and protocol objects are built once
+// (they depend only on the graph).
+type GSTSingleRun struct {
+	nw       *radio.Network
+	infos    []mmv.NodeInfo
+	protos   []*mmv.Protocol
+	contents []*mmv.SingleMessage
+	ds       DoneSet
+}
+
+// NewGSTSingleRun builds the reusable stack (noising enables the MMV
+// jamming adversary).
+func NewGSTSingleRun(g *graph.Graph, noising bool) *GSTSingleRun {
+	n := g.N()
+	tree := gst.Construct(g, 0)
+	s := mmv.NewSchedule(n)
+	r := &GSTSingleRun{
+		nw:       radio.New(g, radio.Config{}),
+		infos:    mmv.InfoFromTree(tree),
+		protos:   make([]*mmv.Protocol, n),
+		contents: make([]*mmv.SingleMessage, n),
 	}
-	rounds, ok := nw.RunUntil(limit, func() bool {
-		for _, pr := range protos {
-			if !pr.Has() {
-				return false
-			}
-		}
-		return true
-	})
-	return rounds, ok, nw.Stats()
+	for v := 0; v < n; v++ {
+		r.contents[v] = mmv.NewSingleMessage(v == 0, decay.Message{Data: 1})
+		r.contents[v].DoneSet = &r.ds
+		r.protos[v] = mmv.New(s, r.infos[v], r.contents[v], noising, rng.New())
+	}
+	return r
+}
+
+// Run executes one seeded run over ch (nil = ideal).
+func (r *GSTSingleRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	r.nw.Reset()
+	r.nw.SetChannel(ch)
+	for v, p := range r.protos {
+		r.contents[v].Reset(v == 0, decay.Message{Data: 1})
+		p.Rebind(r.infos[v], r.contents[v])
+		rng.Reseed(p.Rng(), seed, 0xe0, uint64(v))
+		r.nw.SetProtocol(graph.NodeID(v), p)
+	}
+	initDone(&r.ds, len(r.protos), func(v int) bool { return r.contents[v].Done() })
+	rounds, ok := r.nw.RunUntil(limit, r.ds.Done)
+	return rounds, ok, r.nw.Stats()
 }
 
 // RunGSTSingle measures the single-message GST broadcast atop a
@@ -82,26 +224,11 @@ func RunGSTSingle(g *graph.Graph, noising bool, seed uint64, limit int64) (int64
 // RunGSTSingleOn is RunGSTSingle over an adversarial channel
 // (nil = ideal).
 func RunGSTSingleOn(g *graph.Graph, noising bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
-	tree := gst.Construct(g, 0)
-	infos := mmv.InfoFromTree(tree)
-	s := mmv.NewSchedule(g.N())
-	nw := radio.New(g, radio.Config{Channel: ch})
-	contents := make([]*mmv.SingleMessage, g.N())
-	for v := 0; v < g.N(); v++ {
-		contents[v] = mmv.NewSingleMessage(v == 0, decay.Message{Data: 1})
-		nw.SetProtocol(graph.NodeID(v),
-			mmv.New(s, infos[v], contents[v], noising, rng.New(seed, 0xe0, uint64(v))))
-	}
-	rounds, ok := nw.RunUntil(limit, func() bool {
-		for _, c := range contents {
-			if !c.Done() {
-				return false
-			}
-		}
-		return true
-	})
-	return rounds, ok, nw.Stats()
+	return NewGSTSingleRun(g, noising).Run(ch, seed, limit)
 }
+
+// ---------------------------------------------------------------------
+// Theorem 1.1 (single message, unknown topology, CD).
 
 // Theorem11Result decomposes a full Theorem 1.1 run.
 type Theorem11Result struct {
@@ -110,7 +237,58 @@ type Theorem11Result struct {
 	WaveRounds, BuildRounds   int64
 	SpreadBudget, TotalBudget int64
 	Rings, Width              int
-	Stats                     radio.Stats
+	// Covered is how many nodes held the message when the run stopped
+	// (== n when Completed).
+	Covered int
+	Stats   radio.Stats
+}
+
+// Theorem11Run is the reusable full-pipeline harness of Theorem 1.1.
+type Theorem11Run struct {
+	cfg    rings.Config
+	nw     *radio.Network
+	protos []*rings.Protocol
+	ds     DoneSet
+}
+
+// NewTheorem11Run builds the reusable stack.
+func NewTheorem11Run(g *graph.Graph, d, c int) *Theorem11Run {
+	n := g.N()
+	r := &Theorem11Run{
+		cfg:    rings.DefaultConfig(n, d, 0, c),
+		nw:     radio.New(g, radio.Config{CollisionDetection: true}),
+		protos: make([]*rings.Protocol, n),
+	}
+	for v := 0; v < n; v++ {
+		r.protos[v] = rings.New(r.cfg, graph.NodeID(v), v == 0, nil, rng.New())
+		r.protos[v].SingleContent().DoneSet = &r.ds
+	}
+	return r
+}
+
+// Run executes one seeded run over ch (nil = ideal).
+func (r *Theorem11Run) Run(ch radio.Channel, seed uint64) Theorem11Result {
+	r.nw.Reset()
+	r.nw.SetChannel(ch)
+	for v, p := range r.protos {
+		p.Reset(v == 0, nil)
+		rng.Reseed(p.Rng(), seed, 0x11, uint64(v))
+		r.nw.SetProtocol(graph.NodeID(v), p)
+	}
+	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Has() })
+	rounds, ok := r.nw.RunUntil(r.cfg.TotalRounds(), r.ds.Done)
+	return Theorem11Result{
+		Completed:    ok,
+		Rounds:       rounds,
+		WaveRounds:   r.cfg.WaveRounds(),
+		BuildRounds:  r.cfg.BuildRounds(),
+		SpreadBudget: r.cfg.SpreadRounds(),
+		TotalBudget:  r.cfg.TotalRounds(),
+		Rings:        r.cfg.Rings(),
+		Width:        r.cfg.W,
+		Covered:      r.ds.Count(),
+		Stats:        r.nw.Stats(),
+	}
 }
 
 // RunTheorem11 executes the full unknown-topology CD pipeline.
@@ -121,32 +299,91 @@ func RunTheorem11(g *graph.Graph, d, c int, seed uint64) Theorem11Result {
 // RunTheorem11On is RunTheorem11 over an adversarial channel
 // (nil = ideal).
 func RunTheorem11On(g *graph.Graph, d, c int, ch radio.Channel, seed uint64) Theorem11Result {
-	cfg := rings.DefaultConfig(g.N(), d, 0, c)
-	nw := radio.New(g, radio.Config{CollisionDetection: true, Channel: ch})
-	protos := make([]*rings.Protocol, g.N())
-	for v := 0; v < g.N(); v++ {
-		protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, nil, rng.New(seed, 0x11, uint64(v)))
-		nw.SetProtocol(graph.NodeID(v), protos[v])
+	return NewTheorem11Run(g, d, c).Run(ch, seed)
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1.2 (k messages, known topology, RLNC).
+
+// gstMultiPayloadBits is the Theorem 1.2 payload size.
+const gstMultiPayloadBits = 32
+
+// GSTMultiRun is the reusable Theorem 1.2 harness.
+type GSTMultiRun struct {
+	nw       *radio.Network
+	infos    []mmv.NodeInfo
+	protos   []*mmv.Protocol
+	contents []*mmv.RLNC
+	bufs     []*rlnc.Buffer
+	msgRng   *rand.Rand
+	msgs     []rlnc.Message
+	ds       DoneSet
+}
+
+// NewGSTMultiRun builds the reusable stack for k messages.
+func NewGSTMultiRun(g *graph.Graph, k int) *GSTMultiRun {
+	n := g.N()
+	tree := gst.Construct(g, 0)
+	s := mmv.NewSchedule(n)
+	r := &GSTMultiRun{
+		nw:       radio.New(g, radio.Config{}),
+		infos:    mmv.InfoFromTree(tree),
+		protos:   make([]*mmv.Protocol, n),
+		contents: make([]*mmv.RLNC, n),
+		bufs:     make([]*rlnc.Buffer, n),
+		msgRng:   rng.New(),
+		msgs:     make([]rlnc.Message, k),
 	}
-	rounds, ok := nw.RunUntil(cfg.TotalRounds(), func() bool {
-		for _, p := range protos {
-			if !p.Has() {
-				return false
+	for i := range r.msgs {
+		r.msgs[i] = bitvec.New(gstMultiPayloadBits)
+	}
+	for v := 0; v < n; v++ {
+		r.bufs[v] = rlnc.NewBuffer(0, k, gstMultiPayloadBits)
+		r.bufs[v].SetOnFull(r.ds.Tick)
+		r.contents[v] = mmv.NewRLNC(r.bufs[v], rng.New())
+		r.protos[v] = mmv.New(s, r.infos[v], r.contents[v], false, rng.New())
+	}
+	return r
+}
+
+// Run executes one seeded run over ch (nil = ideal), verifying decoded
+// payloads on completion.
+func (r *GSTMultiRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	r.nw.Reset()
+	r.nw.SetChannel(ch)
+	rng.Reseed(r.msgRng, seed, 0x12)
+	for i := range r.msgs {
+		r.msgs[i].Randomize(r.msgRng.Uint64)
+	}
+	for v, p := range r.protos {
+		if v == 0 {
+			r.bufs[v].ResetSource(r.msgs)
+		} else {
+			r.bufs[v].Reset()
+		}
+		rng.Reseed(r.contents[v].Rng(), seed, 0x13, uint64(v))
+		p.Rebind(r.infos[v], r.contents[v])
+		rng.Reseed(p.Rng(), seed, 0x14, uint64(v))
+		r.nw.SetProtocol(graph.NodeID(v), p)
+	}
+	initDone(&r.ds, len(r.protos), func(v int) bool { return r.contents[v].Done() })
+	rounds, ok := r.nw.RunUntil(limit, r.ds.Done)
+	st := r.nw.Stats()
+	if !ok {
+		return rounds, false, st
+	}
+	for _, c := range r.contents {
+		got, dok := c.Buffer().Decode()
+		if !dok {
+			return rounds, false, st
+		}
+		for i := range r.msgs {
+			if !bitvec.Equal(got[i], r.msgs[i]) {
+				return rounds, false, st
 			}
 		}
-		return true
-	})
-	return Theorem11Result{
-		Completed:    ok,
-		Rounds:       rounds,
-		WaveRounds:   cfg.WaveRounds(),
-		BuildRounds:  cfg.BuildRounds(),
-		SpreadBudget: cfg.SpreadRounds(),
-		TotalBudget:  cfg.TotalRounds(),
-		Rings:        cfg.Rings(),
-		Width:        cfg.W,
-		Stats:        nw.Stats(),
 	}
+	return rounds, true, st
 }
 
 // RunGSTMulti measures the Theorem 1.2 k-message broadcast (known
@@ -159,52 +396,72 @@ func RunGSTMulti(g *graph.Graph, k int, seed uint64, limit int64) (int64, bool) 
 // RunGSTMultiOn is RunGSTMulti over an adversarial channel
 // (nil = ideal).
 func RunGSTMultiOn(g *graph.Graph, k int, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
-	const l = 32
-	r := rng.New(seed, 0x12)
-	msgs := make([]rlnc.Message, k)
-	for i := range msgs {
-		msgs[i] = bitvec.RandomVec(l, r.Uint64)
+	return NewGSTMultiRun(g, k).Run(ch, seed, limit)
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1.3 (k messages, unknown topology, CD).
+
+// Theorem13Run is the reusable full-pipeline harness of Theorem 1.3 —
+// the allocation-heaviest stack (per-ring RLNC stores), and therefore
+// the one the Reset-reuse benchmarks guard.
+type Theorem13Run struct {
+	cfg    rings.Config
+	nw     *radio.Network
+	protos []*rings.Protocol
+	msgRng *rand.Rand
+	msgs   []rlnc.Message
+	ds     DoneSet
+}
+
+// NewTheorem13Run builds the reusable stack.
+func NewTheorem13Run(g *graph.Graph, d, k, c int) *Theorem13Run {
+	n := g.N()
+	cfg := rings.DefaultConfig(n, d, k, c)
+	r := &Theorem13Run{
+		cfg:    cfg,
+		nw:     radio.New(g, radio.Config{CollisionDetection: true}),
+		protos: make([]*rings.Protocol, n),
+		msgRng: rng.New(),
+		msgs:   make([]rlnc.Message, k),
 	}
-	tree := gst.Construct(g, 0)
-	infos := mmv.InfoFromTree(tree)
-	s := mmv.NewSchedule(g.N())
-	nw := radio.New(g, radio.Config{Channel: ch})
-	contents := make([]*mmv.RLNC, g.N())
-	for v := 0; v < g.N(); v++ {
-		var buf *rlnc.Buffer
+	for i := range r.msgs {
+		r.msgs[i] = bitvec.New(cfg.PayloadBits)
+	}
+	for v := 0; v < n; v++ {
+		var m []rlnc.Message
 		if v == 0 {
-			buf = rlnc.NewSourceBuffer(0, msgs, l)
-		} else {
-			buf = rlnc.NewBuffer(0, k, l)
+			m = r.msgs
 		}
-		contents[v] = mmv.NewRLNC(buf, rng.New(seed, 0x13, uint64(v)))
-		nw.SetProtocol(graph.NodeID(v),
-			mmv.New(s, infos[v], contents[v], false, rng.New(seed, 0x14, uint64(v))))
+		r.protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, m, rng.New())
+		r.protos[v].Store().SetOnAllDecodable(r.ds.Tick)
 	}
-	rounds, ok := nw.RunUntil(limit, func() bool {
-		for _, c := range contents {
-			if !c.Done() {
-				return false
-			}
-		}
-		return true
-	})
-	st := nw.Stats()
-	if !ok {
-		return rounds, false, st
+	return r
+}
+
+// Config returns the compiled ring configuration.
+func (r *Theorem13Run) Config() rings.Config { return r.cfg }
+
+// Run executes one seeded run over ch (nil = ideal).
+func (r *Theorem13Run) Run(ch radio.Channel, seed uint64) (rounds int64, completed bool, st radio.Stats) {
+	r.nw.Reset()
+	r.nw.SetChannel(ch)
+	rng.Reseed(r.msgRng, seed, 0x15)
+	for i := range r.msgs {
+		r.msgs[i].Randomize(r.msgRng.Uint64)
 	}
-	for _, c := range contents {
-		got, dok := c.Buffer().Decode()
-		if !dok {
-			return rounds, false, st
+	for v, p := range r.protos {
+		var m []rlnc.Message
+		if v == 0 {
+			m = r.msgs
 		}
-		for i := range msgs {
-			if !bitvec.Equal(got[i], msgs[i]) {
-				return rounds, false, st
-			}
-		}
+		p.Reset(v == 0, m)
+		rng.Reseed(p.Rng(), seed, 0x16, uint64(v))
+		r.nw.SetProtocol(graph.NodeID(v), p)
 	}
-	return rounds, true, st
+	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Store().CanDecodeAll() })
+	rounds, completed = r.nw.RunUntil(r.cfg.TotalRounds(), r.ds.Done)
+	return rounds, completed, r.nw.Stats()
 }
 
 // RunTheorem13 executes the full Theorem 1.3 pipeline.
@@ -216,32 +473,13 @@ func RunTheorem13(g *graph.Graph, d, k, c int, seed uint64) (rounds int64, compl
 // RunTheorem13On is RunTheorem13 over an adversarial channel
 // (nil = ideal).
 func RunTheorem13On(g *graph.Graph, d, k, c int, ch radio.Channel, seed uint64) (rounds int64, completed bool, cfg rings.Config, st radio.Stats) {
-	cfg = rings.DefaultConfig(g.N(), d, k, c)
-	r := rng.New(seed, 0x15)
-	msgs := make([]rlnc.Message, k)
-	for i := range msgs {
-		msgs[i] = bitvec.RandomVec(cfg.PayloadBits, r.Uint64)
-	}
-	nw := radio.New(g, radio.Config{CollisionDetection: true, Channel: ch})
-	protos := make([]*rings.Protocol, g.N())
-	for v := 0; v < g.N(); v++ {
-		var m []rlnc.Message
-		if v == 0 {
-			m = msgs
-		}
-		protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, m, rng.New(seed, 0x16, uint64(v)))
-		nw.SetProtocol(graph.NodeID(v), protos[v])
-	}
-	rounds, completed = nw.RunUntil(cfg.TotalRounds(), func() bool {
-		for _, p := range protos {
-			if !p.Store().CanDecodeAll() {
-				return false
-			}
-		}
-		return true
-	})
-	return rounds, completed, cfg, nw.Stats()
+	r := NewTheorem13Run(g, d, k, c)
+	rounds, completed, st = r.Run(ch, seed)
+	return rounds, completed, r.cfg, st
 }
+
+// ---------------------------------------------------------------------
+// A2 routing baseline.
 
 // PlainPacket is an uncoded message for the routing baseline of A2.
 type PlainPacket struct {
@@ -260,6 +498,9 @@ func (PlainPacket) Bits() int { return 96 }
 type PlainStore struct {
 	K   int
 	Rng interface{ Intn(int) int }
+	// DoneSet, when non-nil, is ticked when the K-th distinct message
+	// arrives.
+	DoneSet *radio.DoneSet
 
 	order   []int32
 	payload map[int32]int64
@@ -269,6 +510,14 @@ type PlainStore struct {
 // to seed their initial inventory.
 func NewPlainStore(k int, rng interface{ Intn(int) int }) *PlainStore {
 	return &PlainStore{K: k, Rng: rng, payload: make(map[int32]int64)}
+}
+
+// Reset empties the store for a new run, keeping its allocations.
+func (ps *PlainStore) Reset() {
+	ps.order = ps.order[:0]
+	for k := range ps.payload {
+		delete(ps.payload, k)
+	}
 }
 
 // Put records a message if it is new.
@@ -281,6 +530,9 @@ func (ps *PlainStore) Put(index int32, payload int64) {
 	}
 	ps.payload[index] = payload
 	ps.order = append(ps.order, index)
+	if len(ps.order) == ps.K {
+		ps.DoneSet.Tick()
+	}
 }
 
 var _ mmv.Content = (*PlainStore)(nil)
@@ -311,9 +563,11 @@ func RunGSTMultiRouting(g *graph.Graph, k int, seed uint64, limit int64) (int64,
 	infos := mmv.InfoFromTree(tree)
 	s := mmv.NewSchedule(g.N())
 	nw := radio.New(g, radio.Config{})
+	var ds DoneSet
 	contents := make([]*PlainStore, g.N())
 	for v := 0; v < g.N(); v++ {
 		contents[v] = NewPlainStore(k, rng.New(seed, 0x17, uint64(v)))
+		contents[v].DoneSet = &ds
 		if v == 0 {
 			for i := 0; i < k; i++ {
 				contents[v].Put(int32(i), int64(1000+i))
@@ -322,12 +576,6 @@ func RunGSTMultiRouting(g *graph.Graph, k int, seed uint64, limit int64) (int64,
 		nw.SetProtocol(graph.NodeID(v),
 			mmv.New(s, infos[v], contents[v], false, rng.New(seed, 0x18, uint64(v))))
 	}
-	return nw.RunUntil(limit, func() bool {
-		for _, c := range contents {
-			if !c.Done() {
-				return false
-			}
-		}
-		return true
-	})
+	initDone(&ds, g.N(), func(v int) bool { return contents[v].Done() })
+	return nw.RunUntil(limit, ds.Done)
 }

@@ -13,13 +13,31 @@ import (
 type SingleMessage struct {
 	has bool
 	msg decay.Message
+	pkt radio.Packet // msg boxed once; Fresh returns it without allocating
+	// Done, when non-nil, is ticked on the first reception (the
+	// not-done -> done transition). Initially-done sources are accounted
+	// by the harness's post-reset scan, per the DoneSet contract.
+	DoneSet *radio.DoneSet
 }
 
 var _ Content = (*SingleMessage)(nil)
 
 // NewSingleMessage creates the layer; the source holds the message.
 func NewSingleMessage(source bool, msg decay.Message) *SingleMessage {
-	return &SingleMessage{has: source, msg: msg}
+	s := &SingleMessage{}
+	s.Reset(source, msg)
+	return s
+}
+
+// Reset rewinds the layer for a new run, allocation-free.
+func (s *SingleMessage) Reset(source bool, msg decay.Message) {
+	s.has = source
+	s.msg = msg
+	if source {
+		s.pkt = msg
+	} else {
+		s.pkt = nil
+	}
 }
 
 // Fresh implements Content.
@@ -27,7 +45,7 @@ func (s *SingleMessage) Fresh() radio.Packet {
 	if !s.has {
 		return nil
 	}
-	return s.msg
+	return s.pkt
 }
 
 // OnReceive implements Content.
@@ -35,6 +53,8 @@ func (s *SingleMessage) OnReceive(pkt radio.Packet, _ radio.NodeID) {
 	if m, ok := pkt.(decay.Message); ok && !s.has {
 		s.has = true
 		s.msg = m
+		s.pkt = pkt // reuse the already-boxed packet for Fresh
+		s.DoneSet.Tick()
 	}
 }
 
@@ -63,9 +83,20 @@ func NewRLNC(buf *rlnc.Buffer, rng *rand.Rand) *RLNC {
 // Buffer exposes the underlying RLNC buffer.
 func (c *RLNC) Buffer() *rlnc.Buffer { return c.buf }
 
-// Fresh implements Content.
+// Rng exposes the layer's RNG so reuse harnesses can reseed it.
+func (c *RLNC) Rng() *rand.Rand { return c.rng }
+
+// SetBuffer retargets the layer at another buffer — the reuse path
+// for generation switches (Theorem 1.3's stride-2 batch pipeline) and
+// reset-reused runs, replacing a NewRLNC allocation.
+func (c *RLNC) SetBuffer(buf *rlnc.Buffer) { c.buf = buf }
+
+// Fresh implements Content. Transmissions use the buffer's scratch
+// air packet: boxing a pointer allocates nothing, and every receiver
+// path copies before retaining (Buffer.Add clones; the mmv relay
+// clones into its own scratch).
 func (c *RLNC) Fresh() radio.Packet {
-	pkt, ok := c.buf.RandomPacket(c.rng)
+	pkt, ok := c.buf.AirPacket(c.rng)
 	if !ok {
 		return nil
 	}
@@ -74,8 +105,8 @@ func (c *RLNC) Fresh() radio.Packet {
 
 // OnReceive implements Content.
 func (c *RLNC) OnReceive(pkt radio.Packet, _ radio.NodeID) {
-	if p, ok := pkt.(rlnc.Packet); ok && p.Gen == c.buf.Gen() {
-		c.buf.Add(p)
+	if p, ok := pkt.(*rlnc.Packet); ok && p.Gen == c.buf.Gen() {
+		c.buf.Add(*p)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"radiocast/internal/gst"
 	"radiocast/internal/gstdist"
 	"radiocast/internal/radio"
+	"radiocast/internal/rlnc"
 	"radiocast/internal/sched"
 )
 
@@ -152,6 +153,12 @@ type Protocol struct {
 	levelKeyedSlow bool
 
 	relay radio.Packet // packet received from the parent's last fast slot
+	// relayBuf is the scratch behind relay for coded packets: an
+	// incoming *rlnc.Packet aliases the sender's air scratch, which is
+	// only valid within its round, so the relay copy lives here (one
+	// backing per node, reused across relays — no steady-state
+	// allocation).
+	relayBuf rlnc.Packet
 }
 
 var _ radio.Protocol = (*Protocol)(nil)
@@ -171,6 +178,38 @@ func NewLevelKeyed(s Schedule, info NodeInfo, content Content, noising bool, rng
 
 // Content returns the node's content layer.
 func (p *Protocol) Content() Content { return p.content }
+
+// Rng exposes the protocol's RNG so reuse harnesses can reseed it.
+func (p *Protocol) Rng() *rand.Rand { return p.rng }
+
+// Rebind reconfigures the protocol in place for a new run (or a new
+// epoch of a ring pipeline): fresh GST knowledge and content layer,
+// relay state cleared, no allocation. The schedule, noising flag, and
+// RNG binding are unchanged; reseeding the RNG is the caller's job.
+func (p *Protocol) Rebind(info NodeInfo, content Content) {
+	p.info = info
+	p.content = content
+	p.relay = nil
+}
+
+// retain converts a just-received packet into a form safe to hold
+// across rounds: coded packets alias the sender's per-round air
+// scratch and are copied into relayBuf; every other packet type is an
+// immutable boxed value and is returned as-is.
+func (p *Protocol) retain(pkt radio.Packet) radio.Packet {
+	rp, ok := pkt.(*rlnc.Packet)
+	if !ok {
+		return pkt
+	}
+	if p.relayBuf.Coeff.Len() != rp.Coeff.Len() || p.relayBuf.Payload.Len() != rp.Payload.Len() {
+		p.relayBuf = rlnc.Packet{Gen: rp.Gen, Coeff: rp.Coeff.Clone(), Payload: rp.Payload.Clone()}
+		return &p.relayBuf
+	}
+	p.relayBuf.Gen = rp.Gen
+	p.relayBuf.Coeff.CopyFrom(rp.Coeff)
+	p.relayBuf.Payload.CopyFrom(rp.Payload)
+	return &p.relayBuf
+}
 
 // Act implements radio.Protocol.
 func (p *Protocol) Act(t int64) radio.Action {
@@ -226,6 +265,6 @@ func (p *Protocol) Observe(t int64, out radio.Outcome) {
 	// Buffer the parent's fast wave for relaying two rounds later.
 	if p.info.Parent == out.From && p.info.ParentRank == p.info.Rank &&
 		p.sched.FastSlot(t, p.info.Level-1, p.info.Rank) {
-		p.relay = out.Packet
+		p.relay = p.retain(out.Packet)
 	}
 }

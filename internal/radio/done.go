@@ -1,0 +1,51 @@
+package radio
+
+// DoneSet is an O(1) completion counter shared between a harness
+// runner and the per-node protocol (or content) layers. Instead of the
+// runner scanning all n nodes after every executed round ("is every
+// node done yet?" — an O(n·R) predicate over a run of R rounds), each
+// node ticks the set exactly once, at the moment it first completes,
+// and the runner's RunUntil predicate reduces to one integer compare.
+//
+// Contract:
+//
+//   - The runner calls Reset(n) after constructing (or resetting) the
+//     protocol stack, then performs one O(n) scan ticking every node
+//     that *starts* completed (sources). From then on, protocols tick
+//     only on a not-done -> done transition inside Observe/OnReceive/
+//     Add, so every node contributes exactly one tick.
+//   - A nil *DoneSet is legal everywhere a protocol holds one: ticking
+//     nil is a no-op, keeping the hook optional for callers that still
+//     use scanning predicates.
+type DoneSet struct {
+	done   int
+	target int
+}
+
+// NewDoneSet returns a set expecting target completions.
+func NewDoneSet(target int) *DoneSet {
+	return &DoneSet{target: target}
+}
+
+// Reset rewinds the counter for a new run over target nodes.
+func (d *DoneSet) Reset(target int) {
+	d.done = 0
+	d.target = target
+}
+
+// Tick records one node's first completion. Ticking a nil set is a
+// no-op.
+func (d *DoneSet) Tick() {
+	if d != nil {
+		d.done++
+	}
+}
+
+// Done reports whether every expected node has completed.
+func (d *DoneSet) Done() bool { return d.done >= d.target }
+
+// Count returns the completions recorded so far.
+func (d *DoneSet) Count() int { return d.done }
+
+// Target returns the expected completion count.
+func (d *DoneSet) Target() int { return d.target }

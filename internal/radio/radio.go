@@ -218,6 +218,36 @@ func (nw *Network) SetProtocol(v NodeID, p Protocol) {
 // Protocol returns the protocol installed on v (nil if none).
 func (nw *Network) Protocol(v NodeID) Protocol { return nw.proto[v] }
 
+// Reset rewinds the network to its post-New state — round counter,
+// statistics, wake queue, and the per-round stamps — without
+// reallocating the CSR aliases, scratch arrays, or ring buckets, so a
+// harness can execute many seeds on one graph with zero per-seed
+// engine construction. Installed protocols are cleared (their objects
+// are owned by the caller, which resets and re-installs them via
+// SetProtocol); the configured channel is cleared too, since channel
+// models carry per-run mutable state — install a fresh or reset one
+// with SetChannel.
+func (nw *Network) Reset() {
+	nw.round = 0
+	nw.stats = Stats{}
+	nw.wake.reset()
+	nw.cfg.Channel = nil
+	for i := range nw.proto {
+		nw.proto[i] = nil
+		nw.listenStamp[i] = -1
+		nw.hearStamp[i] = -1
+		nw.hearPkt[i] = nil // release packet references for the GC
+	}
+	nw.touched = nw.touched[:0]
+	nw.transmitter = nw.transmitter[:0]
+	nw.keptTx = nw.keptTx[:0]
+}
+
+// SetChannel installs (or clears) the channel adversity model for the
+// next run. Channel models carry per-run mutable state, so a reused
+// network needs a fresh instance after every Reset.
+func (nw *Network) SetChannel(ch Channel) { nw.cfg.Channel = ch }
+
 // Graph returns the underlying graph.
 func (nw *Network) Graph() *graph.Graph { return nw.g }
 
@@ -487,7 +517,25 @@ type wakeQueue struct {
 	ring    [wakeWindow][]NodeID
 	far     map[int64][]NodeID
 	farKeys []int64
-	out     []NodeID // reused popAt result buffer
+	spare   [][]NodeID // drained far buckets, recycled by push
+	out     []NodeID   // reused popAt result buffer
+}
+
+// reset rewinds the queue to empty while keeping every allocation:
+// ring buckets, the far map (emptied, buckets recycled via spare), the
+// key heap, and the pop buffer all retain their capacity for the next
+// run.
+func (q *wakeQueue) reset() {
+	for i := range q.ring {
+		q.ring[i] = q.ring[i][:0]
+	}
+	q.ringLen = 0
+	q.base = 0
+	for k, lst := range q.far {
+		q.spare = append(q.spare, lst[:0])
+		delete(q.far, k)
+	}
+	q.farKeys = q.farKeys[:0]
 }
 
 func (q *wakeQueue) push(round int64, v NodeID) {
@@ -509,6 +557,10 @@ func (q *wakeQueue) push(round int64, v NodeID) {
 	lst, ok := q.far[round]
 	if !ok {
 		q.farKeys = heapPushInt64(q.farKeys, round)
+		if n := len(q.spare); n > 0 {
+			lst = q.spare[n-1]
+			q.spare = q.spare[:n-1]
+		}
 	}
 	q.far[round] = append(lst, v)
 }
@@ -534,6 +586,7 @@ func (q *wakeQueue) popAt(r int64) []NodeID {
 		var key int64
 		q.farKeys, key = heapPopInt64(q.farKeys)
 		out = append(out, q.far[key]...)
+		q.spare = append(q.spare, q.far[key][:0])
 		delete(q.far, key)
 	}
 	q.out = out
@@ -542,8 +595,17 @@ func (q *wakeQueue) popAt(r int64) []NodeID {
 
 // nextWake returns the earliest scheduled wake round.
 func (q *wakeQueue) nextWake() (int64, bool) {
+	// Fast path: the front bucket is occupied — the overwhelmingly
+	// common steady-state case (a node that acted in round r wakes at
+	// r+1, which is the front once popAt(r) advanced base). Far keys
+	// are always >= base (popAt drains every key <= r before base can
+	// pass it), so the front bucket is the global minimum and the
+	// 64-slot ring scan below is skipped entirely.
+	if len(q.ring[q.base&(wakeWindow-1)]) > 0 {
+		return q.base, true
+	}
 	if q.ringLen > 0 {
-		for d := int64(0); d < wakeWindow; d++ {
+		for d := int64(1); d < wakeWindow; d++ {
 			if len(q.ring[(q.base+d)&(wakeWindow-1)]) > 0 {
 				ringMin := q.base + d
 				if len(q.farKeys) > 0 && q.farKeys[0] < ringMin {

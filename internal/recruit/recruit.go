@@ -191,6 +191,11 @@ type Red struct {
 	oneIters  int
 	manyIters bool
 	onlyChild radio.NodeID
+
+	// Boxed packets reused across transmissions: the offer is constant
+	// for the run, the final is constant across the whole replay phase.
+	offerPkt radio.Packet
+	finalPkt radio.Packet
 }
 
 // NewRed creates the red-side machine for node id.
@@ -203,6 +208,7 @@ func NewRed(p Params, id radio.NodeID, rng *rand.Rand) *Red {
 		curIter:       -1,
 		firstReporter: -1,
 		onlyChild:     -1,
+		offerPkt:      Offer{Red: id},
 	}
 }
 
@@ -236,14 +242,19 @@ func (r *Red) Act(off int64) radio.Action {
 		if !r.transmitted[pos.iter] {
 			return radio.Listen
 		}
-		return radio.Transmit(Final{Red: r.id, Class: r.Class(), Only: r.onlyChild})
+		if r.finalPkt == nil {
+			// The accumulated outcome is frozen once the replay phase
+			// starts, so the final packet boxes once.
+			r.finalPkt = Final{Red: r.id, Class: r.Class(), Only: r.onlyChild}
+		}
+		return radio.Transmit(r.finalPkt)
 	}
 	r.beginIter(pos.iter)
 	switch {
 	case pos.slot == 0:
 		r.transmitted[pos.iter] = r.rng.Float64() < r.params.offerProb(pos.iter)
 		if r.transmitted[pos.iter] {
-			return radio.Transmit(Offer{Red: r.id})
+			return radio.Transmit(r.offerPkt)
 		}
 		return radio.Listen
 	case pos.slot == r.params.L+1:
@@ -304,6 +315,11 @@ type Blue struct {
 	parent      radio.NodeID
 	recruitIter int
 	parentClass Class // final (after commitment phase)
+
+	// reportPkt is the boxed report for the current offer (re-boxed
+	// only when the offering red changes).
+	reportPkt radio.Packet
+	reportFor radio.NodeID
 }
 
 // NewBlue creates the blue-side machine for node id.
@@ -352,7 +368,11 @@ func (b *Blue) Act(off int64) radio.Action {
 			return radio.Listen
 		}
 		if b.rng.Float64() < decay.TransmitProb(pos.slot-1) {
-			return radio.Transmit(Report{Blue: b.id, Red: b.offerFrom})
+			if b.reportPkt == nil || b.reportFor != b.offerFrom {
+				b.reportPkt = Report{Blue: b.id, Red: b.offerFrom}
+				b.reportFor = b.offerFrom
+			}
+			return radio.Transmit(b.reportPkt)
 		}
 	}
 	return radio.Listen

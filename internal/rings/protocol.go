@@ -15,6 +15,7 @@ import (
 // state machine.
 type Protocol struct {
 	cfg      Config
+	loc      Locator // cached schedule arithmetic (hot: every Act/Observe)
 	id       radio.NodeID
 	isSource bool
 	rng      *rand.Rand
@@ -26,9 +27,11 @@ type Protocol struct {
 	local int32
 
 	// Segment B.
-	gp   *gstdist.Protocol
-	info mmv.NodeInfo
-	done bool // info harvested
+	gp      *gstdist.Protocol
+	gpRing  int  // ring gp was built for (its config bakes in the tag)
+	gpFresh bool // gp is reset/new for the current run
+	info    mmv.NodeInfo
+	done    bool // info harvested
 
 	sched mmv.Schedule
 
@@ -52,6 +55,7 @@ var _ radio.Protocol = (*Protocol)(nil)
 func New(cfg Config, id radio.NodeID, isSource bool, msgs []rlnc.Message, rng *rand.Rand) *Protocol {
 	p := &Protocol{
 		cfg:      cfg,
+		loc:      cfg.Locator(),
 		id:       id,
 		isSource: isSource,
 		rng:      rng,
@@ -73,11 +77,47 @@ func New(cfg Config, id radio.NodeID, isSource bool, msgs []rlnc.Message, rng *r
 	return p
 }
 
+// Reset rewinds the protocol for a new run on the same Config,
+// reusing every sub-structure: the wave, the GST construction
+// protocol (reset lazily when segment B starts), the broadcast
+// schedule protocol, and the RLNC store with all its row and solver
+// storage. For Theorem 1.3 runs msgs supplies the source's fresh
+// messages (copied, not retained) and must be nil elsewhere. The RNG
+// binding is unchanged; reseeding it is the caller's job.
+func (p *Protocol) Reset(isSource bool, msgs []rlnc.Message) {
+	p.isSource = isSource
+	p.wave.Reset(isSource, p.cfg.WaveRounds())
+	p.layer = -1
+	p.ring = 0
+	p.local = 0
+	p.gpFresh = false
+	p.done = false
+	p.info = mmv.NodeInfo{}
+	p.bcEpoch = -1
+	p.curGen = -1
+	if p.cfg.K > 0 {
+		if isSource {
+			p.store.ResetSource(msgs)
+		} else {
+			p.store.Reset()
+		}
+	} else {
+		p.single.Reset(isSource, decay.Message{Data: 1})
+	}
+}
+
 // Has reports single-message completion for this node.
 func (p *Protocol) Has() bool { return p.single != nil && p.single.Done() }
 
 // Store returns the multi-message store (nil in single mode).
 func (p *Protocol) Store() *rlnc.Store { return p.store }
+
+// Rng exposes the protocol's RNG so reuse harnesses can reseed it.
+func (p *Protocol) Rng() *rand.Rand { return p.rng }
+
+// SingleContent returns the single-message content layer (nil in
+// multi-message mode); harness runners hook its DoneSet here.
+func (p *Protocol) SingleContent() *mmv.SingleMessage { return p.single }
 
 // Layer returns the global BFS layer learned by the wave.
 func (p *Protocol) Layer() int32 { return p.layer }
@@ -128,16 +168,16 @@ func (p *Protocol) activeBatch(e int) int {
 }
 
 // spreadStart returns the global round at which segment C begins.
-func (p *Protocol) spreadStart() int64 { return p.cfg.WaveRounds() + p.cfg.BuildRounds() }
+func (p *Protocol) spreadStart() int64 { return p.loc.wave + p.loc.build }
 
 // Act implements radio.Protocol.
 func (p *Protocol) Act(r int64) radio.Action {
-	pos := p.cfg.Locate(r)
+	pos := p.loc.Locate(r)
 	switch pos.Seg {
 	case SegWave:
 		act := p.wave.Act(r)
-		if act.SleepUntil > p.cfg.WaveRounds() {
-			act.SleepUntil = p.cfg.WaveRounds()
+		if act.SleepUntil > p.loc.wave {
+			act.SleepUntil = p.loc.wave
 		}
 		return act
 	case SegBuild:
@@ -145,16 +185,23 @@ func (p *Protocol) Act(r int64) radio.Action {
 		if p.layer < 0 {
 			return radio.Sleep(1 << 62) // unreachable node
 		}
-		if p.gp == nil {
+		if p.gp == nil || (!p.gpFresh && p.gpRing != p.ring) {
 			gcfg := p.cfg.GST
 			gcfg.Tag = int32(p.ring % 2)
 			p.gp = gstdist.New(gcfg, p.id, p.local == 0, p.local, p.rng)
+			p.gpRing = p.ring
+			p.gpFresh = true
+		} else if !p.gpFresh {
+			// Reset-reused run on the same ring: the baked-in tag still
+			// matches, so the construction protocol rewinds in place.
+			p.gp.Reset(p.local == 0, p.local)
+			p.gpFresh = true
 		}
 		act := p.gp.Act(pos.Off)
 		// Translate the sub-protocol's sleep into the global frame and
 		// clamp it to segment C.
 		if act.SleepUntil > 0 {
-			act.SleepUntil += p.cfg.WaveRounds()
+			act.SleepUntil += p.loc.wave
 			if act.SleepUntil > p.spreadStart() {
 				act.SleepUntil = p.spreadStart()
 			}
@@ -174,7 +221,7 @@ func (p *Protocol) Act(r int64) radio.Action {
 
 // Observe implements radio.Protocol.
 func (p *Protocol) Observe(r int64, out radio.Outcome) {
-	pos := p.cfg.Locate(r)
+	pos := p.loc.Locate(r)
 	switch pos.Seg {
 	case SegWave:
 		p.wave.Observe(r, out)
@@ -189,7 +236,7 @@ func (p *Protocol) Observe(r int64, out radio.Outcome) {
 
 // epochStart returns the global round at which epoch e begins.
 func (p *Protocol) epochStart(e int) int64 {
-	return p.spreadStart() + int64(e)*p.cfg.EpochLen()
+	return p.spreadStart() + int64(e)*p.loc.epochLen
 }
 
 func (p *Protocol) spreadAct(r int64, pos Pos) radio.Action {
@@ -216,15 +263,19 @@ func (p *Protocol) spreadObserve(pos Pos, out radio.Outcome) {
 func (p *Protocol) singleSpreadAct(r int64, pos Pos) radio.Action {
 	switch {
 	case !pos.Handoff && pos.Epoch == p.ring:
-		if p.bc == nil || p.bcEpoch != pos.Epoch {
-			p.bc = mmv.New(p.sched, p.info, p.single, false, p.rng)
+		if p.bcEpoch != pos.Epoch {
+			if p.bc == nil {
+				p.bc = mmv.New(p.sched, p.info, p.single, false, p.rng)
+			} else {
+				p.bc.Rebind(p.info, p.single)
+			}
 			p.bcEpoch = pos.Epoch
 		}
 		return p.bc.Act(pos.EpochOff)
 	case pos.Handoff && pos.Epoch == p.ring && p.isOuter() && p.single.Done():
 		slot := int(pos.EpochOff) % p.cfg.L()
 		if p.rng.Float64() < decay.TransmitProb(slot) {
-			return radio.Transmit(p.single.Message())
+			return radio.Transmit(p.single.Fresh())
 		}
 		return radio.Listen
 	case pos.Handoff && pos.Epoch == p.ring-1 && p.local == 0:
@@ -273,19 +324,28 @@ func (p *Protocol) multiSpreadAct(r int64, pos Pos) radio.Action {
 	b := p.activeBatch(pos.Epoch)
 	switch {
 	case !pos.Handoff && b >= 0:
-		if p.bc == nil || p.bcEpoch != pos.Epoch {
+		if p.bcEpoch != pos.Epoch {
 			p.curGen = b
-			p.curRLNC = mmv.NewRLNC(p.store.Buffer(b), p.rng)
-			p.bc = mmv.New(p.sched, p.info, p.curRLNC, false, p.rng)
+			if p.curRLNC == nil {
+				p.curRLNC = mmv.NewRLNC(p.store.Buffer(b), p.rng)
+			} else {
+				p.curRLNC.SetBuffer(p.store.Buffer(b))
+			}
+			if p.bc == nil {
+				p.bc = mmv.New(p.sched, p.info, p.curRLNC, false, p.rng)
+			} else {
+				p.bc.Rebind(p.info, p.curRLNC)
+			}
 			p.bcEpoch = pos.Epoch
 		}
 		return p.bc.Act(pos.EpochOff)
 	case pos.Handoff && b >= 0 && p.isOuter() && p.store.CanDecodeGen(b):
 		// Fountain handoff: fresh random combinations of the decoded
-		// batch, Decay-paced.
+		// batch, Decay-paced, drawn into the generation's scratch air
+		// packet (zero allocation; receivers copy before retaining).
 		slot := int(pos.EpochOff) % p.cfg.L()
 		if p.rng.Float64() < decay.TransmitProb(slot) {
-			if pkt, ok := p.store.RandomPacket(b, p.rng); ok {
+			if pkt, ok := p.store.AirPacket(b, p.rng); ok {
 				return radio.Transmit(pkt)
 			}
 		}
@@ -298,14 +358,14 @@ func (p *Protocol) multiSpreadAct(r int64, pos Pos) radio.Action {
 		// Inactive broadcast sub-window, but the preceding ring hands
 		// over to us at the end of this epoch: sleep only to the
 		// handoff sub-window.
-		return radio.Sleep(p.epochStart(pos.Epoch) + p.cfg.BroadcastWindow())
+		return radio.Sleep(p.epochStart(pos.Epoch) + p.loc.bcastWin)
 	default:
 		return radio.Sleep(p.epochStart(p.nextRelevantEpoch(pos.Epoch)))
 	}
 }
 
 func (p *Protocol) multiSpreadObserve(pos Pos, out radio.Outcome) {
-	pkt, ok := out.Packet.(rlnc.Packet)
+	pkt, ok := out.Packet.(*rlnc.Packet)
 	if !ok {
 		return
 	}
@@ -314,6 +374,6 @@ func (p *Protocol) multiSpreadObserve(pos Pos, out radio.Outcome) {
 		return
 	}
 	// Handoff reception (and any opportunistic reception): feed the
-	// store directly.
-	p.store.Add(pkt)
+	// store directly (Add copies; the packet aliases sender scratch).
+	p.store.Add(*pkt)
 }

@@ -197,23 +197,51 @@ type Pos struct {
 	EpochOff int64
 }
 
+// Locator is the precomputed form of a Config's schedule arithmetic.
+// Locate runs for every node in every round (Act and Observe), and
+// its length chain — BuildRounds → gstdist.TotalRounds →
+// assign.BoundaryRounds → ... — dominated full-sweep CPU profiles;
+// protocols cache a Locator once instead.
+type Locator struct {
+	wave     int64
+	build    int64
+	spread   int64
+	epochLen int64
+	bcastWin int64
+}
+
+// Locator precomputes the Config's schedule lengths.
+func (c Config) Locator() Locator {
+	return Locator{
+		wave:     c.WaveRounds(),
+		build:    c.BuildRounds(),
+		spread:   c.SpreadRounds(),
+		epochLen: c.EpochLen(),
+		bcastWin: c.BroadcastWindow(),
+	}
+}
+
 // Locate maps a global round to a position.
-func (c Config) Locate(r int64) Pos {
-	if r < c.WaveRounds() {
+func (l Locator) Locate(r int64) Pos {
+	if r < l.wave {
 		return Pos{Seg: SegWave, Off: r}
 	}
-	r -= c.WaveRounds()
-	if r < c.BuildRounds() {
+	r -= l.wave
+	if r < l.build {
 		return Pos{Seg: SegBuild, Off: r}
 	}
-	r -= c.BuildRounds()
-	if r < c.SpreadRounds() {
-		epoch := int(r / c.EpochLen())
-		rem := r % c.EpochLen()
-		if rem < c.BroadcastWindow() {
+	r -= l.build
+	if r < l.spread {
+		epoch := int(r / l.epochLen)
+		rem := r % l.epochLen
+		if rem < l.bcastWin {
 			return Pos{Seg: SegSpread, Epoch: epoch, EpochOff: rem}
 		}
-		return Pos{Seg: SegSpread, Epoch: epoch, Handoff: true, EpochOff: rem - c.BroadcastWindow()}
+		return Pos{Seg: SegSpread, Epoch: epoch, Handoff: true, EpochOff: rem - l.bcastWin}
 	}
 	return Pos{Seg: SegDone}
 }
+
+// Locate maps a global round to a position. Hot paths (Protocol)
+// cache a Locator instead of re-deriving it per call.
+func (c Config) Locate(r int64) Pos { return c.Locator().Locate(r) }

@@ -1,0 +1,173 @@
+package rlnc
+
+import (
+	"testing"
+
+	"radiocast/internal/bitvec"
+	"radiocast/internal/rng"
+)
+
+// TestBufferResetReuse pins the buffer half of the reuse contract: a
+// Reset buffer replays a decode run identically, and the onFull hook
+// fires exactly once per run at the rank-k transition.
+func TestBufferResetReuse(t *testing.T) {
+	const k, l = 6, 16
+	r := rng.New(42)
+	msgs := make([]Message, k)
+	for i := range msgs {
+		msgs[i] = bitvec.RandomVec(l, r.Uint64)
+	}
+	src := NewSourceBuffer(0, msgs, l)
+	dec := NewBuffer(0, k, l)
+	fulls := 0
+	dec.SetOnFull(func() { fulls++ })
+	runOnce := func(seed uint64) int {
+		dec.Reset()
+		rr := rng.New(seed)
+		steps := 0
+		for !dec.CanDecode() {
+			p, _ := src.RandomPacket(rr)
+			dec.Add(p)
+			steps++
+		}
+		got, ok := dec.Decode()
+		if !ok {
+			t.Fatal("decode failed at full rank")
+		}
+		for i := range msgs {
+			if !bitvec.Equal(got[i], msgs[i]) {
+				t.Fatalf("decoded message %d mismatches", i)
+			}
+		}
+		return steps
+	}
+	a := runOnce(7)
+	b := runOnce(8)
+	c := runOnce(7)
+	if a != c {
+		t.Fatalf("same-seed reuse diverged: %d vs %d packets", a, c)
+	}
+	if fulls != 3 {
+		t.Fatalf("onFull fired %d times over 3 runs, want 3", fulls)
+	}
+	_ = b
+}
+
+// TestResetSourceMatchesNewSourceBuffer verifies the preload path:
+// ResetSource leaves the buffer equivalent to a fresh source buffer —
+// same rank, same decode, same RandomPacket draws.
+func TestResetSourceMatchesNewSourceBuffer(t *testing.T) {
+	const k, l = 5, 24
+	r := rng.New(9)
+	msgs := make([]Message, k)
+	for i := range msgs {
+		msgs[i] = bitvec.RandomVec(l, r.Uint64)
+	}
+	fresh := NewSourceBuffer(0, msgs, l)
+	reused := NewBuffer(0, k, l)
+	reused.ResetSource(msgs)
+	if fresh.Rank() != reused.Rank() || !reused.CanDecode() {
+		t.Fatalf("rank mismatch: fresh %d reused %d", fresh.Rank(), reused.Rank())
+	}
+	ra, rb := rng.New(3), rng.New(3)
+	for i := 0; i < 50; i++ {
+		pa, _ := fresh.RandomPacket(ra)
+		pb, _ := reused.RandomPacket(rb)
+		if !bitvec.Equal(pa.Coeff, pb.Coeff) || !bitvec.Equal(pa.Payload, pb.Payload) {
+			t.Fatalf("draw %d mismatches", i)
+		}
+	}
+}
+
+// TestAirPacketMatchesRandomPacket pins the zero-allocation
+// transmission path: AirPacket must consume the RNG and produce the
+// bits of RandomPacket exactly, into a reused scratch.
+func TestAirPacketMatchesRandomPacket(t *testing.T) {
+	const k, l = 8, 32
+	r := rng.New(5)
+	msgs := make([]Message, k)
+	for i := range msgs {
+		msgs[i] = bitvec.RandomVec(l, r.Uint64)
+	}
+	src := NewSourceBuffer(0, msgs, l)
+	ra, rb := rng.New(11), rng.New(11)
+	var prev *Packet
+	for i := 0; i < 50; i++ {
+		want, _ := src.RandomPacket(ra)
+		got, ok := src.AirPacket(rb)
+		if !ok {
+			t.Fatal("air packet unavailable on a source buffer")
+		}
+		if got.Gen != want.Gen || !bitvec.Equal(got.Coeff, want.Coeff) || !bitvec.Equal(got.Payload, want.Payload) {
+			t.Fatalf("draw %d mismatches RandomPacket", i)
+		}
+		if prev != nil && prev != got {
+			t.Fatal("AirPacket did not reuse its scratch packet")
+		}
+		prev = got
+	}
+	// Add must copy, not retain, the scratch-backed packet.
+	dec := NewBuffer(0, k, l)
+	p, _ := src.AirPacket(rb)
+	dec.Add(*p)
+	before := dec.Rank()
+	src.AirPacket(rb) // overwrite the scratch
+	if dec.Rank() != before || len(dec.rows) == 0 {
+		t.Fatal("stored row affected by scratch reuse")
+	}
+	if bitvec.Equal(dec.rows[0].Coeff, p.Coeff) && &dec.rows[0].Coeff == &p.Coeff {
+		t.Fatal("row aliases scratch")
+	}
+}
+
+// TestStoreResetAndDoneHook verifies Store.Reset/ResetSource and the
+// all-generations-decodable hook.
+func TestStoreResetAndDoneHook(t *testing.T) {
+	const total, gen, l = 7, 3, 16
+	r := rng.New(21)
+	msgs := make([]Message, total)
+	for i := range msgs {
+		msgs[i] = bitvec.RandomVec(l, r.Uint64)
+	}
+	src := NewSourceStore(msgs, gen, l)
+	if !src.CanDecodeAll() {
+		t.Fatal("source store not decodable")
+	}
+	dst := NewStore(total, gen, l)
+	done := 0
+	dst.SetOnAllDecodable(func() { done++ })
+	feed := func() int {
+		dst.Reset()
+		rr := rng.New(2)
+		steps := 0
+		for !dst.CanDecodeAll() {
+			g := steps % src.Generations()
+			p, _ := src.RandomPacket(g, rr)
+			dst.Add(p)
+			steps++
+		}
+		return steps
+	}
+	a := feed()
+	b := feed()
+	if a != b {
+		t.Fatalf("same-seed store reuse diverged: %d vs %d", a, b)
+	}
+	if done != 2 {
+		t.Fatalf("onAll fired %d times over 2 runs, want 2", done)
+	}
+	got, ok := dst.DecodeAll()
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	for i := range msgs {
+		if !bitvec.Equal(got[i], msgs[i]) {
+			t.Fatalf("message %d mismatches", i)
+		}
+	}
+	// ResetSource on the reused source store keeps it decodable.
+	src.ResetSource(msgs)
+	if !src.CanDecodeAll() {
+		t.Fatal("ResetSource lost decodability")
+	}
+}

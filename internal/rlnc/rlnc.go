@@ -53,6 +53,18 @@ type Buffer struct {
 	// rows holds one (coeff, payload) pair per independent dimension,
 	// in insertion order; random combinations are drawn from these.
 	rows []Packet
+	// spare recycles row storage released by Reset, so a reset-reused
+	// buffer stores its next run's rows without allocating.
+	spare []Packet
+	// air is the scratch packet returned by AirPacket: one struct and
+	// one coefficient/payload backing reused across every transmission
+	// this buffer makes.
+	air Packet
+	// unit is the preload scratch coefficient vector of ResetSource.
+	unit bitvec.Vec
+	// onFull, when non-nil, fires exactly once per run: on the Add
+	// that makes the buffer decodable (rank reaches k).
+	onFull func()
 }
 
 // NewBuffer returns an empty buffer for generation gen with k messages
@@ -78,6 +90,43 @@ func NewSourceBuffer(gen int, msgs []Message, l int) *Buffer {
 	return b
 }
 
+// SetOnFull installs a hook fired by the Add that makes the buffer
+// decodable (the rank-k transition). It fires at most once per run —
+// subsequent packets are necessarily dependent. Harness runners point
+// it at an O(1) completion counter (radio.DoneSet) so run predicates
+// need not scan nodes.
+func (b *Buffer) SetOnFull(fn func()) { b.onFull = fn }
+
+// Reset empties the buffer for a new run with the same (gen, k, l).
+// Row storage and the solver's internal rows are recycled, so the
+// next run's insertions allocate nothing.
+func (b *Buffer) Reset() {
+	b.solver.Reset()
+	b.spare = append(b.spare, b.rows...)
+	b.rows = b.rows[:0]
+}
+
+// ResetSource resets the buffer and preloads it with the original
+// messages (the source node's per-run state) — the reuse counterpart
+// of NewSourceBuffer. The messages are copied, not retained.
+func (b *Buffer) ResetSource(msgs []Message) {
+	if len(msgs) != b.k {
+		panic(fmt.Sprintf("rlnc: ResetSource with %d messages, want %d", len(msgs), b.k))
+	}
+	b.Reset()
+	if b.unit.Len() != b.k {
+		b.unit = bitvec.New(b.k)
+	}
+	for i, m := range msgs {
+		if m.Len() != b.l {
+			panic(fmt.Sprintf("rlnc: message %d has %d bits, want %d", i, m.Len(), b.l))
+		}
+		b.unit.Set(i)
+		b.Add(Packet{Gen: b.gen, Coeff: b.unit, Payload: m})
+		b.unit.Clear(i)
+	}
+}
+
 // K returns the generation size.
 func (b *Buffer) K() int { return b.k }
 
@@ -89,7 +138,9 @@ func (b *Buffer) Rank() int { return b.solver.Rank() }
 
 // Add stores a received packet. It returns true iff the packet was
 // innovative (increased the rank). Packets from other generations are
-// rejected with a panic: the caller routes packets by generation.
+// rejected with a panic: the caller routes packets by generation. The
+// packet's vectors are copied, never retained, so callers may pass
+// scratch-backed packets (AirPacket output).
 func (b *Buffer) Add(p Packet) bool {
 	if p.Gen != b.gen {
 		panic(fmt.Sprintf("rlnc: packet for generation %d added to buffer %d", p.Gen, b.gen))
@@ -97,7 +148,20 @@ func (b *Buffer) Add(p Packet) bool {
 	if !b.solver.Add(p.Coeff, p.Payload) {
 		return false
 	}
-	b.rows = append(b.rows, Packet{Gen: p.Gen, Coeff: p.Coeff.Clone(), Payload: p.Payload.Clone()})
+	var row Packet
+	if n := len(b.spare); n > 0 {
+		row = b.spare[n-1]
+		b.spare = b.spare[:n-1]
+		row.Gen = p.Gen
+		row.Coeff.CopyFrom(p.Coeff)
+		row.Payload.CopyFrom(p.Payload)
+	} else {
+		row = Packet{Gen: p.Gen, Coeff: p.Coeff.Clone(), Payload: p.Payload.Clone()}
+	}
+	b.rows = append(b.rows, row)
+	if b.onFull != nil && b.solver.CanSolve() {
+		b.onFull()
+	}
 	return true
 }
 
@@ -122,13 +186,41 @@ func (b *Buffer) RandomPacket(r *rand.Rand) (Packet, bool) {
 	}
 	coeff := bitvec.New(b.k)
 	payload := bitvec.New(b.l)
+	b.randomInto(coeff, payload, r)
+	return Packet{Gen: b.gen, Coeff: coeff, Payload: payload}, true
+}
+
+// AirPacket is RandomPacket for the transmission hot path: the same
+// draw (identical RNG consumption), but written into a buffer-owned
+// scratch packet and returned as a pointer, so a steady-state
+// transmission performs zero allocations (pointers box for free).
+//
+// The returned packet is valid only until this buffer's next
+// AirPacket call: receivers must copy what they keep — Buffer.Add
+// already does — and any relay layer must clone before holding a
+// packet across rounds (mmv.Protocol does).
+func (b *Buffer) AirPacket(r *rand.Rand) (*Packet, bool) {
+	if len(b.rows) == 0 {
+		return nil, false
+	}
+	if b.air.Coeff.Len() != b.k {
+		b.air = Packet{Gen: b.gen, Coeff: bitvec.New(b.k), Payload: bitvec.New(b.l)}
+	}
+	b.air.Coeff.Zero()
+	b.air.Payload.Zero()
+	b.randomInto(b.air.Coeff, b.air.Payload, r)
+	return &b.air, true
+}
+
+// randomInto XORs a uniformly random subset of the stored rows into
+// (coeff, payload) — the shared draw of RandomPacket and AirPacket.
+func (b *Buffer) randomInto(coeff, payload bitvec.Vec, r *rand.Rand) {
 	for _, row := range b.rows {
 		if r.Intn(2) == 1 {
 			coeff.XorInPlace(row.Coeff)
 			payload.XorInPlace(row.Payload)
 		}
 	}
-	return Packet{Gen: b.gen, Coeff: coeff, Payload: payload}, true
 }
 
 // InfectedBy implements Definition 3.8: the node is infected by μ iff

@@ -16,6 +16,12 @@ type Store struct {
 	l       int // payload bits
 	genSize int
 	bufs    []*Buffer
+	// fullGens counts generations that became decodable through Add
+	// transitions (each buffer's onFull hook); when it reaches
+	// len(bufs), onAll fires — the O(1) completion signal of the
+	// Theorem 1.3 harness predicate.
+	fullGens int
+	onAll    func()
 }
 
 // NumGenerations returns how many generations cover `total` messages
@@ -46,6 +52,7 @@ func NewStore(total, genSize, l int) *Store {
 	for g := 0; g < gens; g++ {
 		lo, hi := GenBounds(total, genSize, g)
 		s.bufs[g] = NewBuffer(g, hi-lo, l)
+		s.bufs[g].SetOnFull(s.genFull)
 	}
 	return s
 }
@@ -54,11 +61,46 @@ func NewStore(total, genSize, l int) *Store {
 // source's state).
 func NewSourceStore(msgs []Message, genSize, l int) *Store {
 	s := NewStore(len(msgs), genSize, l)
-	for g := range s.bufs {
-		lo, hi := GenBounds(len(msgs), genSize, g)
-		s.bufs[g] = NewSourceBuffer(g, msgs[lo:hi], l)
-	}
+	s.ResetSource(msgs)
 	return s
+}
+
+// genFull is each buffer's onFull hook.
+func (s *Store) genFull() {
+	s.fullGens++
+	if s.fullGens == len(s.bufs) && s.onAll != nil {
+		s.onAll()
+	}
+}
+
+// SetOnAllDecodable installs a hook fired by the Add that makes every
+// generation decodable — at most once per run. Harness runners point
+// it at an O(1) completion counter (radio.DoneSet).
+func (s *Store) SetOnAllDecodable(fn func()) { s.onAll = fn }
+
+// Reset empties every generation for a new run, recycling all row and
+// solver storage (the receiver-side reuse counterpart of NewStore).
+func (s *Store) Reset() {
+	s.fullGens = 0
+	for _, b := range s.bufs {
+		b.Reset()
+	}
+}
+
+// ResetSource resets the store and preloads all messages (the
+// source-side reuse counterpart of NewSourceStore). Preloading runs
+// through Add, so the gen-full hooks fire during the preload; callers
+// wiring completion counters reset them afterwards (the harness
+// contract: reset protocols first, then the DoneSet).
+func (s *Store) ResetSource(msgs []Message) {
+	if len(msgs) != s.total {
+		panic(fmt.Sprintf("rlnc: ResetSource with %d messages, want %d", len(msgs), s.total))
+	}
+	s.fullGens = 0
+	for g, b := range s.bufs {
+		lo, hi := GenBounds(s.total, s.genSize, g)
+		b.ResetSource(msgs[lo:hi])
+	}
 }
 
 // Generations returns the number of generations.
@@ -79,6 +121,13 @@ func (s *Store) Add(p Packet) bool {
 // RandomPacket draws a random combination from generation gen.
 func (s *Store) RandomPacket(gen int, r *rand.Rand) (Packet, bool) {
 	return s.bufs[gen].RandomPacket(r)
+}
+
+// AirPacket draws the same combination as RandomPacket into generation
+// gen's scratch packet (see Buffer.AirPacket): the zero-allocation
+// transmission path.
+func (s *Store) AirPacket(gen int, r *rand.Rand) (*Packet, bool) {
+	return s.bufs[gen].AirPacket(r)
 }
 
 // CanDecodeAll reports whether every generation is decodable.

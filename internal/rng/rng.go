@@ -83,6 +83,15 @@ func New(keys ...uint64) *rand.Rand {
 	return rand.New(NewSource(Mix(keys...)))
 }
 
+// Reseed rewinds a Rand created by New to the stream derived from the
+// given keys, in place and allocation-free: Reseed(r, k...) leaves r
+// bit-identical to New(k...). This is the run-reuse path — a harness
+// that executes many seeds on one protocol stack reseeds the held
+// Rands instead of constructing new ones.
+func Reseed(r *rand.Rand, keys ...uint64) {
+	r.Seed(int64(Mix(keys...)))
+}
+
 // Stream identifies a derived randomness stream. The zero value is a
 // valid (if boring) stream.
 type Stream struct {
