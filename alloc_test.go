@@ -17,6 +17,7 @@ import (
 
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
+	"radiocast/internal/gstdist"
 	"radiocast/internal/harness"
 	"radiocast/internal/radio"
 	"radiocast/internal/rng"
@@ -57,6 +58,35 @@ func TestSteadyStateRoundLoopAllocsZeroCD(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() { nw.Step() })
 	if allocs != 0 {
 		t.Fatalf("steady-state CD round loop allocates %.1f objects/round, want 0", allocs)
+	}
+}
+
+// TestSteadyStateRoundLoopAllocsZeroPipelined repeats the guard on the
+// pipelined boundary construction (E6): with several same-parity
+// boundaries driving concurrently, the steady-state round loop — phase
+// arithmetic, boundary-machine windows, tagged boxed packets — must
+// still allocate nothing. The warm-up lands mid-identification-window
+// of a mid-schedule phase (window length CIdent·L² = 128 rounds at
+// N=256, c=2), so the measured steps never cross a window start (the
+// only points that construct recruiting machines).
+func TestSteadyStateRoundLoopAllocsZeroPipelined(t *testing.T) {
+	g := graph.Grid(4, 8)
+	d := graph.Eccentricity(g, 0)
+	cfg := gstdist.DefaultConfig(256, d, 2, gstdist.LayerPreset, false)
+	cfg.PipelinedBoundaries = true
+	levels := graph.BFS(g, 0).Dist
+	nw := radio.New(g, radio.Config{})
+	for v := 0; v < g.N(); v++ {
+		nw.SetProtocol(graph.NodeID(v),
+			gstdist.New(cfg, graph.NodeID(v), v == 0, levels[v], rng.New(7, uint64(v))))
+	}
+	// Phase 6 drives boundaries 0 and 2 concurrently; step inside its
+	// identification window.
+	warm := 6*cfg.Assign.RankLen() + 4
+	nw.Run(warm)
+	allocs := testing.AllocsPerRun(100, func() { nw.Step() })
+	if allocs != 0 {
+		t.Fatalf("pipelined steady-state round loop allocates %.1f objects/round, want 0", allocs)
 	}
 }
 

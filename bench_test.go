@@ -112,6 +112,17 @@ func BenchmarkE5_AssignmentShrinkage(b *testing.B) {
 	}
 }
 
+// E6: sequential vs pipelined boundary construction (schedule ratio is
+// fixed; wall time measures the simulator on both modes).
+func BenchmarkE6_PipelinedBoundaries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := harness.E6PipelinedBoundaries(1, true)
+		if len(tb.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
 // E7: Theorem 1.2 k-sweep.
 func BenchmarkE7_MultiMessageKnown_Grid8x8(b *testing.B) {
 	g := graph.Grid(8, 8)
@@ -305,6 +316,35 @@ func BenchmarkEngine_Theorem13_Fresh_Grid4x12(b *testing.B) {
 	reportRounds(b, func(seed uint64) (int64, bool) {
 		rounds, ok, _ := harness.RunTheorem13(g, d, 8, 1, seed)
 		return rounds, ok
+	})
+}
+
+// BenchmarkEngine_GSTPipelinedBuild runs E6's pipelined distributed
+// construction through its reuse context (zero per-seed construction):
+// several same-parity boundaries drive concurrently, so this is the
+// alloc guard for the pipelined segment-B path — boundary machines and
+// recruiting runs are built per window, never per round, and the
+// baseline pins that per-run total.
+func BenchmarkEngine_GSTPipelinedBuild_Grid4x8(b *testing.B) {
+	g := graph.Grid(4, 8)
+	d := graph.Eccentricity(g, 0)
+	run := harness.NewGSTPipelinedRun(g, g.N(), d, 1, true)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		res := run.Run(seed)
+		return res.Rounds, true
+	})
+}
+
+// BenchmarkEngine_GSTSequentialBuild is the same workload on the
+// sequential boundary schedule: the rounds/op gap against the
+// benchmark above is E6's headline measurement.
+func BenchmarkEngine_GSTSequentialBuild_Grid4x8(b *testing.B) {
+	g := graph.Grid(4, 8)
+	d := graph.Eccentricity(g, 0)
+	run := harness.NewGSTPipelinedRun(g, g.N(), d, 1, false)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		res := run.Run(seed)
+		return res.Rounds, true
 	})
 }
 

@@ -8,10 +8,13 @@
 //	radiosim -protocol decay -loss 0.2            # 20% per-link loss
 //	radiosim -protocol cd -cdnoise 0.1            # 10% missed ⊤
 //	radiosim -protocol decay -jam 500 -jamadaptive
+//	radiosim -protocol cd -pipelined               # §2.2.4 boundary pipelining
 //
 // Protocols: decay, cr, gst (known-topology single message),
 // cd (Theorem 1.1), k-known (Theorem 1.2), k-cd (Theorem 1.3).
 // Graphs: path, grid, clusterchain, udg, gnp, star.
+// -pipelined switches the distributed GST builds inside cd/k-cd to the
+// Section 2.2.4 even/odd boundary pipeline wherever it shortens them.
 //
 // Channel adversity: -loss, -jam, -cdnoise/-cdspurious, and -faults
 // each enable one model of internal/channel when nonzero; the active
@@ -120,6 +123,8 @@ func main() {
 	protocol := flag.String("protocol", "cd", "protocol: decay, cr, gst, cd, k-known, k-cd")
 	k := flag.Int("k", 8, "message count for k-message protocols")
 	seed := flag.Uint64("seed", 1, "run seed")
+	pipelined := flag.Bool("pipelined", false,
+		"pipeline the distributed GST boundary construction (Section 2.2.4; cd/k-cd ring builds where it shortens them)")
 	var cf channelFlags
 	flag.StringVar(&cf.mode, "channel", "auto", "channel adversity: auto (models enabled by their flags) or ideal")
 	flag.Float64Var(&cf.loss, "loss", 0, "per-link, per-round packet erasure probability")
@@ -147,7 +152,7 @@ func main() {
 		fmt.Printf("channel: %s\n", strings.Join(chNames, " + "))
 	}
 
-	opts := radiocast.Options{Seed: *seed, Channel: ch}
+	opts := radiocast.Options{Seed: *seed, Channel: ch, PipelinedBoundaries: *pipelined}
 	var res radiocast.Result
 	switch *protocol {
 	case "decay":

@@ -23,6 +23,9 @@ func TestDeterminismAcrossProtocols(t *testing.T) {
 		{"cd", func() (Result, error) { return BroadcastCD(g, Options{Seed: 9}) }},
 		{"k-known", func() (Result, error) { return BroadcastK(g, 4, Options{Seed: 9}) }},
 		{"k-cd", func() (Result, error) { return BroadcastKCD(g, 4, Options{Seed: 9}) }},
+		{"cd-pipelined", func() (Result, error) {
+			return BroadcastCD(g, Options{Seed: 9, PipelinedBoundaries: true})
+		}},
 	}
 	for _, r := range runs {
 		r := r
@@ -87,6 +90,47 @@ func TestChannelDeterminism(t *testing.T) {
 	}
 }
 
+// TestPipelinedBuildDeterminism pins E6's contract at the runner
+// level: both boundary-construction modes are exact functions of
+// (graph, config, seed), and the pipelined schedule strictly
+// undercuts the sequential one on every D >= 4 workload.
+func TestPipelinedBuildDeterminism(t *testing.T) {
+	g := NewGrid(4, 8)
+	const d = 10 // eccentricity of grid-4x8 from node 0
+	for _, pipelined := range []bool{false, true} {
+		a := harness.RunGSTBuild(g, g.N(), d, 1, pipelined, 7)
+		b := harness.RunGSTBuild(g, g.N(), d, 1, pipelined, 7)
+		if a != b {
+			t.Fatalf("pipelined=%v nondeterministic:\n%+v\n%+v", pipelined, a, b)
+		}
+	}
+	seq := harness.RunGSTBuild(g, g.N(), d, 1, false, 7)
+	pipe := harness.RunGSTBuild(g, g.N(), d, 1, true, 7)
+	if pipe.Budget >= seq.Budget {
+		t.Fatalf("pipelined budget %d not below sequential %d", pipe.Budget, seq.Budget)
+	}
+	if pipe.Rounds >= seq.Rounds {
+		t.Fatalf("pipelined completed in %d rounds, sequential in %d", pipe.Rounds, seq.Rounds)
+	}
+	// The facade flag drives the same machinery.
+	ga, err := BuildGSTDistributed(NewGrid(3, 4), Options{Seed: 2, Scale: 2, PipelinedBoundaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := BuildGSTDistributed(NewGrid(3, 4), Options{Seed: 2, Scale: 2, PipelinedBoundaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.ConstructionRounds != gb.ConstructionRounds {
+		t.Fatalf("facade pipelined builds diverge: %d vs %d rounds", ga.ConstructionRounds, gb.ConstructionRounds)
+	}
+	for v := range ga.Tree.Parent {
+		if ga.Tree.Parent[v] != gb.Tree.Parent[v] || ga.Tree.Rank[v] != gb.Tree.Rank[v] {
+			t.Fatalf("facade pipelined builds diverge at node %d", v)
+		}
+	}
+}
+
 func TestSeedsChangeOutcomes(t *testing.T) {
 	g := NewGNP(60, 0.1, 4)
 	a, err := DecayBroadcast(g, Options{Seed: 1})
@@ -118,13 +162,14 @@ func TestParallelRunnerMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow")
 	}
-	// A fast, representative subset: protocol sweeps (E1), paired
-	// jamming cells (E9), batched micro-trials (E11), payload-carrying
-	// cells (E12), a fixed-schedule ablation (A3), and the four
+	// A fast, representative subset: protocol sweeps (E1), the
+	// sequential-vs-pipelined construction pairs (E6), paired jamming
+	// cells (E9), batched micro-trials (E11), payload-carrying cells
+	// (E12), a fixed-schedule ablation (A3), and the four
 	// adversarial-channel robustness sweeps (E13-E16) whose cells carry
 	// the Dropped/Jammed counters into the canonical artifact.
 	ids := map[string]bool{
-		"E1": true, "E9": true, "E11": true, "E12": true, "A3": true,
+		"E1": true, "E6": true, "E9": true, "E11": true, "E12": true, "A3": true,
 		"E13": true, "E14": true, "E15": true, "E16": true,
 	}
 	for _, e := range harness.All() {

@@ -206,30 +206,49 @@ func (ly layout) locate(off int64) Pos {
 func (p Params) Locate(off int64) Pos { return p.layout().locate(off) }
 
 // Packets.
+//
+// Every boundary packet carries a 2-bit Tag: the transmitter's BFS
+// level mod 4. With sequential boundaries only one boundary is ever
+// audible and the tags are all zero (byte-identical to the untagged
+// protocol). Under the pipelined construction of Section 2.2.4,
+// same-parity boundaries run concurrently and a node can overhear the
+// boundary two levels away; levels within hearing distance differ by
+// exactly 2, so a mod-4 level tag is necessary and sufficient for a
+// receiver to discard cross-boundary packets (it expects its
+// counterpart level's tag). Collisions across boundaries remain — they
+// only cost probabilistic progress, which the Θ(·) constants absorb —
+// but tagged filtering makes cross-boundary *bindings* impossible.
 
 // IdentPacket is a rank-identification transmission by a blue node.
-type IdentPacket struct{ Blue NodeID }
+type IdentPacket struct {
+	Blue NodeID
+	Tag  int32
+}
 
 // Bits implements radio.Packet.
-func (IdentPacket) Bits() int { return 32 }
+func (IdentPacket) Bits() int { return 34 }
 
 // PingPacket is the stage I transmission of every active red.
-type PingPacket struct{}
+type PingPacket struct{ Tag int32 }
 
 // Bits implements radio.Packet.
-func (PingPacket) Bits() int { return 1 }
+func (PingPacket) Bits() int { return 3 }
 
 // LonerPacket is a loner blue's announcement.
-type LonerPacket struct{ Blue NodeID }
+type LonerPacket struct {
+	Blue NodeID
+	Tag  int32
+}
 
 // Bits implements radio.Packet.
-func (LonerPacket) Bits() int { return 32 }
+func (LonerPacket) Bits() int { return 34 }
 
 // MopPacket is the stage III (id, rank) broadcast of a marked red.
 type MopPacket struct {
 	Red  NodeID
 	Rank int32
+	Tag  int32
 }
 
 // Bits implements radio.Packet.
-func (MopPacket) Bits() int { return 40 }
+func (MopPacket) Bits() int { return 42 }

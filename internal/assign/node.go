@@ -57,10 +57,17 @@ type Node struct {
 	recR          *recruit.Red
 	recRWin       Window
 
-	// Boxed packets reused across transmissions: ident/loner are
+	// ownTag tags this node's transmissions; peerTag is the expected
+	// tag on counterpart packets (level mod 4 of the other side). Both
+	// zero by default — the sequential construction never sets them.
+	ownTag  int32
+	peerTag int32
+
+	// Boxed packets reused across transmissions: ident/loner/ping are
 	// constant per node, mop re-boxes only when the rank changes.
 	identPkt radio.Packet
 	lonerPkt radio.Packet
+	pingPkt  radio.Packet
 	mopPkt   radio.Packet
 	mopRank  int32
 }
@@ -74,6 +81,17 @@ type Node struct {
 // (l-1, l); here red ranks are always learned fresh, so preRanked is
 // false in the composed construction and exists for testing.
 func NewNode(p Params, id NodeID, role Role, blueRank int32, rng *rand.Rand) *Node {
+	return NewTaggedNode(p, id, role, blueRank, rng, 0, 0)
+}
+
+// NewTaggedNode creates a boundary state machine scoped to (own, peer)
+// level-mod-4 tags: own stamps every transmission, peer filters every
+// counterpart reception. The pipelined construction (Section 2.2.4)
+// uses tags to keep concurrently audible boundaries from
+// cross-binding; the sequential construction creates nodes through
+// NewNode with both tags zero, which reproduces the untagged protocol
+// exactly.
+func NewTaggedNode(p Params, id NodeID, role Role, blueRank int32, rng *rand.Rand, own, peer int32) *Node {
 	nd := &Node{
 		p:        p,
 		ly:       p.layout(),
@@ -85,13 +103,32 @@ func NewNode(p Params, id NodeID, role Role, blueRank int32, rng *rand.Rand) *No
 		blueRank: blueRank,
 		parent:   -1,
 		markedAt: -1,
+		ownTag:   own,
+		peerTag:  peer,
 	}
-	if role == Blue {
-		nd.identPkt = IdentPacket{Blue: id}
-		nd.lonerPkt = LonerPacket{Blue: id}
+	switch {
+	case role == Blue:
+		nd.identPkt = IdentPacket{Blue: id, Tag: own}
+		nd.lonerPkt = LonerPacket{Blue: id, Tag: own}
+	case own == 0:
+		nd.pingPkt = untaggedPing
+	default:
+		nd.pingPkt = PingPacket{Tag: own}
 	}
 	return nd
 }
+
+// untaggedPing is the shared boxed zero-tag ping: ping contents don't
+// depend on the node, so untagged boundaries never pay a per-node
+// boxing for it.
+var untaggedPing radio.Packet = PingPacket{}
+
+// SetBlueRank updates the blue node's rank. The pipelined construction
+// calls this at every rank-window start: a blue's rank is learned
+// incrementally by its red role at the boundary below, and the
+// schedule skew guarantees any rank >= the window's rank is already
+// final when the window opens.
+func (nd *Node) SetBlueRank(r int32) { nd.blueRank = r }
 
 // Blue results.
 
@@ -264,6 +301,7 @@ func (nd *Node) blueAct(pos Pos) radio.Action {
 	case WinPart1, WinPart2, WinPart3:
 		if nd.recB == nil && pos.Off == 0 && nd.blueActive(pos) {
 			nd.recB = recruit.NewBlue(nd.p.Rec, nd.id, nd.rng)
+			nd.recB.SetWantTag(nd.peerTag)
 			nd.recBWin = pos.Win
 		}
 		if nd.recB != nil && nd.recBWin == pos.Win {
@@ -278,7 +316,7 @@ func (nd *Node) blueObserve(pos Pos, out radio.Outcome) {
 	case WinPing:
 		// A clean message means exactly one active red: a loner.
 		if nd.blueActive(pos) && out.Packet != nil {
-			if _, ok := out.Packet.(PingPacket); ok {
+			if ping, ok := out.Packet.(PingPacket); ok && ping.Tag == nd.peerTag {
 				nd.isLoner = true
 			}
 		}
@@ -290,7 +328,7 @@ func (nd *Node) blueObserve(pos Pos, out radio.Outcome) {
 		if nd.assigned || nd.tempBound {
 			return
 		}
-		if mop, ok := out.Packet.(MopPacket); ok && mop.Rank > nd.blueRank {
+		if mop, ok := out.Packet.(MopPacket); ok && mop.Tag == nd.peerTag && mop.Rank > nd.blueRank {
 			nd.assigned = true
 			nd.parent = mop.Red
 			nd.parentRank = mop.Rank
@@ -302,11 +340,12 @@ func (nd *Node) redAct(pos Pos) radio.Action {
 	switch pos.Win {
 	case WinPing:
 		if nd.redActive() && pos.Off == 0 {
-			return radio.Transmit(PingPacket{})
+			return radio.Transmit(nd.pingPkt)
 		}
 	case WinPart1:
 		if nd.recR == nil && pos.Off == 0 && nd.redActive() && nd.lonerParent {
 			nd.recR = recruit.NewRed(nd.p.Rec, nd.id, nd.rng)
+			nd.recR.SetTag(nd.ownTag)
 			nd.recRWin = pos.Win
 		}
 		if nd.recR != nil && nd.recRWin == pos.Win {
@@ -316,6 +355,7 @@ func (nd *Node) redAct(pos Pos) radio.Action {
 		wantBrisk := pos.Win == WinPart2
 		if nd.recR == nil && pos.Off == 0 && nd.redActive() && !nd.lonerParent && nd.brisk == wantBrisk {
 			nd.recR = recruit.NewRed(nd.p.Rec, nd.id, nd.rng)
+			nd.recR.SetTag(nd.ownTag)
 			nd.recRWin = pos.Win
 		}
 		if nd.recR != nil && nd.recRWin == pos.Win {
@@ -326,7 +366,7 @@ func (nd *Node) redAct(pos Pos) radio.Action {
 			slot := int(pos.Off) % nd.p.L
 			if nd.rng.Float64() < decay.TransmitProb(slot) {
 				if nd.mopPkt == nil || nd.mopRank != nd.redRank {
-					nd.mopPkt = MopPacket{Red: nd.id, Rank: nd.redRank}
+					nd.mopPkt = MopPacket{Red: nd.id, Rank: nd.redRank, Tag: nd.ownTag}
 					nd.mopRank = nd.redRank
 				}
 				return radio.Transmit(nd.mopPkt)
@@ -349,14 +389,14 @@ func (nd *Node) redObserve(pos Pos, out radio.Outcome) {
 		if nd.ranked {
 			return
 		}
-		if _, ok := out.Packet.(IdentPacket); ok {
+		if ident, ok := out.Packet.(IdentPacket); ok && ident.Tag == nd.peerTag {
 			nd.active = true
 		}
 	case WinLoner:
 		if !nd.redActive() {
 			return
 		}
-		if _, ok := out.Packet.(LonerPacket); ok {
+		if loner, ok := out.Packet.(LonerPacket); ok && loner.Tag == nd.peerTag {
 			nd.lonerParent = true
 		}
 	case WinPart1, WinPart2, WinPart3:

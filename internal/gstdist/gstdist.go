@@ -12,10 +12,13 @@
 //	           layering of Section 2.2.2 (no CD), or preset levels
 //	           (rings reuse the global wave).
 //	segment B  one Bipartite Assignment boundary (internal/assign) per
-//	           level, deepest first. This is the sequential variant
-//	           (O(D log^5 n)); the paper's even/odd pipelining
-//	           (Section 2.2.4, O(D log^4 n)) is an ablation tracked in
-//	           DESIGN.md.
+//	           level. Sequential (default): boundaries run deepest
+//	           first, one after the other, O(D log^5 n). Pipelined
+//	           (Config.PipelinedBoundaries, Section 2.2.4): time is
+//	           split into rank-length phases alternating between even
+//	           and odd boundary indices; all in-window same-parity
+//	           boundaries process one rank per phase concurrently,
+//	           O((D + log n) log^4 n). See the pipelining notes below.
 //	segment C  virtual distances (Lemma 3.10): for d = 0..2⌈log n⌉,
 //	           stage 1 pipelines a wave down the fast stretches of
 //	           each rank class (2(D+1) rounds per rank), stage 2 runs
@@ -74,6 +77,27 @@ type Config struct {
 	// nodes discard Wave/Flood packets whose tag differs. Adjacent
 	// rings use different parities, so one bit of tag suffices.
 	Tag int32
+	// PipelinedBoundaries switches segment B to the even/odd pipelined
+	// schedule of Section 2.2.4: phases of one rank-length each, phase
+	// p driving the boundaries of parity p mod 2 that are inside their
+	// processing window. Boundary b starts at phase 3b — the skew of 3
+	// is the exact dependency margin: a red ranked i (or promoted to
+	// i+1) at boundary b-1's rank-i window must know that rank before
+	// boundary b's rank-i (resp. rank-(i+1)) window opens, and both
+	// follow boundary b-1's rank-i window by >= 1 phase at skew 3.
+	// Same-parity boundaries within hearing distance (levels exactly 2
+	// apart) are disambiguated by level-mod-4 packet tags
+	// (assign.NewTaggedNode); cross-boundary collisions remain but only
+	// cost probabilistic progress. Segment B shrinks from
+	// D·MaxRank rank-lengths to 3D + 2·MaxRank - 4 (strictly fewer for
+	// every D >= 3 at MaxRank >= 3).
+	PipelinedBoundaries bool
+	// TagBase offsets the level-mod-4 boundary tags. Standalone
+	// constructions leave it 0; the rings of Theorems 1.1/1.3 set each
+	// ring's base to (ring·W) mod 4 so tags are globally consistent
+	// across ring borders even though each ring's construction runs on
+	// local levels.
+	TagBase int32
 }
 
 // DefaultConfig returns a construction schedule for size n, diameter
@@ -110,7 +134,43 @@ func (c Config) LayerRounds() int64 {
 
 // BoundariesRounds returns the length of segment B.
 func (c Config) BoundariesRounds() int64 {
+	if c.PipelinedBoundaries {
+		return int64(c.PipelinedPhases()) * c.Assign.RankLen()
+	}
 	return int64(c.DBound) * c.Assign.BoundaryRounds()
+}
+
+// PipelinedPhases returns the number of rank-length phases of the
+// pipelined segment B: boundary b occupies phases 3b .. 3b +
+// 2(MaxRank-1), so the schedule spans 3·DBound + 2·MaxRank - 4 phases.
+func (c Config) PipelinedPhases() int {
+	if c.DBound <= 0 {
+		return 0
+	}
+	return 3*c.DBound + 2*c.Assign.MaxRank() - 4
+}
+
+// PhaseOfRank returns the phase in which boundary b processes rank i
+// under the pipelined schedule (ranks descend from MaxRank to 1).
+func (c Config) PhaseOfRank(b, rank int) int {
+	return 3*b + 2*(c.Assign.MaxRank()-rank)
+}
+
+// BoundaryActiveInPhase reports whether boundary b performs work in
+// phase p: b must be a real boundary, share p's parity (3b ≡ b mod 2),
+// and be inside its MaxRank-phase processing window.
+func (c Config) BoundaryActiveInPhase(b, p int) bool {
+	if b < 0 || b >= c.DBound {
+		return false
+	}
+	d := p - 3*b
+	return d >= 0 && d <= 2*(c.Assign.MaxRank()-1) && d%2 == 0
+}
+
+// LevelTag returns the level-mod-4 boundary packet tag of a node at
+// the given (construction-local) level.
+func (c Config) LevelTag(level int32) int32 {
+	return (c.TagBase + level) & 3
 }
 
 // VdistIterations returns the number of d-iterations in segment C.
@@ -154,9 +214,13 @@ const (
 // Pos locates a round within the construction schedule.
 type Pos struct {
 	Seg Segment
-	// Boundary fields (SegBoundary): the boundary index (0 = deepest,
-	// blue level = DBound - Boundary) and the in-boundary offset.
+	// Boundary fields (SegBoundary, sequential): the boundary index
+	// (0 = deepest, blue level = DBound - Boundary) and the
+	// in-boundary offset. Pipelined segment-B positions set Boundary
+	// to -1 (which boundary a node serves is level-dependent), Phase to
+	// the rank-length phase index, and Off to the in-phase offset.
 	Boundary int
+	Phase    int
 	Off      int64
 	// Vdist fields (SegVdist).
 	D     int   // frontier distance being extended
@@ -177,6 +241,8 @@ type Locator struct {
 	layer      int64
 	boundaries int64
 	boundary   int64 // one boundary's length
+	pipelined  bool  // segment B runs the even/odd pipelined schedule
+	rankLen    int64 // one rank-length phase (pipelined)
 	vdist      int64
 	stage1     int64
 	blockLen   int64 // stage1 + stage2
@@ -189,6 +255,8 @@ func (c Config) Locator() Locator {
 		layer:      c.LayerRounds(),
 		boundaries: c.BoundariesRounds(),
 		boundary:   c.Assign.BoundaryRounds(),
+		pipelined:  c.PipelinedBoundaries,
+		rankLen:    c.Assign.RankLen(),
 		vdist:      c.VdistRounds(),
 		stage1:     c.VdistStage1Rounds(),
 		blockLen:   c.VdistStage1Rounds() + c.VdistStage2Rounds(),
@@ -206,6 +274,10 @@ func (l Locator) Locate(r int64) Pos {
 	}
 	r -= l.layer
 	if r < l.boundaries {
+		if l.pipelined {
+			return Pos{Seg: SegBoundary, Boundary: -1,
+				Phase: int(r / l.rankLen), Off: r % l.rankLen}
+		}
 		return Pos{Seg: SegBoundary, Boundary: int(r / l.boundary), Off: r % l.boundary}
 	}
 	r -= l.boundaries

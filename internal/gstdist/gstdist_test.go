@@ -130,6 +130,65 @@ func TestConstructionPresetLevels(t *testing.T) {
 	verifyConstruction(t, g, results)
 }
 
+func TestConstructionPipelined(t *testing.T) {
+	for _, g := range constructionCases() {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			d := graph.Eccentricity(g, 0)
+			cfg := DefaultConfig(g.N(), d, 2, LayerCD, false)
+			cfg.PipelinedBoundaries = true
+			results, rounds := runConstruction(t, g, cfg, true, 1)
+			verifyConstruction(t, g, results)
+			if rounds != cfg.TotalRounds() {
+				t.Fatalf("rounds %d != schedule %d", rounds, cfg.TotalRounds())
+			}
+			// Strict win exactly when 3D + 2·MaxRank - 4 < D·MaxRank; at
+			// D >= 3 the pipelined schedule is never longer, and from
+			// D >= 4 (or deeper rank stacks) it is strictly shorter.
+			seq := DefaultConfig(g.N(), d, 2, LayerCD, false)
+			if d >= 3 && cfg.BoundariesRounds() > seq.BoundariesRounds() {
+				t.Fatalf("pipelined segment B %d rounds, sequential %d — regression at D=%d",
+					cfg.BoundariesRounds(), seq.BoundariesRounds(), d)
+			}
+			if d >= 4 && cfg.BoundariesRounds() >= seq.BoundariesRounds() {
+				t.Fatalf("pipelined segment B %d rounds, sequential %d — no strict speedup at D=%d",
+					cfg.BoundariesRounds(), seq.BoundariesRounds(), d)
+			}
+		})
+	}
+}
+
+func TestConstructionPipelinedMultiSeed(t *testing.T) {
+	g := graph.GNP(24, 0.18, 8)
+	d := graph.Eccentricity(g, 0)
+	cfg := DefaultConfig(g.N(), d, 2, LayerCD, false)
+	cfg.PipelinedBoundaries = true
+	for seed := uint64(0); seed < 4; seed++ {
+		results, _ := runConstruction(t, g, cfg, true, seed)
+		verifyConstruction(t, g, results)
+	}
+}
+
+func TestPipelinedVirtualDistances(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Path(10), graph.Grid(3, 4), graph.BinaryTree(15)} {
+		g := g
+		t.Run(g.Name(), func(t *testing.T) {
+			d := graph.Eccentricity(g, 0)
+			cfg := DefaultConfig(g.N(), d, 2, LayerCD, true)
+			cfg.PipelinedBoundaries = true
+			results, _ := runConstruction(t, g, cfg, true, 6)
+			verifyConstruction(t, g, results)
+			tree := toTree(g, results, 0)
+			want := gst.VirtualDistances(tree)
+			for v := 0; v < g.N(); v++ {
+				if results[v].Vdist != want[v] {
+					t.Fatalf("node %d vdist %d, want %d", v, results[v].Vdist, want[v])
+				}
+			}
+		})
+	}
+}
+
 func TestConstructionMultiSeedStability(t *testing.T) {
 	g := graph.GNP(24, 0.18, 8)
 	d := graph.Eccentricity(g, 0)

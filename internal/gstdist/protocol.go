@@ -44,26 +44,40 @@ type Result struct {
 
 // Protocol is the per-node distributed GST construction state machine.
 type Protocol struct {
-	cfg    Config
-	loc    Locator // cached schedule arithmetic (hot: every Act/Observe)
-	id     radio.NodeID
-	isRoot bool
-	rng    *rand.Rand
+	cfg     Config
+	loc     Locator // cached schedule arithmetic (hot: every Act/Observe)
+	maxRank int     // cached Assign.MaxRank (hot in the pipelined path)
+	id      radio.NodeID
+	isRoot  bool
+	rng     *rand.Rand
+
+	// DoneSet, when non-nil, is ticked exactly once per node at the
+	// moment its blue role first holds an assigned parent — the node is
+	// "informed" of its place in the tree. Roots start informed and are
+	// ticked by the harness's initial scan (the initDone contract).
+	DoneSet *radio.DoneSet
 
 	// Segment A.
 	wave     *beep.Wave
 	layering *decay.Layering
 	level    int32
 
-	// Segment B.
+	// Segment B (sequential: one live machine at a time).
 	bNode     *assign.Node
-	bIdx      int // boundary index of the live node (-1 none)
+	bIdx      int  // boundary index of the live node (-1 none)
+	bIsBlue   bool // live machine plays the blue role
 	rank      int32
 	ranked    bool // red role produced a rank
 	sameRank  bool
 	parent    radio.NodeID
 	parentRnk int32
 	assigned  bool
+	informed  bool // DoneSet ticked (or root)
+
+	// Segment B (pipelined: the node's red- and blue-role boundaries
+	// interleave phases, so both machines live concurrently).
+	bRed  *assign.Node
+	bBlue *assign.Node
 
 	// Segment C.
 	vdist     int32
@@ -84,6 +98,7 @@ func New(cfg Config, id radio.NodeID, isRoot bool, presetLevel int32, rng *rand.
 	p := &Protocol{
 		cfg:       cfg,
 		loc:       cfg.Locator(),
+		maxRank:   cfg.Assign.MaxRank(),
 		id:        id,
 		isRoot:    isRoot,
 		rng:       rng,
@@ -92,6 +107,7 @@ func New(cfg Config, id radio.NodeID, isRoot bool, presetLevel int32, rng *rand.
 		rank:      0,
 		parent:    -1,
 		parentRnk: 0,
+		informed:  isRoot,
 		vdist:     -1,
 		curBlock:  -1,
 	}
@@ -119,12 +135,16 @@ func (p *Protocol) Reset(isRoot bool, presetLevel int32) {
 	p.level = -1
 	p.bNode = nil
 	p.bIdx = -1
+	p.bIsBlue = false
+	p.bRed = nil
+	p.bBlue = nil
 	p.rank = 0
 	p.ranked = false
 	p.sameRank = false
 	p.parent = -1
 	p.parentRnk = 0
 	p.assigned = false
+	p.informed = isRoot
 	p.vdist = -1
 	p.waveRelay = false
 	p.curBlock = -1
@@ -153,6 +173,7 @@ func (p *Protocol) Result() Result {
 	if p.bNode != nil {
 		p.harvestBoundary()
 	}
+	p.pipeFinish()
 	rank := p.rank
 	if !p.ranked {
 		rank = 1
@@ -167,11 +188,32 @@ func (p *Protocol) Result() Result {
 	}
 }
 
+// Informed reports whether the node knows its parent (roots start
+// informed). Harness runners use it for the initial DoneSet scan.
+func (p *Protocol) Informed() bool { return p.informed }
+
+// Rng exposes the protocol's RNG so reuse harnesses can reseed it.
+func (p *Protocol) Rng() *rand.Rand { return p.rng }
+
+// tickAssigned records the node's first assignment on the DoneSet.
+func (p *Protocol) tickAssigned() {
+	if !p.informed {
+		p.informed = true
+		p.DoneSet.Tick()
+	}
+}
+
 // ownRank returns the node's rank for its blue role: the rank learned
-// as a red at the deeper boundary, or 1 (leaf).
+// as a red at the deeper boundary, or 1 (leaf). Under pipelining the
+// red machine is still live while the blue role runs, so the rank is
+// consulted in place; the schedule skew guarantees that at a blue
+// rank-i window every rank >= i is already final.
 func (p *Protocol) ownRank() int32 {
 	if p.ranked {
 		return p.rank
+	}
+	if p.bRed != nil && p.bRed.RedRanked() {
+		return p.bRed.RedRank()
 	}
 	return 1
 }
@@ -194,21 +236,34 @@ func (p *Protocol) finishLayering() {
 	}
 }
 
-// harvestBoundary folds a completed boundary machine's results into
-// the node state.
+// harvestBlue folds a completed blue-role machine into the node state.
+func (p *Protocol) harvestBlue(nd *assign.Node) {
+	if nd.Assigned() {
+		p.assigned = true
+		p.parent = nd.Parent()
+		p.parentRnk = nd.ParentRank()
+		p.tickAssigned()
+	}
+}
+
+// harvestRed folds a completed red-role machine into the node state.
+func (p *Protocol) harvestRed(nd *assign.Node) {
+	if nd.RedRanked() {
+		p.ranked = true
+		p.rank = nd.RedRank()
+		p.sameRank = nd.RedHasSameRankChild()
+	}
+}
+
+// harvestBoundary folds the live sequential boundary machine's results
+// into the node state.
 func (p *Protocol) harvestBoundary() {
 	nd := p.bNode
 	p.bNode = nil
 	if p.cfg.BlueLevel(p.bIdx) == int(p.level) {
-		if nd.Assigned() {
-			p.assigned = true
-			p.parent = nd.Parent()
-			p.parentRnk = nd.ParentRank()
-		}
-	} else if nd.RedRanked() {
-		p.ranked = true
-		p.rank = nd.RedRank()
-		p.sameRank = nd.RedHasSameRankChild()
+		p.harvestBlue(nd)
+	} else {
+		p.harvestRed(nd)
 	}
 	p.bIdx = -1
 }
@@ -224,11 +279,168 @@ func (p *Protocol) syncBoundary(pos Pos) {
 		case blue:
 			p.bNode = assign.NewNode(p.cfg.Assign, p.id, assign.Blue, p.ownRank(), p.rng)
 			p.bIdx = pos.Boundary
+			p.bIsBlue = true
 		case blue - 1:
 			p.bNode = assign.NewNode(p.cfg.Assign, p.id, assign.Red, 0, p.rng)
 			p.bIdx = pos.Boundary
+			p.bIsBlue = false
 		}
 	}
+}
+
+// Pipelined segment B (Config.PipelinedBoundaries, Section 2.2.4).
+//
+// Phase p of the pipelined schedule drives the parity-(p mod 2)
+// boundaries inside their windows; boundary b processes rank
+// MaxRank - (p-3b)/2 during phase p at the same in-rank offsets as the
+// sequential schedule, so the assign.Node machines run unchanged —
+// they are simply fed their boundary-local offsets in interleaved
+// slices of global time. A node's red boundary (index DBound-level-1)
+// and blue boundary (DBound-level) have opposite parities, so it plays
+// at most one role per phase, but both machines stay live across the
+// interleaving.
+
+// pipeRole returns the boundary the node serves in the given phase and
+// whether it plays the blue role there.
+func (p *Protocol) pipeRole(phase int) (b int, isBlue, ok bool) {
+	bBlue := p.cfg.DBound - int(p.level)
+	if p.cfg.BoundaryActiveInPhase(bBlue-1, phase) {
+		return bBlue - 1, false, true
+	}
+	if p.cfg.BoundaryActiveInPhase(bBlue, phase) {
+		return bBlue, true, true
+	}
+	return 0, false, false
+}
+
+// pipePhaseEnd returns the last phase of boundary b's window.
+func (p *Protocol) pipePhaseEnd(b int) int { return 3*b + 2*(p.maxRank-1) }
+
+// pipeSync harvests pipelined machines whose windows have passed. The
+// red machine must be harvested (or consulted live — see ownRank)
+// before the blue role needs the node's rank; harvesting on the first
+// Act after the window closes preserves that order.
+func (p *Protocol) pipeSync(phase int) {
+	if p.bRed != nil {
+		bBlue := p.cfg.DBound - int(p.level)
+		if phase > p.pipePhaseEnd(bBlue-1) {
+			p.harvestRed(p.bRed)
+			p.bRed = nil
+		}
+	}
+	if p.bBlue != nil {
+		if phase > p.pipePhaseEnd(p.cfg.DBound-int(p.level)) {
+			p.harvestBlue(p.bBlue)
+			p.bBlue = nil
+		}
+	}
+}
+
+// pipeFinish harvests any still-live pipelined machines (segment B
+// over, or Result called at the schedule end).
+func (p *Protocol) pipeFinish() {
+	if p.bRed != nil {
+		p.harvestRed(p.bRed)
+		p.bRed = nil
+	}
+	if p.bBlue != nil {
+		p.harvestBlue(p.bBlue)
+		p.bBlue = nil
+	}
+}
+
+// pipeAct drives the pipelined segment B at the located phase/offset.
+func (p *Protocol) pipeAct(pos Pos) radio.Action {
+	p.finishLayering()
+	if p.level < 0 {
+		// Level never learned: sit out segment B (as the sequential
+		// schedule's nextWake does) and rejoin at segment C.
+		return radio.Sleep(p.loc.layer + p.loc.boundaries)
+	}
+	p.pipeSync(pos.Phase)
+	b, isBlue, ok := p.pipeRole(pos.Phase)
+	if !ok {
+		return radio.Sleep(p.pipeNextWake(pos.Phase))
+	}
+	off := int64((pos.Phase-3*b)/2)*p.loc.rankLen + pos.Off
+	if isBlue {
+		if p.bBlue == nil {
+			if pos.Off != 0 || pos.Phase != 3*b {
+				return radio.Listen // window already running; cannot join
+			}
+			p.bBlue = assign.NewTaggedNode(p.cfg.Assign, p.id, assign.Blue, p.ownRank(), p.rng,
+				p.cfg.LevelTag(p.level), p.cfg.LevelTag(p.level-1))
+		} else if pos.Off == 0 {
+			// Rank-window start: adopt the rank the red role has learned
+			// by now (final for every rank >= this window's rank).
+			p.bBlue.SetBlueRank(p.ownRank())
+		}
+		act := p.bBlue.Act(off)
+		if p.bBlue.Assigned() {
+			p.tickAssigned()
+		}
+		return act
+	}
+	if p.bRed == nil {
+		if pos.Off != 0 || pos.Phase != 3*b {
+			return radio.Listen
+		}
+		p.bRed = assign.NewTaggedNode(p.cfg.Assign, p.id, assign.Red, 0, p.rng,
+			p.cfg.LevelTag(p.level), p.cfg.LevelTag(p.level+1))
+	}
+	return p.bRed.Act(off)
+}
+
+// pipeObserve routes a segment-B reception to the phase's machine.
+func (p *Protocol) pipeObserve(pos Pos, out radio.Outcome) {
+	if p.level < 0 {
+		return
+	}
+	b, isBlue, ok := p.pipeRole(pos.Phase)
+	if !ok {
+		return
+	}
+	off := int64((pos.Phase-3*b)/2)*p.loc.rankLen + pos.Off
+	if isBlue {
+		if p.bBlue != nil {
+			p.bBlue.Observe(off, out)
+			if p.bBlue.Assigned() {
+				p.tickAssigned()
+			}
+		}
+	} else if p.bRed != nil {
+		p.bRed.Observe(off, out)
+	}
+}
+
+// pipeNextWake returns the round of the node's next pipelined
+// participation: the next in-window phase of either of its boundaries,
+// or the start of segment C.
+func (p *Protocol) pipeNextWake(phase int) int64 {
+	bBlue := p.cfg.DBound - int(p.level)
+	next := p.loc.layer + p.loc.boundaries // segment C
+	for _, b := range [2]int{bBlue - 1, bBlue} {
+		if b < 0 || b >= p.cfg.DBound {
+			continue
+		}
+		start, end := 3*b, p.pipePhaseEnd(b)
+		q := phase + 1
+		switch {
+		case q < start:
+			q = start
+		case q > end:
+			continue
+		case (q-start)%2 != 0:
+			q++
+			if q > end {
+				continue
+			}
+		}
+		if r := p.loc.layer + int64(q)*p.loc.rankLen; r < next {
+			next = r
+		}
+	}
+	return next
 }
 
 // Act implements radio.Protocol.
@@ -250,6 +462,9 @@ func (p *Protocol) Act(r int64) radio.Action {
 		}
 		return act
 	case SegBoundary:
+		if p.loc.pipelined {
+			return p.pipeAct(pos)
+		}
 		if pos.Boundary != p.bIdx || pos.Off == 0 {
 			if pos.Off == 0 && p.bNode == nil {
 				p.finishLayering()
@@ -257,16 +472,22 @@ func (p *Protocol) Act(r int64) radio.Action {
 			p.syncBoundary(pos)
 		}
 		if p.bNode != nil {
-			return p.bNode.Act(pos.Off)
+			act := p.bNode.Act(pos.Off)
+			if p.bIsBlue && p.bNode.Assigned() {
+				p.tickAssigned()
+			}
+			return act
 		}
 		// Not a participant of this boundary: sleep until the next
 		// window this node cares about.
 		return radio.Sleep(p.nextWake(r, pos))
 	case SegVdist:
 		p.syncBoundary(pos)
+		p.pipeFinish()
 		return p.vdistAct(pos)
 	default:
 		p.syncBoundary(pos)
+		p.pipeFinish()
 		return radio.Sleep(1 << 62)
 	}
 }
@@ -308,8 +529,15 @@ func (p *Protocol) Observe(r int64, out radio.Outcome) {
 			p.layering.Observe(r, out)
 		}
 	case SegBoundary:
+		if p.loc.pipelined {
+			p.pipeObserve(pos, out)
+			return
+		}
 		if p.bNode != nil && pos.Boundary == p.bIdx {
 			p.bNode.Observe(pos.Off, out)
+			if p.bIsBlue && p.bNode.Assigned() {
+				p.tickAssigned()
+			}
 		}
 	case SegVdist:
 		p.vdistObserve(pos, out)

@@ -46,6 +46,7 @@ func All() []Experiment {
 		{"E3", "Distributed GST construction (Thm 2.1)", E3Plan},
 		{"E4", "Recruiting protocol (Lemma 2.3)", E4Plan},
 		{"E5", "Assignment shrinkage per epoch budget (Lemma 2.4)", E5Plan},
+		{"E6", "Pipelined even/odd boundary construction (Thm 2.1, §2.2.4)", E6Plan},
 		{"E7", "k-message broadcast, known topology (Thm 1.2)", E7Plan},
 		{"E8", "k-message broadcast, unknown topology + CD (Thm 1.3)", E8Plan},
 		{"E9", "Decay is MMV (Lemma 3.2)", E9Plan},

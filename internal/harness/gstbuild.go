@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"radiocast/internal/bitvec"
+	"radiocast/internal/graph"
+	"radiocast/internal/gst"
+	"radiocast/internal/gstdist"
+	"radiocast/internal/radio"
+	"radiocast/internal/rings"
+	"radiocast/internal/rlnc"
+	"radiocast/internal/rng"
+)
+
+// GSTBuildResult reports one segment-B construction run of experiment
+// E6 (sequential vs pipelined boundary construction).
+type GSTBuildResult struct {
+	// Rounds is the round at which every node knew its parent (the
+	// DoneSet completion round); equals Budget when Done is false.
+	Rounds int64
+	// Done reports whether every node was informed within the budget.
+	Done bool
+	// Valid reports whether the full GST contract held at schedule end
+	// (gst.Tree.Validate over the harvested results).
+	Valid bool
+	// Budget is the fixed schedule length (segment B only: preset
+	// levels, no virtual distances).
+	Budget int64
+}
+
+// GSTPipelinedRun is the reusable E6 harness: one distributed
+// segment-B construction (sequential or pipelined boundaries) over one
+// graph, executing any number of seeds with zero per-seed construction
+// under the reuse/reset contract. Levels are preset from a BFS so the
+// measured rounds isolate the boundary-construction segment the
+// pipelining changes.
+type GSTPipelinedRun struct {
+	cfg    gstdist.Config
+	g      *graph.Graph
+	nw     *radio.Network
+	protos []*gstdist.Protocol
+	levels []int32
+	ds     DoneSet
+}
+
+// NewGSTPipelinedRun builds the reusable stack. nBound is the schedule
+// size bound (>= g.N(); the paper's schedules are functions of the
+// bound, so E6 uses it to reach the n = 2^10 regime on tractable
+// graphs), d bounds the eccentricity, c is the Θ-constant, and
+// pipelined selects the Section 2.2.4 even/odd schedule.
+func NewGSTPipelinedRun(g *graph.Graph, nBound, d, c int, pipelined bool) *GSTPipelinedRun {
+	if nBound < g.N() {
+		nBound = g.N()
+	}
+	cfg := gstdist.DefaultConfig(nBound, d, c, gstdist.LayerPreset, false)
+	cfg.PipelinedBoundaries = pipelined
+	bfs := graph.BFS(g, 0)
+	r := &GSTPipelinedRun{
+		cfg:    cfg,
+		g:      g,
+		nw:     radio.New(g, radio.Config{}),
+		protos: make([]*gstdist.Protocol, g.N()),
+		levels: bfs.Dist,
+	}
+	for v := 0; v < g.N(); v++ {
+		r.protos[v] = gstdist.New(cfg, graph.NodeID(v), v == 0, r.levels[v], rng.New())
+		r.protos[v].DoneSet = &r.ds
+	}
+	return r
+}
+
+// Config returns the compiled construction schedule.
+func (r *GSTPipelinedRun) Config() gstdist.Config { return r.cfg }
+
+// Run executes one seeded construction: it measures the round at which
+// every node knows its parent, then finishes the fixed schedule and
+// validates the full GST contract.
+func (r *GSTPipelinedRun) Run(seed uint64) GSTBuildResult {
+	r.nw.Reset()
+	for v, p := range r.protos {
+		p.Reset(v == 0, r.levels[v])
+		rng.Reseed(p.Rng(), seed, 0x60, uint64(v))
+		r.nw.SetProtocol(graph.NodeID(v), p)
+	}
+	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Informed() })
+	budget := r.cfg.TotalRounds()
+	rounds, done := r.nw.RunUntil(budget, r.ds.Done)
+	// Ranks and mop-up broadcasts continue past the completion round;
+	// validation needs the full schedule.
+	r.nw.Run(budget)
+	tree := gst.NewTree(r.g, []graph.NodeID{0})
+	for v := 0; v < r.g.N(); v++ {
+		res := r.protos[v].Result()
+		tree.Level[v] = res.Level
+		tree.Parent[v] = res.Parent
+		tree.Rank[v] = res.Rank
+	}
+	return GSTBuildResult{
+		Rounds: rounds,
+		Done:   done,
+		Valid:  tree.Validate() == nil,
+		Budget: budget,
+	}
+}
+
+// RunGSTBuild is the one-shot E6 runner (construct, run once,
+// discard) — what experiment cells use, since cells must share no
+// mutable state across workers.
+func RunGSTBuild(g *graph.Graph, nBound, d, c int, pipelined bool, seed uint64) GSTBuildResult {
+	return NewGSTPipelinedRun(g, nBound, d, c, pipelined).Run(seed)
+}
+
+// ---------------------------------------------------------------------
+// Config-parameterized theorem runners: the facade and E6 build a
+// rings.Config (optionally pipelined via rings.Config.SetPipelined)
+// and run the standard stacks on it.
+
+// NewTheorem11RunCfg builds the reusable Theorem 1.1 stack on an
+// explicit ring configuration.
+func NewTheorem11RunCfg(g *graph.Graph, cfg rings.Config) *Theorem11Run {
+	n := g.N()
+	r := &Theorem11Run{
+		cfg:    cfg,
+		nw:     radio.New(g, radio.Config{CollisionDetection: true}),
+		protos: make([]*rings.Protocol, n),
+	}
+	for v := 0; v < n; v++ {
+		r.protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, nil, rng.New())
+		r.protos[v].SingleContent().DoneSet = &r.ds
+	}
+	return r
+}
+
+// RunTheorem11OnCfg executes the Theorem 1.1 pipeline on an explicit
+// ring configuration over an adversarial channel (nil = ideal).
+func RunTheorem11OnCfg(g *graph.Graph, cfg rings.Config, ch radio.Channel, seed uint64) Theorem11Result {
+	return NewTheorem11RunCfg(g, cfg).Run(ch, seed)
+}
+
+// NewTheorem13RunCfg builds the reusable Theorem 1.3 stack on an
+// explicit ring configuration (cfg.K must be positive).
+func NewTheorem13RunCfg(g *graph.Graph, cfg rings.Config) *Theorem13Run {
+	n := g.N()
+	r := &Theorem13Run{
+		cfg:    cfg,
+		nw:     radio.New(g, radio.Config{CollisionDetection: true}),
+		protos: make([]*rings.Protocol, n),
+		msgRng: rng.New(),
+		msgs:   make([]rlnc.Message, cfg.K),
+	}
+	for i := range r.msgs {
+		r.msgs[i] = bitvec.New(cfg.PayloadBits)
+	}
+	for v := 0; v < n; v++ {
+		var m []rlnc.Message
+		if v == 0 {
+			m = r.msgs
+		}
+		r.protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, m, rng.New())
+		r.protos[v].Store().SetOnAllDecodable(r.ds.Tick)
+	}
+	return r
+}
+
+// RunTheorem13OnCfg executes the Theorem 1.3 pipeline on an explicit
+// ring configuration over an adversarial channel (nil = ideal).
+func RunTheorem13OnCfg(g *graph.Graph, cfg rings.Config, ch radio.Channel, seed uint64) (rounds int64, completed bool, st radio.Stats) {
+	return NewTheorem13RunCfg(g, cfg).Run(ch, seed)
+}

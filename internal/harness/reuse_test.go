@@ -5,6 +5,7 @@ import (
 
 	"radiocast/internal/channel"
 	"radiocast/internal/graph"
+	"radiocast/internal/rings"
 	"radiocast/internal/rng"
 )
 
@@ -73,6 +74,52 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 		run := NewTheorem11Run(g, d, 1)
 		for _, s := range seeds {
 			fresh := RunTheorem11(g, d, 1, s)
+			reused := run.Run(nil, s)
+			if fresh != reused {
+				t.Fatalf("seed %d:\nfresh  %+v\nreused %+v", s, fresh, reused)
+			}
+		}
+	})
+	t.Run("gst-build", func(t *testing.T) {
+		// E6's two modes: N-seed runs through one reusable context must
+		// match one-shot construct-per-run executions bit for bit —
+		// completion round, completion, validity, and budget.
+		for _, pipelined := range []bool{false, true} {
+			run := NewGSTPipelinedRun(g, g.N(), d, 1, pipelined)
+			for _, s := range seeds {
+				fresh := RunGSTBuild(g, g.N(), d, 1, pipelined, s)
+				reused := run.Run(s)
+				if fresh != reused {
+					t.Fatalf("pipelined=%v seed %d:\nfresh  %+v\nreused %+v", pipelined, s, fresh, reused)
+				}
+			}
+		}
+	})
+	t.Run("gst-build-nbound", func(t *testing.T) {
+		// The large-schedule-bound regime E6 reports (N = 2^10) must
+		// reuse identically too.
+		run := NewGSTPipelinedRun(g, 1<<10, d, 1, true)
+		for _, s := range seeds[:2] {
+			fresh := RunGSTBuild(g, 1<<10, d, 1, true, s)
+			reused := run.Run(s)
+			if fresh != reused {
+				t.Fatalf("seed %d:\nfresh  %+v\nreused %+v", s, fresh, reused)
+			}
+		}
+	})
+	t.Run("theorem11-pipelined", func(t *testing.T) {
+		// Wide rings engage the pipelined per-ring builds; the reuse
+		// path must stay bit-identical there as well.
+		cfg := rings.DefaultConfig(g.N(), d, 0, 1)
+		cfg.W = 5
+		cfg.GST.DBound = cfg.W - 1
+		cfg.SetPipelined(true)
+		if !cfg.Pipelined() {
+			t.Fatal("pipelining did not engage at W=5")
+		}
+		run := NewTheorem11RunCfg(g, cfg)
+		for _, s := range seeds {
+			fresh := RunTheorem11OnCfg(g, cfg, nil, s)
 			reused := run.Run(nil, s)
 			if fresh != reused {
 				t.Fatalf("seed %d:\nfresh  %+v\nreused %+v", s, fresh, reused)

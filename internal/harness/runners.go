@@ -253,17 +253,7 @@ type Theorem11Run struct {
 
 // NewTheorem11Run builds the reusable stack.
 func NewTheorem11Run(g *graph.Graph, d, c int) *Theorem11Run {
-	n := g.N()
-	r := &Theorem11Run{
-		cfg:    rings.DefaultConfig(n, d, 0, c),
-		nw:     radio.New(g, radio.Config{CollisionDetection: true}),
-		protos: make([]*rings.Protocol, n),
-	}
-	for v := 0; v < n; v++ {
-		r.protos[v] = rings.New(r.cfg, graph.NodeID(v), v == 0, nil, rng.New())
-		r.protos[v].SingleContent().DoneSet = &r.ds
-	}
-	return r
+	return NewTheorem11RunCfg(g, rings.DefaultConfig(g.N(), d, 0, c))
 }
 
 // Run executes one seeded run over ch (nil = ideal).
@@ -416,27 +406,7 @@ type Theorem13Run struct {
 
 // NewTheorem13Run builds the reusable stack.
 func NewTheorem13Run(g *graph.Graph, d, k, c int) *Theorem13Run {
-	n := g.N()
-	cfg := rings.DefaultConfig(n, d, k, c)
-	r := &Theorem13Run{
-		cfg:    cfg,
-		nw:     radio.New(g, radio.Config{CollisionDetection: true}),
-		protos: make([]*rings.Protocol, n),
-		msgRng: rng.New(),
-		msgs:   make([]rlnc.Message, k),
-	}
-	for i := range r.msgs {
-		r.msgs[i] = bitvec.New(cfg.PayloadBits)
-	}
-	for v := 0; v < n; v++ {
-		var m []rlnc.Message
-		if v == 0 {
-			m = r.msgs
-		}
-		r.protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, m, rng.New())
-		r.protos[v].Store().SetOnAllDecodable(r.ds.Tick)
-	}
-	return r
+	return NewTheorem13RunCfg(g, rings.DefaultConfig(g.N(), d, k, c))
 }
 
 // Config returns the compiled ring configuration.

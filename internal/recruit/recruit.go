@@ -135,13 +135,20 @@ func (p Params) locate(off int64) position {
 
 // Packets.
 
-// Offer is the red round-0 transmission.
+// Offer is the red round-0 transmission. Tag scopes the offer when
+// several recruiting runs are audible at once (the pipelined boundary
+// construction of Section 2.2.4 runs same-parity boundaries
+// concurrently; boundaries within hearing distance carry distinct
+// level-mod-4 tags): a blue accepts only offers whose tag matches its
+// expected red level. Tag 0 everywhere reproduces the untagged
+// protocol exactly.
 type Offer struct {
 	Red radio.NodeID
+	Tag int32
 }
 
 // Bits implements radio.Packet.
-func (Offer) Bits() int { return 32 }
+func (Offer) Bits() int { return 34 }
 
 // Report is the blue decay-phase transmission (u.id, v.id).
 type Report struct {
@@ -192,6 +199,9 @@ type Red struct {
 	manyIters bool
 	onlyChild radio.NodeID
 
+	// tag scopes this red's offers (see Offer.Tag); zero by default.
+	tag int32
+
 	// Boxed packets reused across transmissions: the offer is constant
 	// for the run, the final is constant across the whole replay phase.
 	offerPkt radio.Packet
@@ -210,6 +220,17 @@ func NewRed(p Params, id radio.NodeID, rng *rand.Rand) *Red {
 		onlyChild:     -1,
 		offerPkt:      Offer{Red: id},
 	}
+}
+
+// SetTag scopes the red's offers to tag (call before the run starts).
+// A no-op at the current tag, so untagged (sequential) callers never
+// pay the re-boxing.
+func (r *Red) SetTag(tag int32) {
+	if tag == r.tag {
+		return
+	}
+	r.tag = tag
+	r.offerPkt = Offer{Red: r.id, Tag: tag}
 }
 
 // Class returns the final recruit classification (valid after the run).
@@ -311,6 +332,10 @@ type Blue struct {
 	curIter   int
 	offerFrom radio.NodeID
 
+	// wantTag is the expected tag on incoming offers (see Offer.Tag);
+	// zero by default.
+	wantTag int32
+
 	// Recruitment outcome.
 	parent      radio.NodeID
 	recruitIter int
@@ -334,6 +359,10 @@ func NewBlue(p Params, id radio.NodeID, rng *rand.Rand) *Blue {
 		recruitIter: -1,
 	}
 }
+
+// SetWantTag restricts the blue to offers carrying tag (call before
+// the run starts).
+func (b *Blue) SetWantTag(tag int32) { b.wantTag = tag }
 
 // Recruited reports whether the node has a parent.
 func (b *Blue) Recruited() bool { return b.parent >= 0 }
@@ -393,7 +422,7 @@ func (b *Blue) Observe(off int64, out radio.Outcome) {
 	b.beginIter(pos.iter)
 	switch pkt := out.Packet.(type) {
 	case Offer:
-		if pos.slot == 0 {
+		if pos.slot == 0 && pkt.Tag == b.wantTag {
 			b.offerFrom = pkt.Red
 		}
 	case Ack:

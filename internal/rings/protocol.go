@@ -188,6 +188,11 @@ func (p *Protocol) Act(r int64) radio.Action {
 		if p.gp == nil || (!p.gpFresh && p.gpRing != p.ring) {
 			gcfg := p.cfg.GST
 			gcfg.Tag = int32(p.ring % 2)
+			// Boundary-packet tags are level mod 4 in GLOBAL layers:
+			// anchoring each ring's local levels at (ring·W) mod 4 keeps
+			// pipelined same-parity boundaries distinguishable across ring
+			// borders, where they can come within one layer of each other.
+			gcfg.TagBase = int32(p.ring * p.cfg.W % 4)
 			p.gp = gstdist.New(gcfg, p.id, p.local == 0, p.local, p.rng)
 			p.gpRing = p.ring
 			p.gpFresh = true

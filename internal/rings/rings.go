@@ -7,10 +7,20 @@
 //
 //	segment A  global collision-wave BFS layering in DBound+1 rounds.
 //	segment B  decompose layers into rings of width W and build one
-//	           GST per ring — all rings in parallel. Rings process
-//	           boundaries in lockstep, deepest-first, so concurrently
-//	           active boundaries stay exactly W ≥ 3 layers apart and
-//	           never interfere; segment-C vdist floods are scoped by a
+//	           GST per ring — all rings in parallel. With sequential
+//	           boundaries, rings process them in lockstep,
+//	           deepest-first, so concurrently active boundaries stay
+//	           exactly W ≥ 3 layers apart and never interfere. With
+//	           pipelined boundaries (SetPipelined, Section 2.2.4) the
+//	           lockstep separation invariant relaxes to parity
+//	           separation: same-parity boundaries run concurrently both
+//	           within and across rings, active boundaries can come
+//	           within one layer of each other across a ring border, and
+//	           level-mod-4 packet tags (anchored per ring at
+//	           (ring·W) mod 4) replace distance as the
+//	           non-interference mechanism — shrinking the build segment
+//	           from (W-1)·MaxRank to 3(W-1) + 2·MaxRank - 4
+//	           rank-lengths. Segment-C vdist floods are scoped by a
 //	           ring-parity tag.
 //	segment C  single message (Theorem 1.1): ring-by-ring broadcast
 //	           with the GST schedule, then a Decay handoff of
@@ -113,6 +123,30 @@ func DefaultConfig(n, d, k, c int) Config {
 	}
 	return cfg
 }
+
+// SetPipelined toggles the Section 2.2.4 pipelined boundary
+// construction inside every ring's GST build. Enabling applies only
+// when the pipelined schedule actually shortens the build: per-ring
+// diameter bound is W-1, and at the minimum width W=3 the sequential
+// lockstep is already as short as the pipeline's skew-3 wavefront
+// (the pipeline wins from DBound >= 3, strictly from DBound >= 4 or
+// deeper rank stacks) — narrow rings therefore keep the sequential
+// schedule rather than paying the wavefront fill.
+func (c *Config) SetPipelined(on bool) {
+	c.GST.PipelinedBoundaries = false
+	if !on {
+		return
+	}
+	pip := c.GST
+	pip.PipelinedBoundaries = true
+	if pip.BoundariesRounds() < c.GST.BoundariesRounds() {
+		c.GST.PipelinedBoundaries = true
+	}
+}
+
+// Pipelined reports whether the ring GST builds use the pipelined
+// boundary schedule.
+func (c Config) Pipelined() bool { return c.GST.PipelinedBoundaries }
 
 // Rings returns the number of rings covering layers [0, DBound].
 func (c Config) Rings() int { return (c.DBound + c.W) / c.W }

@@ -83,6 +83,61 @@ func TestTheorem11MultiRing(t *testing.T) {
 	}
 }
 
+func TestTheorem11MultiRingPipelinedBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path-36", graph.Path(36)},
+		{"grid-4x16", graph.Grid(4, 16)},
+		{"clusterchain-8x4", graph.ClusterChain(8, 4)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			d := graph.Eccentricity(c.g, 0)
+			cfg := DefaultConfig(c.g.N(), d, 0, 1)
+			cfg.W = 5 // wide enough that the pipeline shortens the build
+			cfg.GST.DBound = cfg.W - 1
+			seq := cfg.BuildRounds()
+			cfg.SetPipelined(true)
+			if !cfg.Pipelined() {
+				t.Fatalf("pipelining did not engage at W=%d", cfg.W)
+			}
+			if cfg.BuildRounds() >= seq {
+				t.Fatalf("pipelined build %d rounds, sequential %d", cfg.BuildRounds(), seq)
+			}
+			protos, rounds, ok := runSingle(t, c.g, cfg, 2)
+			if !ok {
+				missing := 0
+				for _, p := range protos {
+					if !p.Has() {
+						missing++
+					}
+				}
+				t.Fatalf("broadcast incomplete: %d/%d nodes missing after %d rounds",
+					missing, c.g.N(), cfg.TotalRounds())
+			}
+			t.Logf("%s: D=%d W=%d rings=%d rounds=%d (build %d vs seq %d)",
+				c.name, d, cfg.W, cfg.Rings(), rounds, cfg.BuildRounds(), seq)
+		})
+	}
+}
+
+func TestSetPipelinedKeepsNarrowRingsSequential(t *testing.T) {
+	// At the minimum width W=3 the per-ring diameter bound is 2 and the
+	// skew-3 wavefront is longer than the lockstep — SetPipelined must
+	// refuse rather than regress the build.
+	cfg := DefaultConfig(64, 9, 0, 1)
+	if cfg.W != 3 {
+		t.Fatalf("expected default W=3, got %d", cfg.W)
+	}
+	cfg.SetPipelined(true)
+	if cfg.Pipelined() {
+		t.Fatal("pipelining engaged on W=3 rings where it lengthens the build")
+	}
+}
+
 func TestTheorem11LayersMatchBFS(t *testing.T) {
 	g := graph.Grid(4, 12)
 	d := graph.Eccentricity(g, 0)

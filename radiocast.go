@@ -44,6 +44,7 @@ import (
 	"radiocast/internal/harness"
 	"radiocast/internal/mmv"
 	"radiocast/internal/radio"
+	"radiocast/internal/rings"
 	"radiocast/internal/rlnc"
 	"radiocast/internal/rng"
 )
@@ -131,6 +132,14 @@ type Options struct {
 	// Channel, when non-nil, perturbs every delivery (loss, jamming,
 	// unreliable CD, radio faults). nil is the ideal channel.
 	Channel Channel
+	// PipelinedBoundaries switches the distributed GST construction's
+	// segment B to the even/odd pipelined schedule of Section 2.2.4
+	// (O(D log⁴ n) instead of O(D log⁵ n)). Applies to
+	// BuildGSTDistributed directly, and to BroadcastCD / BroadcastKCD
+	// inside every ring's GST build — there it takes effect only when
+	// it shortens the build (narrow rings already run an optimal
+	// lockstep; see rings.Config.SetPipelined).
+	PipelinedBoundaries bool
 }
 
 func (o Options) scale() int {
@@ -163,7 +172,9 @@ func BroadcastCD(g *Graph, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	d := graph.Eccentricity(g, opts.Source)
-	res := harness.RunTheorem11On(g, d, opts.scale(), opts.Channel, opts.Seed)
+	cfg := rings.DefaultConfig(g.N(), d, 0, opts.scale())
+	cfg.SetPipelined(opts.PipelinedBoundaries)
+	res := harness.RunTheorem11OnCfg(g, cfg, opts.Channel, opts.Seed)
 	return Result{Rounds: res.Rounds, Completed: res.Completed,
 		Dropped: res.Stats.Dropped, Jammed: res.Stats.Jammed}, nil
 }
@@ -211,7 +222,9 @@ func BroadcastKCD(g *Graph, k int, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("radiocast: k must be positive, got %d", k)
 	}
 	d := graph.Eccentricity(g, opts.Source)
-	rounds, ok, _, st := harness.RunTheorem13On(g, d, k, opts.scale(), opts.Channel, opts.Seed)
+	cfg := rings.DefaultConfig(g.N(), d, k, opts.scale())
+	cfg.SetPipelined(opts.PipelinedBoundaries)
+	rounds, ok, st := harness.RunTheorem13OnCfg(g, cfg, opts.Channel, opts.Seed)
 	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
@@ -277,6 +290,7 @@ func BuildGSTDistributed(g *Graph, opts Options) (*GST, error) {
 	}
 	d := graph.Eccentricity(g, opts.Source)
 	cfg := gstdist.DefaultConfig(g.N(), d, opts.scale(), gstdist.LayerDecay, true)
+	cfg.PipelinedBoundaries = opts.PipelinedBoundaries
 	nw := radio.New(g, radio.Config{})
 	protos := make([]*gstdist.Protocol, g.N())
 	for v := 0; v < g.N(); v++ {
