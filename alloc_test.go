@@ -15,6 +15,7 @@ package radiocast
 import (
 	"testing"
 
+	"radiocast/internal/adapt"
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
 	"radiocast/internal/gstdist"
@@ -87,6 +88,33 @@ func TestSteadyStateRoundLoopAllocsZeroPipelined(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() { nw.Step() })
 	if allocs != 0 {
 		t.Fatalf("pipelined steady-state round loop allocates %.1f objects/round, want 0", allocs)
+	}
+}
+
+// adaptiveWrapperAllocOverhead is the allocation headroom the retry
+// layer may add on top of a bare Reset-reused run: the epoch loop's
+// bookkeeping (outcome accumulation, carryover harvest into a
+// preallocated slice) plus a little toolchain slack. Anything per
+// round or per node-round would blow through it immediately.
+const adaptiveWrapperAllocOverhead = 64
+
+// TestAdaptiveWrapperAllocOverhead pins the retry layer's steady-state
+// contract: a single-epoch adaptive run on a reused context allocates
+// at most a small constant more than the bare reused run. The epochs
+// themselves ride the PR-3 zero-rebuild path, so the wrapper must not
+// reintroduce per-round allocation.
+func TestAdaptiveWrapperAllocOverhead(t *testing.T) {
+	g := graph.ClusterChain(4, 6)
+	plainRun := harness.NewDecayRun(g)
+	plainRun.Run(nil, 3, 1<<20) // warm both paths' scratch
+	plain := testing.AllocsPerRun(5, func() { plainRun.Run(nil, 3, 1<<20) })
+
+	ar := harness.NewAdaptiveDecay(g, nil, 3)
+	adapt.Run(ar, adapt.Policy{})
+	adaptive := testing.AllocsPerRun(5, func() { adapt.Run(ar, adapt.Policy{}) })
+	if adaptive > plain+adaptiveWrapperAllocOverhead {
+		t.Fatalf("adaptive wrapper allocates %.0f objects/run vs %.0f bare (+%d budget)",
+			adaptive, plain, adaptiveWrapperAllocOverhead)
 	}
 }
 

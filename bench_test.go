@@ -14,9 +14,13 @@ package radiocast
 import (
 	"testing"
 
+	"radiocast/internal/adapt"
+	"radiocast/internal/channel"
 	"radiocast/internal/exp"
 	"radiocast/internal/graph"
 	"radiocast/internal/harness"
+	"radiocast/internal/rings"
+	"radiocast/internal/rng"
 )
 
 // reportRounds runs fn b.N times and reports the mean simulated
@@ -357,6 +361,41 @@ func BenchmarkEngine_DecayReuse_ClusterChain16x8(b *testing.B) {
 	reportRounds(b, func(seed uint64) (int64, bool) {
 		rounds, ok, _ := run.Run(nil, seed, 1<<22)
 		return rounds, ok
+	})
+}
+
+// BenchmarkEngine_AdaptiveDecayReuse measures the adaptive retry
+// layer's overhead on the ideal channel: every run completes in its
+// first epoch, so the allocs/op delta against
+// BenchmarkEngine_DecayReuse is the pure cost of the wrapper —
+// carryover harvest and epoch accounting, nothing per round. The
+// baseline pins that the retry layer keeps steady-state epochs on the
+// reuse path's zero-rebuild budget.
+func BenchmarkEngine_AdaptiveDecayReuse_ClusterChain16x8(b *testing.B) {
+	g := graph.ClusterChain(16, 8)
+	run := harness.NewAdaptiveDecay(g, nil, 0)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		run.Reseed(seed)
+		out := adapt.Run(run, adapt.Policy{})
+		return out.Rounds, out.Completed
+	})
+}
+
+// BenchmarkEngine_AdaptiveTheorem11Loss is the multi-epoch guard: a
+// Theorem 1.1 broadcast at per-link loss 0.3 needs 2-3 re-layering
+// epochs to complete. Each epoch is a Reset-reused run of the
+// already-built stack, so allocs/op must scale with the epoch count
+// (per-node RNG reseeds, one channel Offset wrapper per extra epoch),
+// never with the ~200k simulated rounds.
+func BenchmarkEngine_AdaptiveTheorem11Loss_ClusterChain6x6(b *testing.B) {
+	g := graph.ClusterChain(6, 6)
+	d := graph.Eccentricity(g, 0)
+	run := harness.NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), nil, 0)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		run.Reseed(seed)
+		run.SetChannelFactory(harness.EpochChannel(channel.NewErasure(0.3, rng.Mix(seed, 0xe13))))
+		out := adapt.Run(run, adapt.Policy{MaxEpochs: 16})
+		return out.Rounds, out.Completed
 	})
 }
 

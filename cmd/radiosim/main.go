@@ -19,10 +19,21 @@
 // Channel adversity: -loss, -jam, -cdnoise/-cdspurious, and -faults
 // each enable one model of internal/channel when nonzero; the active
 // models are stacked. -channel ideal forces the ideal channel
-// regardless. Exit codes: 0 on a completed broadcast, 3 when the
-// broadcast fails to complete within its round budget, 1 on invalid
-// graph/protocol/channel arguments, 2 on malformed flags (the flag
-// package's own exit).
+// regardless.
+//
+// -adaptive wraps the run in the loss-adaptive retry layer: the
+// schedule re-executes in epochs, each re-layering from every
+// already-informed radio, until the broadcast completes or -maxepochs
+// epochs elapse (0 = until done). Supported by every protocol except
+// k-known.
+//
+// Incoherent flag combinations are rejected up front with a usage
+// message (-pipelined on a protocol without a distributed GST build,
+// -jamadaptive without a -jam budget, -maxepochs without -adaptive,
+// -adaptive with k-known). Exit codes: 0 on a completed broadcast, 3
+// when the broadcast fails to complete within its round budget, 1 on
+// invalid graph/protocol/channel arguments, 2 on malformed or
+// incoherent flags (matching the flag package's own exit).
 package main
 
 import (
@@ -117,6 +128,36 @@ func (cf channelFlags) build(n int, seed uint64) (radiocast.Channel, []string, e
 	}
 }
 
+// fatalUsage rejects an incoherent flag combination: it prints the
+// reason and the flag usage, then exits 2 (the flag package's own exit
+// code for malformed flags).
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "radiosim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// validateFlags rejects flag combinations that would otherwise be
+// silently ignored: every flag the run cannot honor is an error, not a
+// no-op.
+func validateFlags(protocol string, pipelined bool, cf channelFlags, adaptive bool, maxEpochs int) {
+	if pipelined && protocol != "cd" && protocol != "k-cd" {
+		fatalUsage("-pipelined only applies to the distributed GST builds of -protocol cd and k-cd (got %q)", protocol)
+	}
+	if cf.jamAdaptive && cf.jam == 0 {
+		fatalUsage("-jamadaptive needs a jammer: set a -jam budget (negative = unlimited)")
+	}
+	if maxEpochs != 0 && !adaptive {
+		fatalUsage("-maxepochs only applies to -adaptive runs")
+	}
+	if maxEpochs < 0 {
+		fatalUsage("-maxepochs must be >= 0 (0 = retry until done), got %d", maxEpochs)
+	}
+	if adaptive && protocol == "k-known" {
+		fatalUsage("-adaptive is not supported by -protocol k-known (use k-cd for adaptive k-message broadcast)")
+	}
+}
+
 func main() {
 	kind := flag.String("graph", "clusterchain", "workload: path, grid, clusterchain, udg, gnp, star")
 	n := flag.Int("n", 128, "approximate node count")
@@ -125,6 +166,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "run seed")
 	pipelined := flag.Bool("pipelined", false,
 		"pipeline the distributed GST boundary construction (Section 2.2.4; cd/k-cd ring builds where it shortens them)")
+	adaptive := flag.Bool("adaptive", false,
+		"re-execute the schedule in retry epochs (re-layering from informed radios) until the broadcast completes")
+	maxEpochs := flag.Int("maxepochs", 0, "cap on -adaptive retry epochs (0 = until done)")
 	var cf channelFlags
 	flag.StringVar(&cf.mode, "channel", "auto", "channel adversity: auto (models enabled by their flags) or ideal")
 	flag.Float64Var(&cf.loss, "loss", 0, "per-link, per-round packet erasure probability")
@@ -134,6 +178,8 @@ func main() {
 	flag.Float64Var(&cf.cdSpurious, "cdspurious", 0, "probability silence is observed as a spurious collision symbol")
 	flag.Float64Var(&cf.faults, "faults", 0, "per-node late-wakeup probability (crash probability is half of it)")
 	flag.Parse()
+
+	validateFlags(*protocol, *pipelined, cf, *adaptive, *maxEpochs)
 
 	g, err := buildGraph(*kind, *n, *seed)
 	if err != nil {
@@ -152,7 +198,8 @@ func main() {
 		fmt.Printf("channel: %s\n", strings.Join(chNames, " + "))
 	}
 
-	opts := radiocast.Options{Seed: *seed, Channel: ch, PipelinedBoundaries: *pipelined}
+	opts := radiocast.Options{Seed: *seed, Channel: ch, PipelinedBoundaries: *pipelined,
+		Adaptive: *adaptive, MaxEpochs: *maxEpochs}
 	var res radiocast.Result
 	switch *protocol {
 	case "decay":
@@ -178,7 +225,11 @@ func main() {
 	if !res.Completed {
 		status = "INCOMPLETE (round limit)"
 	}
-	fmt.Printf("%s: %s in %d rounds\n", *protocol, status, res.Rounds)
+	if res.Epochs > 0 {
+		fmt.Printf("%s: %s in %d rounds over %d adaptive epoch(s)\n", *protocol, status, res.Rounds, res.Epochs)
+	} else {
+		fmt.Printf("%s: %s in %d rounds\n", *protocol, status, res.Rounds)
+	}
 	if res.Dropped > 0 || res.Jammed > 0 {
 		fmt.Printf("adversity: %d deliveries dropped, %d observations jammed\n", res.Dropped, res.Jammed)
 	}

@@ -165,12 +165,15 @@ func TestParallelRunnerMatchesSequential(t *testing.T) {
 	// A fast, representative subset: protocol sweeps (E1), the
 	// sequential-vs-pipelined construction pairs (E6), paired jamming
 	// cells (E9), batched micro-trials (E11), payload-carrying cells
-	// (E12), a fixed-schedule ablation (A3), and the four
+	// (E12), a fixed-schedule ablation (A3), the four
 	// adversarial-channel robustness sweeps (E13-E16) whose cells carry
-	// the Dropped/Jammed counters into the canonical artifact.
+	// the Dropped/Jammed counters into the canonical artifact, and the
+	// adaptive-retry sweeps (E17-E18) whose cells run multi-epoch
+	// re-layered broadcasts.
 	ids := map[string]bool{
 		"E1": true, "E6": true, "E9": true, "E11": true, "E12": true, "A3": true,
 		"E13": true, "E14": true, "E15": true, "E16": true,
+		"E17": true, "E18": true,
 	}
 	for _, e := range harness.All() {
 		if !ids[e.ID] {

@@ -1,0 +1,117 @@
+package adapt
+
+import (
+	"testing"
+
+	"radiocast/internal/radio"
+)
+
+// fakeRunner completes after a fixed number of epochs, consuming a
+// fixed round count per epoch, and records the limits it was handed.
+type fakeRunner struct {
+	needEpochs     int
+	roundsPerEpoch int64
+	target         int
+
+	epochsRun int
+	limits    []int64
+}
+
+func (f *fakeRunner) RunEpoch(epoch int, limit int64) (int64, bool, radio.Stats) {
+	if epoch != f.epochsRun {
+		panic("epochs out of order")
+	}
+	f.epochsRun++
+	f.limits = append(f.limits, limit)
+	done := f.epochsRun >= f.needEpochs
+	st := radio.Stats{Rounds: f.roundsPerEpoch, Deliveries: 1}
+	return f.roundsPerEpoch, done, st
+}
+
+func (f *fakeRunner) Covered() int {
+	c := f.target * f.epochsRun / f.needEpochs
+	if c > f.target {
+		c = f.target
+	}
+	return c
+}
+
+func TestRunStopsOnCompletion(t *testing.T) {
+	f := &fakeRunner{needEpochs: 3, roundsPerEpoch: 100, target: 10}
+	out := Run(f, Policy{MaxEpochs: 8})
+	if !out.Completed || out.Epochs != 3 || out.Rounds != 300 || out.Covered != 10 {
+		t.Fatalf("outcome %+v, want completed in 3 epochs / 300 rounds", out)
+	}
+	if out.Stats.Deliveries != 3 || out.Stats.Rounds != 300 {
+		t.Fatalf("stats not aggregated: %+v", out.Stats)
+	}
+}
+
+func TestRunRespectsFixedEpochBudget(t *testing.T) {
+	f := &fakeRunner{needEpochs: 10, roundsPerEpoch: 50, target: 10}
+	out := Run(f, Policy{MaxEpochs: 4})
+	if out.Completed || out.Epochs != 4 || out.Rounds != 200 {
+		t.Fatalf("outcome %+v, want incomplete after exactly 4 epochs", out)
+	}
+	if out.Covered != 4 {
+		t.Fatalf("covered %d, want the runner's partial count 4", out.Covered)
+	}
+}
+
+func TestRunUntilDoneCap(t *testing.T) {
+	f := &fakeRunner{needEpochs: UntilDoneCap + 10, roundsPerEpoch: 1, target: 2}
+	out := Run(f, Policy{})
+	if out.Completed || out.Epochs != UntilDoneCap {
+		t.Fatalf("outcome %+v, want the until-done policy capped at %d epochs", out, UntilDoneCap)
+	}
+}
+
+func TestRunDoublingHorizon(t *testing.T) {
+	f := &fakeRunner{needEpochs: 4, roundsPerEpoch: 10, target: 2}
+	Run(f, Policy{MaxEpochs: 4, EpochLimit: 100, Doubling: true})
+	want := []int64{100, 200, 400, 800}
+	for i, l := range f.limits {
+		if l != want[i] {
+			t.Fatalf("epoch %d limit %d, want %d (limits %v)", i, l, want[i], f.limits)
+		}
+	}
+	// Doubling without an explicit limit is inert: the stack budget (0)
+	// is passed through unchanged.
+	f2 := &fakeRunner{needEpochs: 3, roundsPerEpoch: 10, target: 2}
+	Run(f2, Policy{MaxEpochs: 3, Doubling: true})
+	for i, l := range f2.limits {
+		if l != 0 {
+			t.Fatalf("epoch %d limit %d, want 0 (stack budget)", i, l)
+		}
+	}
+}
+
+func TestRunMaxRounds(t *testing.T) {
+	f := &fakeRunner{needEpochs: 100, roundsPerEpoch: 100, target: 2}
+	out := Run(f, Policy{MaxRounds: 250})
+	if out.Completed || out.Epochs != 3 {
+		t.Fatalf("outcome %+v, want stop after the epoch crossing 250 total rounds", out)
+	}
+	// MaxRounds is a hard cap: each epoch is handed only the remaining
+	// budget (the fake ignores it; real runners honor it).
+	want := []int64{250, 150, 50}
+	for i, l := range f.limits {
+		if l != want[i] {
+			t.Fatalf("epoch %d limit %d, want %d (limits %v)", i, l, want[i], f.limits)
+		}
+	}
+	// A cap smaller than EpochLimit clamps the very first epoch.
+	f2 := &fakeRunner{needEpochs: 5, roundsPerEpoch: 10, target: 2}
+	Run(f2, Policy{MaxEpochs: 1, EpochLimit: 1000, MaxRounds: 30})
+	if f2.limits[0] != 30 {
+		t.Fatalf("epoch 0 limit %d, want the 30-round cap below EpochLimit 1000", f2.limits[0])
+	}
+}
+
+func TestRunAlwaysExecutesOneEpoch(t *testing.T) {
+	f := &fakeRunner{needEpochs: 1, roundsPerEpoch: 7, target: 3}
+	out := Run(f, Policy{MaxEpochs: 1})
+	if !out.Completed || out.Epochs != 1 || out.Rounds != 7 {
+		t.Fatalf("outcome %+v, want one completed epoch", out)
+	}
+}

@@ -8,8 +8,15 @@
 // (model seed, round, node/link), so a run remains fully determined by
 // (graph, parameters, seed) regardless of hook evaluation order, and
 // stacked models never perturb each other's streams. Models may carry
-// mutable per-run state (jammer budgets), so construct a fresh
-// instance per run.
+// mutable per-run state (jammer budgets): construct a fresh instance
+// per run, or reuse one across runs through the
+// radio.ResettableChannel contract — stateful models implement
+// Reset(), and the harness runners invoke it at the start of every
+// fresh seeded run. The adaptive retry layer (internal/adapt) instead
+// carries channel state ACROSS the epochs of one run — budgets are a
+// property of the adversary, not of an epoch — and shifts the round
+// clock each epoch via Offset so round-keyed draws and fault wake
+// clocks see one continuous timeline.
 package channel
 
 import (
@@ -124,7 +131,10 @@ func (c *NoisyCD) Observe(r int64, to radio.NodeID, _ int, out radio.Outcome, ok
 //   - adaptive busiest-slot (Adaptive=true): snoop the transmitter set
 //     in RoundStart and jam exactly the rounds with at least
 //     MinTransmitters transmitters — budget is spent only where it
-//     destroys real traffic.
+//     destroys real traffic. The engine hands RoundStart the
+//     post-suppression transmitter set, so a jammer stacked after a
+//     fault model never wastes budget on rounds whose only
+//     transmitters are fault-dead radios.
 //
 // Each jammed round costs one unit of Budget; once spent, the jammer
 // falls silent. A negative Budget is unlimited.
@@ -188,6 +198,18 @@ func (j *Jammer) Observe(_ int64, _ radio.NodeID, _ int, out radio.Outcome, ok b
 
 // Spent reports how many rounds the jammer has jammed so far.
 func (j *Jammer) Spent() int64 { return j.spent }
+
+// Reset implements radio.ResettableChannel: it refunds the budget and
+// clears the jamming latch, so one Jammer instance can be reused
+// across seeded runs without silently draining. (The adaptive retry
+// layer deliberately does not call it between epochs: a budget spans
+// the adversary's whole engagement, not one epoch.)
+func (j *Jammer) Reset() {
+	j.spent = 0
+	j.jamming = false
+}
+
+var _ radio.ResettableChannel = (*Jammer)(nil)
 
 // Faults models per-node radio faults: a node's radio may start dead
 // until a wake round (late wakeup) and die permanently at a crash
@@ -308,4 +330,61 @@ func (s Stack) Observe(r int64, to radio.NodeID, count int, out radio.Outcome, o
 		out, ok = m.Observe(r, to, count, out, ok)
 	}
 	return out, ok
+}
+
+// Reset implements radio.ResettableChannel by forwarding to every
+// stacked model that is itself resettable, so a stack holding a
+// Jammer is reusable across runs exactly like a bare Jammer.
+func (s Stack) Reset() {
+	for _, m := range s {
+		radio.ResetChannel(m)
+	}
+}
+
+var _ radio.ResettableChannel = Stack(nil)
+
+// Offset presents a shifted round clock to an inner channel model: a
+// hook invoked at engine round r reaches Inner as round r+Base. The
+// adaptive retry layer (internal/adapt) re-executes a stack in epochs,
+// and each epoch's network restarts its round counter at zero; wrapping
+// the run's channel in an Offset whose Base is the rounds elapsed in
+// earlier epochs lets the model see one continuous timeline — a
+// late-wakeup fault table keeps a radio that woke in epoch 1 awake in
+// epoch 2, and round-keyed randomness (erasure, noisy CD, oblivious
+// jamming) draws fresh values each epoch instead of replaying the
+// epoch-1 pattern.
+//
+// Offset deliberately does NOT forward Reset: rewinding the inner
+// model's per-run state is the fresh-run boundary's job (epoch 0, on
+// the unwrapped channel), never a mid-run epoch's.
+type Offset struct {
+	Inner radio.Channel
+	Base  int64
+}
+
+var _ radio.Channel = (*Offset)(nil)
+
+// NewOffset wraps inner with a round-clock shift of base.
+func NewOffset(inner radio.Channel, base int64) *Offset {
+	return &Offset{Inner: inner, Base: base}
+}
+
+// RoundStart implements radio.Channel.
+func (o *Offset) RoundStart(r int64, transmitters []radio.NodeID) {
+	o.Inner.RoundStart(r+o.Base, transmitters)
+}
+
+// SuppressTransmit implements radio.Channel.
+func (o *Offset) SuppressTransmit(r int64, v radio.NodeID) bool {
+	return o.Inner.SuppressTransmit(r+o.Base, v)
+}
+
+// DropLink implements radio.Channel.
+func (o *Offset) DropLink(r int64, from, to radio.NodeID) bool {
+	return o.Inner.DropLink(r+o.Base, from, to)
+}
+
+// Observe implements radio.Channel.
+func (o *Offset) Observe(r int64, to radio.NodeID, count int, out radio.Outcome, ok bool) (radio.Outcome, bool) {
+	return o.Inner.Observe(r+o.Base, to, count, out, ok)
 }

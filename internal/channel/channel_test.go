@@ -227,6 +227,178 @@ func TestRandomFaultsProtectsSource(t *testing.T) {
 	}
 }
 
+// One Jammer instance reused across runs must behave like a fresh
+// instance per run once Reset is called between them — the reuse
+// contract of radio.ResettableChannel. Without the Reset, the second
+// run would find the budget silently drained.
+func TestJammerResetRestoresBudget(t *testing.T) {
+	g := graph.Grid(4, 4)
+	run := func(ch radio.Channel) radio.Stats {
+		nw := randomNet(g, true, ch, 6)
+		nw.Run(150)
+		return nw.Stats()
+	}
+	fresh1 := run(NewAdaptiveJammer(20, 1, 9))
+	fresh2 := run(NewAdaptiveJammer(20, 1, 9))
+	shared := NewAdaptiveJammer(20, 1, 9)
+	got1 := run(shared)
+	radio.ResetChannel(shared)
+	got2 := run(shared)
+	if got1 != fresh1 || got2 != fresh2 {
+		t.Fatalf("reset-reused jammer diverged from fresh instances:\nfresh %+v / %+v\nreuse %+v / %+v",
+			fresh1, fresh2, got1, got2)
+	}
+	// Control: withOUT the reset the second run must differ (the budget
+	// is spent), proving the Reset is what restores parity.
+	drained := NewAdaptiveJammer(20, 1, 9)
+	run(drained)
+	if leak := run(drained); leak == fresh2 {
+		t.Fatal("un-reset jammer matched a fresh run; budget state is not being carried at all")
+	}
+	// Stacks forward Reset to their resettable members.
+	stackFresh := run(Stack{NewErasure(0.1, 31), NewAdaptiveJammer(20, 1, 9)})
+	st := Stack{NewErasure(0.1, 31), NewAdaptiveJammer(20, 1, 9)}
+	run(st)
+	radio.ResetChannel(st)
+	if got := run(st); got != stackFresh {
+		t.Fatalf("reset-reused stack diverged from fresh: %+v vs %+v", got, stackFresh)
+	}
+}
+
+// An adaptive jammer stacked after a fault model must not spend budget
+// on rounds whose every transmitter is fault-dead: RoundStart receives
+// the post-suppression transmitter set. Node 0 transmits every round
+// but crashes at round 0, so the channel-visible traffic is empty and
+// the jammer must end the run with its full budget.
+func TestAdaptiveJammerIgnoresFaultDeadTransmitters(t *testing.T) {
+	g := graph.Path(2)
+	f := NewFaults(2)
+	f.SetCrash(0, 0) // the only transmitter is dead from the start
+	j := NewAdaptiveJammer(10, 1, 3)
+	nw := radio.New(g, radio.Config{CollisionDetection: true, Channel: Stack{f, j}})
+	nw.SetProtocol(0, &radio.FuncProtocol{ActFunc: func(int64) radio.Action {
+		return radio.Transmit(radio.RawPacket{})
+	}})
+	nw.SetProtocol(1, &radio.Silent{})
+	nw.Run(40)
+	if j.Spent() != 0 {
+		t.Fatalf("jammer spent %d budget on fault-dead traffic, want 0", j.Spent())
+	}
+	// Budget parity: against live traffic the same jammer spends exactly
+	// as much stacked with an inert fault table as it does alone.
+	alone := NewAdaptiveJammer(10, 1, 3)
+	nwA := radio.New(g, radio.Config{CollisionDetection: true, Channel: alone})
+	nwA.SetProtocol(0, &radio.FuncProtocol{ActFunc: func(int64) radio.Action {
+		return radio.Transmit(radio.RawPacket{})
+	}})
+	nwA.SetProtocol(1, &radio.Silent{})
+	nwA.Run(40)
+	stacked := NewAdaptiveJammer(10, 1, 3)
+	nwS := radio.New(g, radio.Config{CollisionDetection: true, Channel: Stack{NewFaults(2), stacked}})
+	nwS.SetProtocol(0, &radio.FuncProtocol{ActFunc: func(int64) radio.Action {
+		return radio.Transmit(radio.RawPacket{})
+	}})
+	nwS.SetProtocol(1, &radio.Silent{})
+	nwS.Run(40)
+	if alone.Spent() != stacked.Spent() {
+		t.Fatalf("budget parity broken: alone spent %d, stacked-after-faults spent %d",
+			alone.Spent(), stacked.Spent())
+	}
+}
+
+// Offset shifts the round clock an inner model sees: a fault table
+// wrapped at base B treats engine round r as global round r+B, so a
+// late-wakeup radio whose wake round has passed in an earlier epoch
+// stays awake.
+func TestOffsetShiftsRoundClock(t *testing.T) {
+	f := NewFaults(2)
+	f.SetWake(1, 100)
+	if !f.SuppressTransmit(50, 1) {
+		t.Fatal("radio awake before its wake round")
+	}
+	o := NewOffset(f, 80)
+	if !o.SuppressTransmit(10, 1) { // global round 90 < 100: still dead
+		t.Fatal("offset 80: round 10 should still be dead (global 90)")
+	}
+	if o.SuppressTransmit(25, 1) { // global 105 >= 100: awake
+		t.Fatal("offset 80: round 25 should be awake (global 105)")
+	}
+	// Round-keyed draws continue instead of replaying: an erasure model
+	// at offset B answers DropLink(r) exactly like the bare model at
+	// r+B.
+	e := NewErasure(0.5, 7)
+	oe := NewOffset(e, 1000)
+	for r := int64(0); r < 200; r++ {
+		if oe.DropLink(r, 0, 1) != e.DropLink(r+1000, 0, 1) {
+			t.Fatalf("offset erasure diverged from bare model at round %d", r)
+		}
+	}
+}
+
+// The documented Stack ordering contract, property-tested: with Faults
+// LAST, a dead radio stays fully deaf — no spurious ⊤ from NoisyCD, no
+// jammer injection, no resurrected packet — across randomized stack
+// compositions, seeds, and rounds. The converse ordering (Faults
+// first) is exactly the resurrection hazard the docs warn about, so
+// the test also confirms the hazard is real for at least one
+// composition (otherwise the contract would be vacuous).
+func TestStackOrderingKeepsDeadRadiosDeaf(t *testing.T) {
+	const n = 8
+	resurrectionSeen := false
+	for trial := 0; trial < 200; trial++ {
+		r := rng.New(0x57ac, uint64(trial))
+		f := NewFaults(n)
+		dead := radio.NodeID(r.Intn(n))
+		f.SetWake(dead, 1<<40) // dead for any round the trial probes
+		// Random injecting models in random order; Faults last.
+		var injectors Stack
+		if r.Intn(2) == 0 {
+			injectors = append(injectors, NewNoisyCD(0, 1, uint64(r.Intn(1000))))
+		}
+		if r.Intn(2) == 0 {
+			injectors = append(injectors, NewJammer(-1, 1, uint64(r.Intn(1000))))
+		}
+		if r.Intn(2) == 0 {
+			injectors = append(injectors, NewErasure(0.2, uint64(r.Intn(1000))))
+		}
+		r.Shuffle(len(injectors), func(i, j int) {
+			injectors[i], injectors[j] = injectors[j], injectors[i]
+		})
+		good := append(append(Stack{}, injectors...), f)
+		round := int64(r.Intn(10000))
+		// Jammers latch their round state in RoundStart.
+		good.RoundStart(round, []radio.NodeID{0})
+		for _, tentative := range []struct {
+			out radio.Outcome
+			ok  bool
+		}{
+			{radio.Outcome{}, false},
+			{radio.Outcome{Collision: true}, true},
+			{radio.Outcome{Packet: radio.RawPacket{Value: 1}, From: 0}, true},
+		} {
+			if out, ok := good.Observe(round, dead, 1, tentative.out, tentative.ok); ok {
+				t.Fatalf("trial %d: dead radio %d observed %+v through Faults-last stack %T",
+					trial, dead, out, injectors)
+			}
+		}
+		if good.SuppressTransmit(round, dead) != true {
+			t.Fatalf("trial %d: dead radio %d allowed to transmit", trial, dead)
+		}
+		// Faults FIRST: injectors may resurrect the silence — the hazard
+		// the ordering contract exists to prevent.
+		if len(injectors) > 0 {
+			bad := append(Stack{f}, injectors...)
+			bad.RoundStart(round, []radio.NodeID{0})
+			if _, ok := bad.Observe(round, dead, 1, radio.Outcome{}, false); ok {
+				resurrectionSeen = true
+			}
+		}
+	}
+	if !resurrectionSeen {
+		t.Fatal("no Faults-first composition ever resurrected a dead radio; the ordering contract is vacuous")
+	}
+}
+
 func TestChanceBounds(t *testing.T) {
 	if chance(0, 1, 2) {
 		t.Fatal("p=0 fired")

@@ -1,0 +1,195 @@
+package harness
+
+// Adaptive wrappers: every reusable protocol context gains an
+// adapt.Runner that re-executes the stack in epochs with per-node
+// carryover — radios informed by earlier epochs become additional
+// sources, so one-shot schedules (Theorem 1.1/1.3) recover the
+// loss-starved and late-waking radios their fixed budgets abandon
+// (the E13 completion cliff and the E16 coverage collapse). The
+// wrappers ride the PR-3 reuse layer: each epoch is a Reset-reused
+// run on the already-built stack, so steady-state epochs stay on the
+// zero-rebuild path.
+
+import (
+	"radiocast/internal/adapt"
+	"radiocast/internal/channel"
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+	"radiocast/internal/rings"
+	"radiocast/internal/rng"
+	"radiocast/internal/sched"
+)
+
+// ChannelFactory supplies the channel for each epoch of an adaptive
+// run. epoch is the 0-based epoch index; startRound is the total
+// simulated rounds consumed by earlier epochs. nil factories (and nil
+// returns) mean the ideal channel.
+type ChannelFactory func(epoch int, startRound int64) radio.Channel
+
+// EpochChannel adapts one channel instance to a ChannelFactory with
+// the retry layer's adversary semantics: epoch 0 rewinds the
+// instance's per-run state (radio.ResetChannel) and uses it bare;
+// later epochs wrap it in a channel.Offset at the elapsed round count,
+// so the model sees one continuous timeline — fault wake clocks stay
+// expired once passed, budgets keep draining, and round-keyed
+// randomness draws fresh values instead of replaying epoch 0's
+// pattern.
+func EpochChannel(ch radio.Channel) ChannelFactory {
+	if ch == nil {
+		return nil
+	}
+	return func(epoch int, startRound int64) radio.Channel {
+		if epoch == 0 {
+			radio.ResetChannel(ch)
+			return ch
+		}
+		return channel.NewOffset(ch, startRound)
+	}
+}
+
+// AdaptiveRunner adapts a reusable harness context to adapt.Runner.
+// Epoch 0 is byte-identical to the context's plain Run with the same
+// seed (original sources, base seed); epoch e > 0 re-runs the stack
+// with the carried informed set as sources under (seed, e)-derived
+// randomness. One AdaptiveRunner serves many adaptive runs: epoch 0
+// rewinds the carryover, and Reseed switches the base seed.
+type AdaptiveRunner struct {
+	informed   []bool
+	baseSeed   uint64
+	chf        ChannelFactory
+	epochLimit int64 // default per-epoch cap when the policy passes 0
+	elapsed    int64
+
+	exec    func(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats)
+	covered func() int
+	mark    func(dst []bool)
+}
+
+var _ adapt.Runner = (*AdaptiveRunner)(nil)
+
+// Reseed switches the base seed for the next adaptive run (effective
+// from its epoch 0).
+func (a *AdaptiveRunner) Reseed(seed uint64) { a.baseSeed = seed }
+
+// SetChannelFactory switches the channel supplier for the next
+// adaptive run (a reused runner needs a per-seed channel, exactly like
+// the underlying contexts take a fresh channel per Run).
+func (a *AdaptiveRunner) SetChannelFactory(chf ChannelFactory) { a.chf = chf }
+
+// RunEpoch implements adapt.Runner.
+func (a *AdaptiveRunner) RunEpoch(epoch int, limit int64) (int64, bool, radio.Stats) {
+	// The runner's own per-epoch budget is a ceiling, not just a
+	// default: even when the policy hands down a larger limit (e.g. the
+	// MaxRounds remainder), one epoch of an open-ended baseline must
+	// not consume the whole retry budget without re-layering.
+	if a.epochLimit > 0 && (limit <= 0 || a.epochLimit < limit) {
+		limit = a.epochLimit
+	}
+	seed := a.baseSeed
+	var carry []bool
+	if epoch == 0 {
+		a.elapsed = 0
+	} else {
+		seed = rng.Mix(a.baseSeed, 0xada9, uint64(epoch))
+		carry = a.informed
+	}
+	var ch radio.Channel
+	if a.chf != nil {
+		ch = a.chf(epoch, a.elapsed)
+	}
+	rounds, done, st := a.exec(carry, ch, seed, limit)
+	a.mark(a.informed)
+	a.elapsed += rounds
+	return rounds, done, st
+}
+
+// Covered implements adapt.Runner.
+func (a *AdaptiveRunner) Covered() int { return a.covered() }
+
+// baselineEpochBudget is the per-epoch round ceiling for the
+// open-ended baseline stacks (Decay, CR, GST-single), which carry no
+// schedule budget of their own: four times the O(D log n + log^2 n)
+// w.h.p. completion bound leaves room for channel-adversity slowdown
+// while keeping a stalled epoch from consuming the whole retry budget
+// (RunEpoch clamps any larger policy limit down to it).
+func baselineEpochBudget(g *graph.Graph, d int) int64 {
+	l := int64(sched.LogN(g.N()))
+	return 4 * (int64(d)*l + l*l)
+}
+
+// NewAdaptiveDecay wraps a Decay broadcast stack in the retry layer.
+func NewAdaptiveDecay(g *graph.Graph, chf ChannelFactory, seed uint64) *AdaptiveRunner {
+	r := NewDecayRun(g)
+	d := graph.Eccentricity(g, 0)
+	return &AdaptiveRunner{
+		informed:   make([]bool, g.N()),
+		baseSeed:   seed,
+		chf:        chf,
+		epochLimit: baselineEpochBudget(g, d),
+		exec:       r.RunFrom,
+		covered:    r.Coverage,
+		mark:       r.mark,
+	}
+}
+
+// NewAdaptiveCR wraps the Czumaj–Rytter-shaped stack in the retry
+// layer.
+func NewAdaptiveCR(g *graph.Graph, d int, chf ChannelFactory, seed uint64) *AdaptiveRunner {
+	r := NewCRRun(g, d)
+	return &AdaptiveRunner{
+		informed:   make([]bool, g.N()),
+		baseSeed:   seed,
+		chf:        chf,
+		epochLimit: baselineEpochBudget(g, d),
+		exec:       r.RunFrom,
+		covered:    r.Coverage,
+		mark:       r.mark,
+	}
+}
+
+// NewAdaptiveGSTSingle wraps the known-topology single-message stack
+// in the retry layer.
+func NewAdaptiveGSTSingle(g *graph.Graph, noising bool, chf ChannelFactory, seed uint64) *AdaptiveRunner {
+	r := NewGSTSingleRun(g, noising)
+	d := graph.Eccentricity(g, 0)
+	return &AdaptiveRunner{
+		informed:   make([]bool, g.N()),
+		baseSeed:   seed,
+		chf:        chf,
+		epochLimit: baselineEpochBudget(g, d),
+		exec:       r.RunFrom,
+		covered:    r.Coverage,
+		mark:       r.mark,
+	}
+}
+
+// NewAdaptiveTheorem11 wraps the full Theorem 1.1 pipeline in the
+// retry layer: each epoch re-runs wave + build + spread with the
+// informed frontier as sources. The per-epoch cap defaults to the
+// compiled schedule budget.
+func NewAdaptiveTheorem11(g *graph.Graph, cfg rings.Config, chf ChannelFactory, seed uint64) *AdaptiveRunner {
+	r := NewTheorem11RunCfg(g, cfg)
+	return &AdaptiveRunner{
+		informed: make([]bool, g.N()),
+		baseSeed: seed,
+		chf:      chf,
+		exec:     r.RunFrom,
+		covered:  r.Coverage,
+		mark:     r.mark,
+	}
+}
+
+// NewAdaptiveTheorem13 wraps the full Theorem 1.3 pipeline in the
+// retry layer: a node that decoded all k messages re-runs as an
+// additional source with the identical payload set.
+func NewAdaptiveTheorem13(g *graph.Graph, cfg rings.Config, chf ChannelFactory, seed uint64) *AdaptiveRunner {
+	r := NewTheorem13RunCfg(g, cfg)
+	return &AdaptiveRunner{
+		informed: make([]bool, g.N()),
+		baseSeed: seed,
+		chf:      chf,
+		exec:     r.RunFrom,
+		covered:  r.Coverage,
+		mark:     r.mark,
+	}
+}

@@ -57,6 +57,8 @@ func All() []Experiment {
 		{"E14", "Robustness: jammer-budget sweep (oblivious vs adaptive)", E14Plan},
 		{"E15", "Robustness: unreliable collision detection sweep", E15Plan},
 		{"E16", "Robustness: radio-fault sweep (late wakeup / crash)", E16Plan},
+		{"E17", "Adaptive retry: loss sweep with re-layering (Thm 1.1/1.3)", E17Plan},
+		{"E18", "Adaptive retry: late-wakeup re-layering (Thm 1.1)", E18Plan},
 		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1Plan},
 		{"A2", "Ablation: RLNC vs store-and-forward routing", A2Plan},
 		{"A3", "Ablation: ring width in Theorem 1.1", A3Plan},

@@ -42,6 +42,18 @@ import (
 // package so every protocol layer can hold one without import cycles).
 type DoneSet = radio.DoneSet
 
+// epochSource resolves node v's source flag for a run with carryover:
+// a fresh run (informed == nil) broadcasts from node 0; a re-layering
+// epoch broadcasts from every informed radio. All five RunFrom
+// implementations share this so carryover semantics cannot drift
+// between stacks.
+func epochSource(informed []bool, v int) bool {
+	if informed == nil {
+		return v == 0
+	}
+	return informed[v]
+}
+
 // initDone applies the DoneSet contract after a stack is constructed
 // or reset: rewind the counter LAST (wiping any stray ticks fired
 // while preloading source stores), then perform the single O(n) scan
@@ -81,19 +93,43 @@ func NewDecayRun(g *graph.Graph) *DecayRun {
 	return r
 }
 
-// Run executes one seeded run over ch (nil = ideal; channels carry
-// per-run state, so pass a fresh one each call).
+// Run executes one seeded run over ch (nil = ideal; stateful channels
+// are rewound via radio.ResetChannel, so one instance may serve many
+// seeds).
 func (r *DecayRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	return r.RunFrom(nil, ch, seed, limit)
+}
+
+// RunFrom is Run with per-node carryover: when informed is non-nil,
+// node v starts holding the message iff informed[v] — the adaptive
+// retry layer's re-layering epoch, where every radio informed by
+// earlier epochs broadcasts as an additional source. informed == nil
+// is a fresh run (source = node 0) and rewinds the channel's per-run
+// state; carryover epochs deliberately keep it (an adversary's budget
+// spans the whole retried broadcast).
+func (r *DecayRun) RunFrom(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	if informed == nil {
+		radio.ResetChannel(ch)
+	}
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	for v, p := range r.protos {
-		p.Reset(v == 0, decay.Message{Data: 1})
+		src := epochSource(informed, v)
+		p.Reset(src, decay.Message{Data: 1})
 		rng.Reseed(p.Rng(), seed, 0xd0, uint64(v))
 		r.nw.SetProtocol(graph.NodeID(v), p)
 	}
 	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Has() })
 	rounds, ok := r.nw.RunUntil(limit, r.ds.Done)
 	return rounds, ok, r.nw.Stats()
+}
+
+// mark records each node's informed state into dst (the adaptive
+// carryover harvest).
+func (r *DecayRun) mark(dst []bool) {
+	for v, p := range r.protos {
+		dst[v] = p.Has()
+	}
 }
 
 // Coverage returns how many nodes held the message when the last run
@@ -137,16 +173,32 @@ func NewCRRun(g *graph.Graph, d int) *CRRun {
 
 // Run executes one seeded run over ch (nil = ideal).
 func (r *CRRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	return r.RunFrom(nil, ch, seed, limit)
+}
+
+// RunFrom is Run with per-node carryover (see DecayRun.RunFrom).
+func (r *CRRun) RunFrom(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	if informed == nil {
+		radio.ResetChannel(ch)
+	}
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	for v, p := range r.protos {
-		p.Reset(v == 0, decay.Message{Data: 1})
+		src := epochSource(informed, v)
+		p.Reset(src, decay.Message{Data: 1})
 		rng.Reseed(p.Rng(), seed, 0xc0, uint64(v))
 		r.nw.SetProtocol(graph.NodeID(v), p)
 	}
 	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Has() })
 	rounds, ok := r.nw.RunUntil(limit, r.ds.Done)
 	return rounds, ok, r.nw.Stats()
+}
+
+// mark records each node's informed state into dst.
+func (r *CRRun) mark(dst []bool) {
+	for v, p := range r.protos {
+		dst[v] = p.Has()
+	}
 }
 
 // Coverage returns how many nodes held the message when the last run
@@ -200,10 +252,22 @@ func NewGSTSingleRun(g *graph.Graph, noising bool) *GSTSingleRun {
 
 // Run executes one seeded run over ch (nil = ideal).
 func (r *GSTSingleRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	return r.RunFrom(nil, ch, seed, limit)
+}
+
+// RunFrom is Run with per-node carryover (see DecayRun.RunFrom): the
+// GST schedule is unchanged, but every informed node starts holding
+// the message, so the re-layered broadcast fills in the radios the
+// previous pass missed.
+func (r *GSTSingleRun) RunFrom(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	if informed == nil {
+		radio.ResetChannel(ch)
+	}
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	for v, p := range r.protos {
-		r.contents[v].Reset(v == 0, decay.Message{Data: 1})
+		src := epochSource(informed, v)
+		r.contents[v].Reset(src, decay.Message{Data: 1})
 		p.Rebind(r.infos[v], r.contents[v])
 		rng.Reseed(p.Rng(), seed, 0xe0, uint64(v))
 		r.nw.SetProtocol(graph.NodeID(v), p)
@@ -211,6 +275,17 @@ func (r *GSTSingleRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, b
 	initDone(&r.ds, len(r.protos), func(v int) bool { return r.contents[v].Done() })
 	rounds, ok := r.nw.RunUntil(limit, r.ds.Done)
 	return rounds, ok, r.nw.Stats()
+}
+
+// Coverage returns how many nodes held the message when the last run
+// stopped (== n on completed runs).
+func (r *GSTSingleRun) Coverage() int { return r.ds.Count() }
+
+// mark records each node's informed state into dst.
+func (r *GSTSingleRun) mark(dst []bool) {
+	for v, c := range r.contents {
+		dst[v] = c.Done()
+	}
 }
 
 // RunGSTSingle measures the single-message GST broadcast atop a
@@ -258,15 +333,7 @@ func NewTheorem11Run(g *graph.Graph, d, c int) *Theorem11Run {
 
 // Run executes one seeded run over ch (nil = ideal).
 func (r *Theorem11Run) Run(ch radio.Channel, seed uint64) Theorem11Result {
-	r.nw.Reset()
-	r.nw.SetChannel(ch)
-	for v, p := range r.protos {
-		p.Reset(v == 0, nil)
-		rng.Reseed(p.Rng(), seed, 0x11, uint64(v))
-		r.nw.SetProtocol(graph.NodeID(v), p)
-	}
-	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Has() })
-	rounds, ok := r.nw.RunUntil(r.cfg.TotalRounds(), r.ds.Done)
+	rounds, ok, st := r.RunFrom(nil, ch, seed, 0)
 	return Theorem11Result{
 		Completed:    ok,
 		Rounds:       rounds,
@@ -277,7 +344,45 @@ func (r *Theorem11Run) Run(ch radio.Channel, seed uint64) Theorem11Result {
 		Rings:        r.cfg.Rings(),
 		Width:        r.cfg.W,
 		Covered:      r.ds.Count(),
-		Stats:        r.nw.Stats(),
+		Stats:        st,
+	}
+}
+
+// RunFrom is one full pipeline execution with per-node carryover (see
+// DecayRun.RunFrom): informed nodes re-run the whole schedule as
+// additional sources, so the collision wave — and therefore the
+// layering, ring decomposition, and spread — restarts from the entire
+// informed frontier. limit caps the rounds when positive and below the
+// schedule budget.
+func (r *Theorem11Run) RunFrom(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	if informed == nil {
+		radio.ResetChannel(ch)
+	}
+	r.nw.Reset()
+	r.nw.SetChannel(ch)
+	for v, p := range r.protos {
+		src := epochSource(informed, v)
+		p.Reset(src, nil)
+		rng.Reseed(p.Rng(), seed, 0x11, uint64(v))
+		r.nw.SetProtocol(graph.NodeID(v), p)
+	}
+	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Has() })
+	budget := r.cfg.TotalRounds()
+	if limit > 0 && limit < budget {
+		budget = limit
+	}
+	rounds, ok := r.nw.RunUntil(budget, r.ds.Done)
+	return rounds, ok, r.nw.Stats()
+}
+
+// Coverage returns how many nodes held the message when the last run
+// stopped.
+func (r *Theorem11Run) Coverage() int { return r.ds.Count() }
+
+// mark records each node's informed state into dst.
+func (r *Theorem11Run) mark(dst []bool) {
+	for v, p := range r.protos {
+		dst[v] = p.Has()
 	}
 }
 
@@ -339,6 +444,7 @@ func NewGSTMultiRun(g *graph.Graph, k int) *GSTMultiRun {
 // Run executes one seeded run over ch (nil = ideal), verifying decoded
 // payloads on completion.
 func (r *GSTMultiRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	radio.ResetChannel(ch)
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	rng.Reseed(r.msgRng, seed, 0x12)
@@ -414,24 +520,54 @@ func (r *Theorem13Run) Config() rings.Config { return r.cfg }
 
 // Run executes one seeded run over ch (nil = ideal).
 func (r *Theorem13Run) Run(ch radio.Channel, seed uint64) (rounds int64, completed bool, st radio.Stats) {
+	return r.RunFrom(nil, ch, seed, 0)
+}
+
+// RunFrom is one full pipeline execution with per-node carryover (see
+// DecayRun.RunFrom): a node that decoded every message in an earlier
+// epoch re-runs as an additional source, preloading the identical
+// message set (decode-complete stores hold exactly the source
+// payloads), so every ring's RLNC spread draws from the whole informed
+// frontier. Fresh runs (informed == nil) randomize the payloads from
+// the seed; carryover epochs keep them.
+func (r *Theorem13Run) RunFrom(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
+	if informed == nil {
+		radio.ResetChannel(ch)
+		rng.Reseed(r.msgRng, seed, 0x15)
+		for i := range r.msgs {
+			r.msgs[i].Randomize(r.msgRng.Uint64)
+		}
+	}
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
-	rng.Reseed(r.msgRng, seed, 0x15)
-	for i := range r.msgs {
-		r.msgs[i].Randomize(r.msgRng.Uint64)
-	}
 	for v, p := range r.protos {
+		src := epochSource(informed, v)
 		var m []rlnc.Message
-		if v == 0 {
+		if src {
 			m = r.msgs
 		}
-		p.Reset(v == 0, m)
+		p.Reset(src, m)
 		rng.Reseed(p.Rng(), seed, 0x16, uint64(v))
 		r.nw.SetProtocol(graph.NodeID(v), p)
 	}
 	initDone(&r.ds, len(r.protos), func(v int) bool { return r.protos[v].Store().CanDecodeAll() })
-	rounds, completed = r.nw.RunUntil(r.cfg.TotalRounds(), r.ds.Done)
+	budget := r.cfg.TotalRounds()
+	if limit > 0 && limit < budget {
+		budget = limit
+	}
+	rounds, completed := r.nw.RunUntil(budget, r.ds.Done)
 	return rounds, completed, r.nw.Stats()
+}
+
+// Coverage returns how many nodes could decode every message when the
+// last run stopped.
+func (r *Theorem13Run) Coverage() int { return r.ds.Count() }
+
+// mark records each node's informed (decode-complete) state into dst.
+func (r *Theorem13Run) mark(dst []bool) {
+	for v, p := range r.protos {
+		dst[v] = p.Store().CanDecodeAll()
+	}
 }
 
 // RunTheorem13 executes the full Theorem 1.3 pipeline.

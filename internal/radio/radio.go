@@ -101,14 +101,20 @@ type Tracer interface {
 // models; a nil Config.Channel is the ideal channel of Section 1.1.
 type Channel interface {
 	// RoundStart fires once per executed round, after actions are
-	// collected and before any other hook, with the round's transmitter
-	// set (aliases engine storage: copy to retain). Adaptive
-	// adversaries snoop the traffic here.
+	// collected and source suppression is applied, with the round's
+	// SURVIVING transmitter set — every transmitter for which no
+	// model's SuppressTransmit returned true (aliases engine storage:
+	// copy to retain). Adaptive adversaries snoop the traffic here;
+	// handing them the post-suppression set means a budgeted jammer
+	// stacked after a fault model cannot spend budget on rounds whose
+	// only transmitters are fault-dead radios.
 	RoundStart(r int64, transmitters []NodeID)
 	// SuppressTransmit reports whether v's transmission this round is
 	// erased at the source (crashed radio, not-yet-woken node, jammed
-	// transmitter). A suppressed transmission reaches no neighbor and
-	// increments Stats.Dropped once.
+	// transmitter). It is the first hook consulted each round — before
+	// RoundStart — so the snoopable transmitter set can exclude
+	// suppressed sources. A suppressed transmission reaches no neighbor
+	// and increments Stats.Dropped once.
 	SuppressTransmit(r int64, v NodeID) bool
 	// DropLink reports whether the packet from from is erased on the
 	// link to to this round (per-link, per-round loss). Each erased
@@ -123,6 +129,29 @@ type Channel interface {
 	// (⊤ is unobservable without CD), so models need not know the CD
 	// setting.
 	Observe(r int64, to NodeID, count int, out Outcome, ok bool) (Outcome, bool)
+}
+
+// ResettableChannel is the optional reuse extension of Channel: models
+// carrying per-run mutable state (jammer budgets) implement Reset to
+// rewind it, so one instance can serve many runs. Harness runners call
+// ResetChannel at the start of every fresh seeded run; the adaptive
+// retry layer deliberately does NOT reset between the epochs of one
+// run, so an adversary's budget spans the whole retried broadcast.
+// Stateless models (erasure, noisy CD, fault tables) need not
+// implement it.
+type ResettableChannel interface {
+	Channel
+	Reset()
+}
+
+// ResetChannel rewinds ch's per-run state when it is resettable and
+// reports whether it was. A nil channel is a no-op.
+func ResetChannel(ch Channel) bool {
+	if rc, ok := ch.(ResettableChannel); ok {
+		rc.Reset()
+		return true
+	}
+	return false
 }
 
 // Config configures a Network.
@@ -151,6 +180,21 @@ type Stats struct {
 	Polls         int64 // Act calls (wall-clock work proxy)
 	Dropped       int64 // transmissions/link deliveries erased by the channel
 	Jammed        int64 // observations whose class the channel changed
+}
+
+// Add accumulates other's counters into s. Multi-run aggregators (the
+// adaptive retry layer sums per-epoch engine stats) fold through here,
+// next to the field list, so a future counter cannot be silently
+// dropped from aggregates.
+func (s *Stats) Add(other Stats) {
+	s.Rounds += other.Rounds
+	s.ActiveRounds += other.ActiveRounds
+	s.Transmissions += other.Transmissions
+	s.Deliveries += other.Deliveries
+	s.CollisionObs += other.CollisionObs
+	s.Polls += other.Polls
+	s.Dropped += other.Dropped
+	s.Jammed += other.Jammed
 }
 
 // Network is a synchronous radio network simulation over a fixed graph.
@@ -356,7 +400,10 @@ func (nw *Network) step() {
 // draws by (round, node/link) so ordering never matters.
 func (nw *Network) deliverAdverse(r int64, awake []NodeID) {
 	ch := nw.cfg.Channel
-	ch.RoundStart(r, nw.transmitter)
+	// Source suppression first, THEN RoundStart with the surviving set:
+	// an adaptive jammer snooping the traffic must not see (and spend
+	// budget on) transmissions a fault model already erased at the
+	// source.
 	kept := nw.keptTx[:0]
 	for _, t := range nw.transmitter {
 		if ch.SuppressTransmit(r, t) {
@@ -366,6 +413,7 @@ func (nw *Network) deliverAdverse(r int64, awake []NodeID) {
 		kept = append(kept, t)
 	}
 	nw.keptTx = kept
+	ch.RoundStart(r, kept)
 	for _, t := range kept {
 		pkt := nw.hearPkt[t]
 		for _, u := range nw.edges[nw.offsets[t]:nw.offsets[t+1]] {

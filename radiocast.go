@@ -27,6 +27,11 @@
 // (packet loss, jamming, unreliable collision detection, radio
 // faults — see ErasureChannel, NoisyCDChannel, JammerChannel,
 // FaultChannel, StackChannels); nil is the paper's ideal channel.
+// Options.Adaptive additionally wraps the run in the loss-adaptive
+// retry layer (internal/adapt): the schedule is re-executed in epochs,
+// each re-layering from every already-informed radio, until the
+// broadcast completes — closing the completion cliffs the one-shot
+// theorem schedules hit under loss and late radio wakeups.
 //
 // All functions are deterministic given (graph, options, seed). See
 // DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -36,6 +41,7 @@ package radiocast
 import (
 	"fmt"
 
+	"radiocast/internal/adapt"
 	"radiocast/internal/bitvec"
 	"radiocast/internal/channel"
 	"radiocast/internal/graph"
@@ -119,7 +125,10 @@ func StackChannels(chs ...Channel) Channel { return channel.Stack(chs) }
 
 // Options configures a protocol run.
 type Options struct {
-	// Source is the broadcasting node (default 0).
+	// Source is the broadcasting node (default 0). Known limitation:
+	// the harness-backed Broadcast* runners currently broadcast from
+	// node 0 regardless; a non-zero Source affects only schedule sizing
+	// (eccentricity) today. BuildGSTDistributed honors it fully.
 	Source NodeID
 	// Seed drives all protocol randomness (runs are reproducible).
 	Seed uint64
@@ -140,6 +149,26 @@ type Options struct {
 	// it shortens the build (narrow rings already run an optimal
 	// lockstep; see rings.Config.SetPipelined).
 	PipelinedBoundaries bool
+	// Adaptive wraps the broadcast in the loss-adaptive retry layer
+	// (internal/adapt): if the run's schedule ends with radios still
+	// uninformed — packet loss starved them, or they woke after the
+	// one-shot wave passed — the stack is re-executed in epochs, each
+	// epoch re-layering from every already-informed radio as an
+	// additional source, until the broadcast completes or MaxEpochs
+	// runs out. Ideal-channel runs complete in their first epoch, which
+	// is byte-identical to the non-adaptive run. Supported by
+	// BroadcastCD, BroadcastKCD, BroadcastKnownTopology,
+	// DecayBroadcast, and CRBroadcast.
+	Adaptive bool
+	// MaxEpochs caps the retry epochs when Adaptive is set; 0 retries
+	// until done (bounded by adapt.UntilDoneCap). Ignored otherwise.
+	MaxEpochs int
+}
+
+// policy maps the adaptive options onto the retry layer's budget:
+// RoundLimit becomes the total-round cap across epochs.
+func (o Options) policy() adapt.Policy {
+	return adapt.Policy{MaxEpochs: o.MaxEpochs, MaxRounds: o.RoundLimit}
 }
 
 func (o Options) scale() int {
@@ -161,6 +190,17 @@ type Result struct {
 	// (both zero on the ideal channel).
 	Dropped int64
 	Jammed  int64
+	// Epochs is the number of retry epochs the adaptive layer executed
+	// (>= 1 when Options.Adaptive was set; 0 on non-adaptive runs). An
+	// adaptive run with Epochs == 1 completed its original schedule
+	// without any re-layering.
+	Epochs int
+}
+
+// adaptiveResult folds an adaptive outcome into the facade Result.
+func adaptiveResult(out adapt.Outcome) Result {
+	return Result{Rounds: out.Rounds, Completed: out.Completed,
+		Dropped: out.Stats.Dropped, Jammed: out.Stats.Jammed, Epochs: out.Epochs}
 }
 
 // BroadcastCD runs Theorem 1.1: single-message broadcast over unknown
@@ -174,6 +214,10 @@ func BroadcastCD(g *Graph, opts Options) (Result, error) {
 	d := graph.Eccentricity(g, opts.Source)
 	cfg := rings.DefaultConfig(g.N(), d, 0, opts.scale())
 	cfg.SetPipelined(opts.PipelinedBoundaries)
+	if opts.Adaptive {
+		a := harness.NewAdaptiveTheorem11(g, cfg, harness.EpochChannel(opts.Channel), opts.Seed)
+		return adaptiveResult(adapt.Run(a, opts.policy())), nil
+	}
 	res := harness.RunTheorem11OnCfg(g, cfg, opts.Channel, opts.Seed)
 	return Result{Rounds: res.Rounds, Completed: res.Completed,
 		Dropped: res.Stats.Dropped, Jammed: res.Stats.Jammed}, nil
@@ -185,6 +229,10 @@ func BroadcastCD(g *Graph, opts Options) (Result, error) {
 func BroadcastKnownTopology(g *Graph, opts Options) (Result, error) {
 	if err := checkGraph(g, opts.Source); err != nil {
 		return Result{}, err
+	}
+	if opts.Adaptive {
+		a := harness.NewAdaptiveGSTSingle(g, false, harness.EpochChannel(opts.Channel), opts.Seed)
+		return adaptiveResult(adapt.Run(a, opts.policy())), nil
 	}
 	limit := opts.RoundLimit
 	if limit == 0 {
@@ -202,6 +250,9 @@ func BroadcastK(g *Graph, k int, opts Options) (Result, error) {
 	}
 	if k < 1 {
 		return Result{}, fmt.Errorf("radiocast: k must be positive, got %d", k)
+	}
+	if opts.Adaptive {
+		return Result{}, fmt.Errorf("radiocast: Options.Adaptive is not supported by BroadcastK (use BroadcastKCD for adaptive k-message broadcast)")
 	}
 	limit := opts.RoundLimit
 	if limit == 0 {
@@ -224,6 +275,10 @@ func BroadcastKCD(g *Graph, k int, opts Options) (Result, error) {
 	d := graph.Eccentricity(g, opts.Source)
 	cfg := rings.DefaultConfig(g.N(), d, k, opts.scale())
 	cfg.SetPipelined(opts.PipelinedBoundaries)
+	if opts.Adaptive {
+		a := harness.NewAdaptiveTheorem13(g, cfg, harness.EpochChannel(opts.Channel), opts.Seed)
+		return adaptiveResult(adapt.Run(a, opts.policy())), nil
+	}
 	rounds, ok, st := harness.RunTheorem13OnCfg(g, cfg, opts.Channel, opts.Seed)
 	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
@@ -233,6 +288,10 @@ func BroadcastKCD(g *Graph, k int, opts Options) (Result, error) {
 func DecayBroadcast(g *Graph, opts Options) (Result, error) {
 	if err := checkGraph(g, opts.Source); err != nil {
 		return Result{}, err
+	}
+	if opts.Adaptive {
+		a := harness.NewAdaptiveDecay(g, harness.EpochChannel(opts.Channel), opts.Seed)
+		return adaptiveResult(adapt.Run(a, opts.policy())), nil
 	}
 	limit := opts.RoundLimit
 	if limit == 0 {
@@ -248,11 +307,15 @@ func CRBroadcast(g *Graph, opts Options) (Result, error) {
 	if err := checkGraph(g, opts.Source); err != nil {
 		return Result{}, err
 	}
+	d := graph.Eccentricity(g, opts.Source)
+	if opts.Adaptive {
+		a := harness.NewAdaptiveCR(g, d, harness.EpochChannel(opts.Channel), opts.Seed)
+		return adaptiveResult(adapt.Run(a, opts.policy())), nil
+	}
 	limit := opts.RoundLimit
 	if limit == 0 {
 		limit = 1 << 24
 	}
-	d := graph.Eccentricity(g, opts.Source)
 	rounds, ok, st := harness.RunCROn(g, d, opts.Channel, opts.Seed, limit)
 	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }

@@ -89,6 +89,78 @@ func TestFacadeValidation(t *testing.T) {
 	}
 }
 
+// Options.Adaptive on the ideal channel completes in one epoch with
+// the exact round count of the non-adaptive run; under heavy loss it
+// re-layers past the one-shot completion cliff. BroadcastK rejects the
+// flag explicitly rather than ignoring it.
+func TestFacadeAdaptive(t *testing.T) {
+	g := NewClusterChain(6, 6)
+
+	plain, err := BroadcastCD(g, Options{Seed: 9})
+	if err != nil || !plain.Completed {
+		t.Fatalf("plain run: %+v %v", plain, err)
+	}
+	ideal, err := BroadcastCD(g, Options{Seed: 9, Adaptive: true})
+	if err != nil || !ideal.Completed || ideal.Epochs != 1 || ideal.Rounds != plain.Rounds {
+		t.Fatalf("ideal-channel adaptive run should be one epoch at the plain round count:\nplain    %+v\nadaptive %+v (%v)",
+			plain, ideal, err)
+	}
+
+	lossy := Options{Seed: 9, Channel: ErasureChannel(0.3, 77)}
+	oneShot, err := BroadcastCD(g, lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.Completed {
+		t.Skip("this seed survived loss 0.3 one-shot; the retry assertion needs a failing base run")
+	}
+	lossy.Adaptive = true
+	lossy.Channel = ErasureChannel(0.3, 77)
+	retried, err := BroadcastCD(g, lossy)
+	if err != nil || !retried.Completed || retried.Epochs < 2 {
+		t.Fatalf("adaptive run did not close the loss cliff: %+v (%v)", retried, err)
+	}
+
+	for _, fn := range []func() (Result, error){
+		func() (Result, error) {
+			return BroadcastKCD(g, 4, Options{Seed: 9, Adaptive: true, Channel: ErasureChannel(0.2, 8)})
+		},
+		func() (Result, error) {
+			return DecayBroadcast(g, Options{Seed: 9, Adaptive: true, Channel: ErasureChannel(0.2, 8)})
+		},
+		func() (Result, error) {
+			return CRBroadcast(g, Options{Seed: 9, Adaptive: true, Channel: ErasureChannel(0.2, 8)})
+		},
+		func() (Result, error) {
+			return BroadcastKnownTopology(g, Options{Seed: 9, Adaptive: true, Channel: ErasureChannel(0.2, 8)})
+		},
+	} {
+		res, err := fn()
+		if err != nil || !res.Completed || res.Epochs < 1 {
+			t.Fatalf("adaptive run failed: %+v (%v)", res, err)
+		}
+	}
+
+	if _, err := BroadcastK(g, 4, Options{Adaptive: true}); err == nil {
+		t.Fatal("BroadcastK silently accepted Options.Adaptive")
+	}
+}
+
+// Adaptive runs obey the reproducibility contract end to end.
+func TestFacadeAdaptiveDeterminism(t *testing.T) {
+	g := NewClusterChain(6, 6)
+	run := func() Result {
+		res, err := BroadcastCD(g, Options{Seed: 3, Adaptive: true, Channel: ErasureChannel(0.3, 41)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("adaptive facade run nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
 func TestRandomMessagesReproducible(t *testing.T) {
 	a := RandomMessages(4, 16, 9)
 	b := RandomMessages(4, 16, 9)
