@@ -13,6 +13,7 @@ package radiocast
 // the same numbers with -benchmem for humans.
 
 import (
+	"runtime"
 	"testing"
 
 	"radiocast/internal/adapt"
@@ -91,6 +92,82 @@ func TestSteadyStateRoundLoopAllocsZeroPipelined(t *testing.T) {
 	}
 }
 
+// TestDenseSteadyStateAllocsZero pins the dense engine's core scale
+// property: after warm-up has sized the transmitter lists, scatter
+// buckets, and touched-listener scratch, stepping allocates nothing —
+// sequentially and with the parallel delivery pass engaged (the
+// clusterchain's clique floods push the transmitter count past the
+// parallel gate, so the fan-out path is genuinely exercised).
+func TestDenseSteadyStateAllocsZero(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		workers int
+		warm    int64
+	}{
+		// The 192x192 grid keeps a ~200-node frontier alive for thousands
+		// of rounds, so its low-slot rounds exceed the parallel gate and
+		// the measured window genuinely runs the fan-out path.
+		{"sequential-path2048", graph.FromStream(graph.StreamPath(2048)), 1, 512},
+		{"parallel-grid192x192", graph.FromStream(graph.StreamGrid(192, 192)), 4, 2000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			pr := decay.NewDense(tc.g, 7, 0)
+			eng := radio.NewDense(tc.g, radio.Config{Workers: tc.workers}, pr)
+			defer eng.Close()
+			eng.Run(tc.warm)
+			if pr.Done() {
+				t.Fatal("warm-up completed the broadcast; nothing left to measure")
+			}
+			allocs := testing.AllocsPerRun(64, func() { eng.Step() })
+			if allocs != 0 {
+				t.Fatalf("dense steady-state round loop allocates %.2f objects/round, want 0", allocs)
+			}
+		})
+	}
+}
+
+// denseScaleMemBudget caps the live-heap growth of a full n = 10^5
+// dense GNP cell: streaming CSR graph (~16n int32 edge entries), the
+// engine's word bitsets and stamp arrays, and the SoA Decay state.
+// Measured ~9 MB; the 16 MB budget leaves headroom while still failing
+// loudly if anyone reintroduces per-node objects (the AoS stack costs
+// >100 bytes/node before protocol state).
+const denseScaleMemBudget = 16 << 20
+
+// TestDenseScaleMemoryBudget pins the bytes/node story at n = 10^5:
+// building and running the dense stack must fit the budget.
+func TestDenseScaleMemoryBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^5-node run")
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	const n = 100_000
+	g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
+	pr := decay.NewDense(g, 7, 0)
+	eng := radio.NewDense(g, radio.Config{Workers: 4}, pr)
+	defer eng.Close()
+	rounds, ok := eng.RunUntil(1<<20, pr.Done)
+	if !ok {
+		t.Fatalf("dense GNP-%d broadcast incomplete after %d rounds", n, rounds)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	t.Logf("n=%d: %d rounds, live-heap growth %.1f MB (%.0f bytes/node)",
+		n, rounds, float64(grew)/(1<<20), float64(grew)/n)
+	if grew > denseScaleMemBudget {
+		t.Fatalf("dense stack grew live heap by %d bytes, budget %d", grew, denseScaleMemBudget)
+	}
+}
+
 // adaptiveWrapperAllocOverhead is the allocation headroom the retry
 // layer may add on top of a bare Reset-reused run: the epoch loop's
 // bookkeeping (outcome accumulation, carryover harvest into a
@@ -105,11 +182,11 @@ const adaptiveWrapperAllocOverhead = 64
 // reintroduce per-round allocation.
 func TestAdaptiveWrapperAllocOverhead(t *testing.T) {
 	g := graph.ClusterChain(4, 6)
-	plainRun := harness.NewDecayRun(g)
+	plainRun := harness.NewDecayRun(g, 0)
 	plainRun.Run(nil, 3, 1<<20) // warm both paths' scratch
 	plain := testing.AllocsPerRun(5, func() { plainRun.Run(nil, 3, 1<<20) })
 
-	ar := harness.NewAdaptiveDecay(g, nil, 3)
+	ar := harness.NewAdaptiveDecay(g, nil, 3, 0)
 	adapt.Run(ar, adapt.Policy{})
 	adaptive := testing.AllocsPerRun(5, func() { adapt.Run(ar, adapt.Policy{}) })
 	if adaptive > plain+adaptiveWrapperAllocOverhead {
@@ -137,7 +214,7 @@ func TestTheorem13ResetReuseAllocBudget(t *testing.T) {
 	}
 	g := graph.Grid(4, 12)
 	d := graph.Eccentricity(g, 0)
-	run := harness.NewTheorem13Run(g, d, 8, 1)
+	run := harness.NewTheorem13Run(g, d, 8, 1, 0)
 	wantRounds, wantOK, _ := harness.RunTheorem13(g, d, 8, 1, 3)
 	if !wantOK {
 		t.Fatal("fresh reference run incomplete")

@@ -16,9 +16,11 @@ import (
 
 	"radiocast/internal/adapt"
 	"radiocast/internal/channel"
+	"radiocast/internal/decay"
 	"radiocast/internal/exp"
 	"radiocast/internal/graph"
 	"radiocast/internal/harness"
+	"radiocast/internal/radio"
 	"radiocast/internal/rings"
 	"radiocast/internal/rng"
 )
@@ -304,7 +306,7 @@ func BenchmarkEngine_SleepHeavy_Path256(b *testing.B) {
 func BenchmarkEngine_Theorem13_Grid4x12(b *testing.B) {
 	g := graph.Grid(4, 12)
 	d := graph.Eccentricity(g, 0)
-	run := harness.NewTheorem13Run(g, d, 8, 1)
+	run := harness.NewTheorem13Run(g, d, 8, 1, 0)
 	reportRounds(b, func(seed uint64) (int64, bool) {
 		rounds, ok, _ := run.Run(nil, seed)
 		return rounds, ok
@@ -357,7 +359,7 @@ func BenchmarkEngine_GSTSequentialBuild_Grid4x8(b *testing.B) {
 // plus reseeding, nothing else.
 func BenchmarkEngine_DecayReuse_ClusterChain16x8(b *testing.B) {
 	g := graph.ClusterChain(16, 8)
-	run := harness.NewDecayRun(g)
+	run := harness.NewDecayRun(g, 0)
 	reportRounds(b, func(seed uint64) (int64, bool) {
 		rounds, ok, _ := run.Run(nil, seed, 1<<22)
 		return rounds, ok
@@ -373,7 +375,7 @@ func BenchmarkEngine_DecayReuse_ClusterChain16x8(b *testing.B) {
 // reuse path's zero-rebuild budget.
 func BenchmarkEngine_AdaptiveDecayReuse_ClusterChain16x8(b *testing.B) {
 	g := graph.ClusterChain(16, 8)
-	run := harness.NewAdaptiveDecay(g, nil, 0)
+	run := harness.NewAdaptiveDecay(g, nil, 0, 0)
 	reportRounds(b, func(seed uint64) (int64, bool) {
 		run.Reseed(seed)
 		out := adapt.Run(run, adapt.Policy{})
@@ -390,13 +392,59 @@ func BenchmarkEngine_AdaptiveDecayReuse_ClusterChain16x8(b *testing.B) {
 func BenchmarkEngine_AdaptiveTheorem11Loss_ClusterChain6x6(b *testing.B) {
 	g := graph.ClusterChain(6, 6)
 	d := graph.Eccentricity(g, 0)
-	run := harness.NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), nil, 0)
+	run := harness.NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), nil, 0, 0)
 	reportRounds(b, func(seed uint64) (int64, bool) {
 		run.Reseed(seed)
 		run.SetChannelFactory(harness.EpochChannel(channel.NewErasure(0.3, rng.Mix(seed, 0xe13))))
 		out := adapt.Run(run, adapt.Policy{MaxEpochs: 16})
 		return out.Rounds, out.Completed
 	})
+}
+
+// BenchmarkEngine_DenseDecay is the million-node-engine guard: one
+// full dense Decay broadcast over a streaming-built GNP-10^5 per op
+// (construction + run — the E19 cell shape). allocs/op is dominated by
+// the SoA state and engine buffers, all sized once per op: the round
+// loop itself is allocation-free (TestDenseSteadyStateAllocsZero), so
+// this number scales with n, never with rounds.
+func BenchmarkEngine_DenseDecay_GNP100k(b *testing.B) {
+	const n = 100_000
+	g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		pr := decay.NewDense(g, seed, 0)
+		eng := radio.NewDense(g, radio.Config{}, pr)
+		defer eng.Close()
+		return eng.RunUntil(1<<20, pr.Done)
+	})
+}
+
+// BenchmarkEngine_DenseDecayParallel_GNP100k is the same workload with
+// the deterministic parallel delivery pass (Workers = 4): identical
+// rounds/op by the byte-identity contract; the allocs/op delta against
+// the sequential benchmark is the worker pool + per-partition buffers,
+// a constant.
+func BenchmarkEngine_DenseDecayParallel_GNP100k(b *testing.B) {
+	const n = 100_000
+	g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		pr := decay.NewDense(g, seed, 0)
+		eng := radio.NewDense(g, radio.Config{Workers: 4}, pr)
+		defer eng.Close()
+		return eng.RunUntil(1<<20, pr.Done)
+	})
+}
+
+// BenchmarkEngine_StreamCSR_GNP100k isolates the streaming graph
+// build (no Builder maps: degree pass + fill pass + per-row dedup) —
+// the construction half of every E19 cell.
+func BenchmarkEngine_StreamCSR_GNP100k(b *testing.B) {
+	const n = 100_000
+	for i := 0; i < b.N; i++ {
+		g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
+		if g.N() != n {
+			b.Fatal("bad graph")
+		}
+	}
 }
 
 // BenchmarkRunner compares the experiment orchestrator at different

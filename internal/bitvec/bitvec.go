@@ -71,6 +71,23 @@ func (v Vec) Zero() {
 	}
 }
 
+// Ones sets every bit in place (no allocation), preserving the
+// tail-zero invariant of the last word.
+func (v Vec) Ones() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.trim()
+}
+
+// Words exposes the backing word storage: bit j of word i is bit
+// 64·i+j of the vector, and bits at or beyond Len in the last word are
+// always zero. Callers may read and write words directly — this is the
+// word-level seam the dense engine's informed/frontier/transmitter
+// bitsets build on — but writes must preserve the tail-zero invariant
+// (use Ones/Zero for whole-vector fills).
+func (v Vec) Words() []uint64 { return v.words }
+
 // IsZero reports whether every bit is 0.
 func (v Vec) IsZero() bool {
 	for _, w := range v.words {

@@ -1,0 +1,46 @@
+package bitvec
+
+import "testing"
+
+// TestWordsAliasing pins the word-level seam: Words aliases the backing
+// storage (writes through it are visible to Get) with the documented
+// bit layout (bit j of word i is bit 64·i+j).
+func TestWordsAliasing(t *testing.T) {
+	v := New(130)
+	w := v.Words()
+	if len(w) != 3 {
+		t.Fatalf("Words() length = %d, want 3", len(w))
+	}
+	w[1] = 1 << 5
+	if !v.Get(64 + 5) {
+		t.Fatal("word write not visible through Get")
+	}
+	v.Set(129)
+	if w[2] != 1<<1 {
+		t.Fatalf("bit 129 not at word 2 bit 1: words[2] = %#x", w[2])
+	}
+}
+
+// TestOnes pins the all-set fill and its tail-zero invariant: every bit
+// below Len is set, none above it, so PopCount and word-level scans
+// agree.
+func TestOnes(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 256} {
+		v := New(n)
+		v.Ones()
+		if got := v.PopCount(); got != n {
+			t.Fatalf("n=%d: PopCount after Ones = %d", n, got)
+		}
+		if n%64 != 0 && n > 0 {
+			last := v.Words()[len(v.Words())-1]
+			if last != (1<<(uint(n)%64))-1 {
+				t.Fatalf("n=%d: tail bits not trimmed: %#x", n, last)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !v.Get(i) {
+				t.Fatalf("n=%d: bit %d not set", n, i)
+			}
+		}
+	}
+}

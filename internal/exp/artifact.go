@@ -18,6 +18,8 @@ type CellRecord struct {
 	Value      float64 `json:"value,omitempty"`
 	Dropped    int64   `json:"dropped,omitempty"`
 	Jammed     int64   `json:"jammed,omitempty"`
+	MemBytes   int64   `json:"mem_bytes,omitempty"`
+	PeakRSS    int64   `json:"peak_rss_bytes,omitempty"`
 	Error      string  `json:"error,omitempty"`
 	WallMicros int64   `json:"wall_us"`
 }
@@ -72,6 +74,8 @@ func (a *Artifact) Add(p *Plan, tb *stats.Table, results []Result, wall time.Dur
 			Value:      r.Value,
 			Dropped:    r.Dropped,
 			Jammed:     r.Jammed,
+			MemBytes:   r.MemBytes,
+			PeakRSS:    r.PeakRSS,
 			Error:      r.Err,
 			WallMicros: r.Wall.Microseconds(),
 		}
@@ -85,9 +89,10 @@ func (a *Artifact) JSON() ([]byte, error) {
 	return json.MarshalIndent(a, "", "  ")
 }
 
-// Canonical returns a deep copy with every wall-clock field zeroed —
-// the byte-comparable form used by determinism tests (wall times are
-// the only nondeterministic artifact content).
+// Canonical returns a deep copy with every wall-clock and memory
+// measurement zeroed — the byte-comparable form used by determinism
+// tests (wall times and the mem_bytes / peak_rss_bytes capacity
+// metrics are the only nondeterministic artifact content).
 func (a *Artifact) Canonical() *Artifact {
 	c := *a
 	c.WallMicros = 0
@@ -98,6 +103,8 @@ func (a *Artifact) Canonical() *Artifact {
 		ce.Cells = make([]CellRecord, len(e.Cells))
 		for j, cell := range e.Cells {
 			cell.WallMicros = 0
+			cell.MemBytes = 0
+			cell.PeakRSS = 0
 			ce.Cells[j] = cell
 		}
 		c.Experiments[i] = ce

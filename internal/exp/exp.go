@@ -51,6 +51,14 @@ type Result struct {
 	// observations whose class the channel changed.
 	Dropped int64 `json:"dropped,omitempty"`
 	Jammed  int64 `json:"jammed,omitempty"`
+	// MemBytes is the cell's measured live-heap growth (scale cells:
+	// graph + engine + protocol state), and PeakRSS the process peak
+	// resident set sampled after the run. Both are environment-dependent
+	// measurements, not reproducible outputs: they ride the artifact for
+	// capacity planning and are zeroed by Canonical alongside the wall
+	// clocks.
+	MemBytes int64 `json:"mem_bytes,omitempty"`
+	PeakRSS  int64 `json:"peak_rss_bytes,omitempty"`
 	// Err is set when the cell timed out or panicked.
 	Err string `json:"error,omitempty"`
 	// Wall is the cell's wall-clock execution time.

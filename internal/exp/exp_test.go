@@ -137,6 +137,35 @@ func TestArtifactCanonicalZeroesWall(t *testing.T) {
 	}
 }
 
+// TestArtifactCanonicalZeroesMem pins that the capacity metrics
+// (mem_bytes, peak_rss_bytes) survive into the artifact but vanish
+// from its canonical form — they are environment measurements, not
+// reproducible outputs.
+func TestArtifactCanonicalZeroesMem(t *testing.T) {
+	p := &Plan{ID: "M", Cells: []Cell{{
+		Key: Key{Experiment: "M", Config: "c", Seed: 0},
+		Run: func(int64) Result { return Result{MemBytes: 1 << 20, PeakRSS: 1 << 22, Completed: true} },
+	}}}
+	results := (&Runner{Parallelism: 1}).Run(p)
+	a := NewArtifact(1, false, 1)
+	a.Add(p, nil, results, time.Microsecond)
+	blob, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"mem_bytes": 1048576`) ||
+		!strings.Contains(string(blob), `"peak_rss_bytes": 4194304`) {
+		t.Fatalf("artifact lost the memory metrics:\n%s", blob)
+	}
+	canon, err := a.Canonical().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(canon), "mem_bytes") || strings.Contains(string(canon), "peak_rss_bytes") {
+		t.Fatalf("canonical artifact kept memory metrics:\n%s", canon)
+	}
+}
+
 func TestIndex(t *testing.T) {
 	results := []Result{
 		{Key: Key{Experiment: "E", Config: "a", Seed: 0}, Rounds: 10},

@@ -1,0 +1,333 @@
+package graph
+
+// Streaming graph generation: the million-node path. The legacy
+// Builder keeps one map per node (hundreds of bytes of overhead per
+// edge), which is fine at experiment scale (n <= 2^10) and hopeless at
+// n = 10^6. An EdgeStream instead re-emits its edge sequence on
+// demand, and FromStream materializes CSR directly with two counting
+// passes over the stream — no edge list, no maps, no per-node
+// allocation beyond the final arrays.
+//
+// The streaming-CSR contract: for any EdgeStream, FromStream(s) is
+// byte-identical (offsets, edges, name) to feeding the same emissions
+// through a Builder — duplicates dropped, self-loops dropped, rows
+// sorted. Property tests enforce this on randomized small/medium
+// streams, which is what validates the big-n path: the assembly is the
+// same code at every n.
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"radiocast/internal/rng"
+)
+
+// EdgeStream is a deterministic edge generator: Edges must emit the
+// identical sequence on every invocation (FromStream iterates it
+// twice — once to count degrees, once to fill). Emitting a self-loop
+// or a duplicate edge is allowed; both are dropped during assembly,
+// exactly like Builder.AddEdge.
+type EdgeStream interface {
+	// N returns the node count of the generated graph.
+	N() int
+	// Name returns the workload name carried by the built graph.
+	Name() string
+	// Edges calls emit for every (possibly duplicate) undirected edge.
+	Edges(emit func(u, v NodeID))
+}
+
+// FromStream materializes a stream into CSR form: pass one counts
+// degrees, pass two fills the edge array in place, then each row is
+// sorted and deduplicated with forward compaction. Peak memory is the
+// final CSR plus one int32 per node.
+func FromStream(s EdgeStream) *Graph {
+	n := s.N()
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	g := &Graph{n: n, name: s.Name(), offsets: make([]int32, n+1)}
+	deg := make([]int32, n)
+	s.Edges(func(u, v NodeID) {
+		if u == v {
+			return
+		}
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, n))
+		}
+		deg[u]++
+		deg[v]++
+	})
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		g.offsets[v] = total
+		total += deg[v]
+		deg[v] = 0 // reuse as the pass-two fill cursor
+	}
+	g.offsets[n] = total
+	g.edges = make([]NodeID, total)
+	s.Edges(func(u, v NodeID) {
+		if u == v {
+			return
+		}
+		g.edges[g.offsets[u]+deg[u]] = v
+		deg[u]++
+		g.edges[g.offsets[v]+deg[v]] = u
+		deg[v]++
+	})
+	// Sort + dedup each row, compacting forward. The write cursor never
+	// passes the current row's start (compaction only shrinks), so rows
+	// are read before they are overwritten.
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		start, end := g.offsets[v], g.offsets[v+1]
+		row := g.edges[start:end]
+		slices.Sort(row)
+		g.offsets[v] = w
+		prev := NodeID(-1)
+		for _, u := range row {
+			if u == prev {
+				continue
+			}
+			prev = u
+			g.edges[w] = u
+			w++
+		}
+	}
+	g.offsets[n] = w
+	g.edges = g.edges[:w]
+	return g
+}
+
+// BuildConnected materializes a stream and stitches connectivity: if
+// the sample is disconnected, each secondary component (in ascending
+// min-node order) is joined to node 0's component by one random edge,
+// mirroring the legacy stitchConnected semantics at streaming scale
+// (one component scan instead of a BFS per added edge).
+func BuildConnected(s EdgeStream, seed uint64) *Graph {
+	g := FromStream(s)
+	if g.n == 0 {
+		return g
+	}
+	res := BFS(g, 0)
+	if res.Reached == g.n {
+		return g
+	}
+	r := rng.New(seed, 0x737469) // "sti"
+	reached := make([]NodeID, 0, res.Reached)
+	for v := 0; v < g.n; v++ {
+		if res.Dist[v] >= 0 {
+			reached = append(reached, NodeID(v))
+		}
+	}
+	visited := res.Dist // -1 = not yet in node 0's component
+	var queue, extraU, extraV []NodeID
+	for v := 0; v < g.n; v++ {
+		if visited[v] >= 0 {
+			continue
+		}
+		// Collect this component, pick a random member, stitch it to a
+		// random node of the main component.
+		comp := queue[:0]
+		visited[v] = 0
+		comp = append(comp, NodeID(v))
+		for head := 0; head < len(comp); head++ {
+			for _, u := range g.Neighbors(comp[head]) {
+				if visited[u] < 0 {
+					visited[u] = 0
+					comp = append(comp, u)
+				}
+			}
+		}
+		queue = comp
+		extraU = append(extraU, reached[r.Intn(len(reached))])
+		extraV = append(extraV, comp[r.Intn(len(comp))])
+	}
+	return FromStream(&augmentedStream{g: g, extraU: extraU, extraV: extraV})
+}
+
+// augmentedStream re-emits a built graph's edges plus stitch edges.
+type augmentedStream struct {
+	g              *Graph
+	extraU, extraV []NodeID
+}
+
+func (a *augmentedStream) N() int       { return a.g.n }
+func (a *augmentedStream) Name() string { return a.g.name }
+
+func (a *augmentedStream) Edges(emit func(u, v NodeID)) {
+	for v := 0; v < a.g.n; v++ {
+		for _, u := range a.g.Neighbors(NodeID(v)) {
+			if u > NodeID(v) {
+				emit(NodeID(v), u)
+			}
+		}
+	}
+	for i := range a.extraU {
+		emit(a.extraU[i], a.extraV[i])
+	}
+}
+
+// ---------------------------------------------------------------------
+// Streaming generators. Grid/Path/ClusterChain emit exactly the edge
+// sets of their Builder-based counterparts, so their streamed CSR is
+// byte-identical to the legacy graphs. GNP and RandomRegular sample
+// the same distributions but CANNOT replay the legacy draws (GNP
+// consumes Θ(n²) uniforms where the stream skips geometrically), so
+// they are distinct named families.
+
+// pathStream emits the path 0-1-...-n-1.
+type pathStream struct{ n int }
+
+// StreamPath is the streaming counterpart of Path.
+func StreamPath(n int) EdgeStream { return pathStream{n} }
+
+func (s pathStream) N() int       { return s.n }
+func (s pathStream) Name() string { return fmt.Sprintf("path-%d", s.n) }
+
+func (s pathStream) Edges(emit func(u, v NodeID)) {
+	for v := 0; v+1 < s.n; v++ {
+		emit(NodeID(v), NodeID(v+1))
+	}
+}
+
+// gridStream emits the rows x cols grid.
+type gridStream struct{ rows, cols int }
+
+// StreamGrid is the streaming counterpart of Grid.
+func StreamGrid(rows, cols int) EdgeStream { return gridStream{rows, cols} }
+
+func (s gridStream) N() int       { return s.rows * s.cols }
+func (s gridStream) Name() string { return fmt.Sprintf("grid-%dx%d", s.rows, s.cols) }
+
+func (s gridStream) Edges(emit func(u, v NodeID)) {
+	id := func(r, c int) NodeID { return NodeID(r*s.cols + c) }
+	for r := 0; r < s.rows; r++ {
+		for c := 0; c < s.cols; c++ {
+			if c+1 < s.cols {
+				emit(id(r, c), id(r, c+1))
+			}
+			if r+1 < s.rows {
+				emit(id(r, c), id(r+1, c))
+			}
+		}
+	}
+}
+
+// clusterChainStream emits the chain-of-cliques workload.
+type clusterChainStream struct{ chain, clique int }
+
+// StreamClusterChain is the streaming counterpart of ClusterChain.
+func StreamClusterChain(chain, clique int) EdgeStream {
+	return clusterChainStream{chain, clique}
+}
+
+func (s clusterChainStream) N() int { return s.chain * s.clique }
+func (s clusterChainStream) Name() string {
+	return fmt.Sprintf("clusterchain-%dx%d", s.chain, s.clique)
+}
+
+func (s clusterChainStream) Edges(emit func(u, v NodeID)) {
+	id := func(c, i int) NodeID { return NodeID(c*s.clique + i) }
+	for c := 0; c < s.chain; c++ {
+		for i := 0; i < s.clique; i++ {
+			for j := i + 1; j < s.clique; j++ {
+				emit(id(c, i), id(c, j))
+			}
+		}
+		if c+1 < s.chain {
+			emit(id(c, s.clique-1), id(c+1, 0))
+		}
+	}
+}
+
+// gnpStream samples G(n, p) by geometric skipping over the linear
+// index of the u<v pair sequence: instead of one Bernoulli draw per
+// pair (Θ(n²) draws), each uniform draw jumps Geometric(p) pairs ahead
+// to the next edge, so generation is O(m) draws. Identical
+// distribution to GNP, different draw sequence.
+type gnpStream struct {
+	n    int
+	p    float64
+	seed uint64
+}
+
+// StreamGNP is the streaming G(n, p) sampler; wrap it in
+// BuildConnected for a single broadcast domain.
+func StreamGNP(n int, p float64, seed uint64) EdgeStream {
+	return gnpStream{n: n, p: p, seed: seed}
+}
+
+func (s gnpStream) N() int       { return s.n }
+func (s gnpStream) Name() string { return fmt.Sprintf("gnp-%d-p%.4g", s.n, s.p) }
+
+func (s gnpStream) Edges(emit func(u, v NodeID)) {
+	n := int64(s.n)
+	total := n * (n - 1) / 2
+	if total <= 0 || s.p <= 0 {
+		return
+	}
+	if s.p >= 1 {
+		for u := int64(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				emit(NodeID(u), NodeID(v))
+			}
+		}
+		return
+	}
+	r := rng.New(s.seed, 0x6e7073) // "nps"
+	logq := math.Log1p(-s.p)       // ln(1-p) < 0
+	k := int64(-1)                 // linear index of the last emitted pair
+	u := int64(0)
+	base := int64(0) // linear index of pair (u, u+1)
+	for {
+		// skip ~ Geometric(p): non-edges before the next edge. 1-F is
+		// uniform on (0, 1], so Log1p(-F) is finite.
+		skipF := math.Log1p(-r.Float64()) / logq
+		if skipF >= float64(total) {
+			return
+		}
+		k += 1 + int64(skipF)
+		if k >= total {
+			return
+		}
+		for k >= base+(n-1-u) {
+			base += n - 1 - u
+			u++
+		}
+		emit(NodeID(u), NodeID(u+1+(k-base)))
+	}
+}
+
+// regularStream samples the pairing model of RandomRegular without the
+// Builder: n·d stubs, one shuffle, consecutive pairs become edges
+// (self-pairs dropped here, duplicate pairs deduplicated by the CSR
+// assembly). Peak extra memory is the 4·n·d-byte stub array per pass.
+// Identical distribution to RandomRegular, different draw sequence.
+type regularStream struct {
+	n, d int
+	seed uint64
+}
+
+// StreamRandomRegular is the streaming (approximately) d-regular
+// sampler; wrap it in BuildConnected for a single broadcast domain.
+func StreamRandomRegular(n, d int, seed uint64) EdgeStream {
+	return regularStream{n: n, d: d, seed: seed}
+}
+
+func (s regularStream) N() int       { return s.n }
+func (s regularStream) Name() string { return fmt.Sprintf("regular-%d-d%d", s.n, s.d) }
+
+func (s regularStream) Edges(emit func(u, v NodeID)) {
+	r := rng.New(s.seed, 0x727273) // "rrs"
+	stubs := make([]NodeID, 0, s.n*s.d)
+	for v := 0; v < s.n; v++ {
+		for i := 0; i < s.d; i++ {
+			stubs = append(stubs, NodeID(v))
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i+1 < len(stubs); i += 2 {
+		emit(stubs[i], stubs[i+1])
+	}
+}

@@ -117,10 +117,11 @@ func baselineEpochBudget(g *graph.Graph, d int) int64 {
 	return 4 * (int64(d)*l + l*l)
 }
 
-// NewAdaptiveDecay wraps a Decay broadcast stack in the retry layer.
-func NewAdaptiveDecay(g *graph.Graph, chf ChannelFactory, seed uint64) *AdaptiveRunner {
-	r := NewDecayRun(g)
-	d := graph.Eccentricity(g, 0)
+// NewAdaptiveDecay wraps a Decay broadcast stack in the retry layer,
+// broadcasting from source.
+func NewAdaptiveDecay(g *graph.Graph, chf ChannelFactory, seed uint64, source graph.NodeID) *AdaptiveRunner {
+	r := NewDecayRun(g, source)
+	d := graph.Eccentricity(g, source)
 	return &AdaptiveRunner{
 		informed:   make([]bool, g.N()),
 		baseSeed:   seed,
@@ -134,8 +135,8 @@ func NewAdaptiveDecay(g *graph.Graph, chf ChannelFactory, seed uint64) *Adaptive
 
 // NewAdaptiveCR wraps the Czumaj–Rytter-shaped stack in the retry
 // layer.
-func NewAdaptiveCR(g *graph.Graph, d int, chf ChannelFactory, seed uint64) *AdaptiveRunner {
-	r := NewCRRun(g, d)
+func NewAdaptiveCR(g *graph.Graph, d int, chf ChannelFactory, seed uint64, source graph.NodeID) *AdaptiveRunner {
+	r := NewCRRun(g, d, source)
 	return &AdaptiveRunner{
 		informed:   make([]bool, g.N()),
 		baseSeed:   seed,
@@ -149,9 +150,9 @@ func NewAdaptiveCR(g *graph.Graph, d int, chf ChannelFactory, seed uint64) *Adap
 
 // NewAdaptiveGSTSingle wraps the known-topology single-message stack
 // in the retry layer.
-func NewAdaptiveGSTSingle(g *graph.Graph, noising bool, chf ChannelFactory, seed uint64) *AdaptiveRunner {
-	r := NewGSTSingleRun(g, noising)
-	d := graph.Eccentricity(g, 0)
+func NewAdaptiveGSTSingle(g *graph.Graph, noising bool, chf ChannelFactory, seed uint64, source graph.NodeID) *AdaptiveRunner {
+	r := NewGSTSingleRun(g, noising, source)
+	d := graph.Eccentricity(g, source)
 	return &AdaptiveRunner{
 		informed:   make([]bool, g.N()),
 		baseSeed:   seed,
@@ -167,8 +168,8 @@ func NewAdaptiveGSTSingle(g *graph.Graph, noising bool, chf ChannelFactory, seed
 // retry layer: each epoch re-runs wave + build + spread with the
 // informed frontier as sources. The per-epoch cap defaults to the
 // compiled schedule budget.
-func NewAdaptiveTheorem11(g *graph.Graph, cfg rings.Config, chf ChannelFactory, seed uint64) *AdaptiveRunner {
-	r := NewTheorem11RunCfg(g, cfg)
+func NewAdaptiveTheorem11(g *graph.Graph, cfg rings.Config, chf ChannelFactory, seed uint64, source graph.NodeID) *AdaptiveRunner {
+	r := NewTheorem11RunCfg(g, cfg, source)
 	return &AdaptiveRunner{
 		informed: make([]bool, g.N()),
 		baseSeed: seed,
@@ -182,8 +183,8 @@ func NewAdaptiveTheorem11(g *graph.Graph, cfg rings.Config, chf ChannelFactory, 
 // NewAdaptiveTheorem13 wraps the full Theorem 1.3 pipeline in the
 // retry layer: a node that decoded all k messages re-runs as an
 // additional source with the identical payload set.
-func NewAdaptiveTheorem13(g *graph.Graph, cfg rings.Config, chf ChannelFactory, seed uint64) *AdaptiveRunner {
-	r := NewTheorem13RunCfg(g, cfg)
+func NewAdaptiveTheorem13(g *graph.Graph, cfg rings.Config, chf ChannelFactory, seed uint64, source graph.NodeID) *AdaptiveRunner {
+	r := NewTheorem13RunCfg(g, cfg, source)
 	return &AdaptiveRunner{
 		informed: make([]bool, g.N()),
 		baseSeed: seed,

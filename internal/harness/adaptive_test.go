@@ -19,8 +19,8 @@ func TestAdaptiveEpochZeroMatchesOneShot(t *testing.T) {
 	d := graph.Eccentricity(g, 0)
 	cfg := rings.DefaultConfig(g.N(), d, 0, 1)
 
-	want := RunTheorem11OnCfg(g, cfg, nil, 5)
-	a := NewAdaptiveTheorem11(g, cfg, nil, 5)
+	want := RunTheorem11OnCfg(g, cfg, nil, 5, 0)
+	a := NewAdaptiveTheorem11(g, cfg, nil, 5, 0)
 	out := adapt.Run(a, adapt.Policy{})
 	if !out.Completed || out.Epochs != 1 {
 		t.Fatalf("ideal-channel adaptive run: %+v, want completion in one epoch", out)
@@ -31,7 +31,7 @@ func TestAdaptiveEpochZeroMatchesOneShot(t *testing.T) {
 	}
 
 	rounds, ok, st := RunDecayOn(g, nil, 5, 1<<20)
-	ad := NewAdaptiveDecay(g, nil, 5)
+	ad := NewAdaptiveDecay(g, nil, 5, 0)
 	dout := adapt.Run(ad, adapt.Policy{})
 	if !dout.Completed || dout.Epochs != 1 || dout.Rounds != rounds || dout.Stats != st || !ok {
 		t.Fatalf("adaptive decay epoch 0 diverged: %+v vs %d rounds %+v", dout, rounds, st)
@@ -46,7 +46,7 @@ func TestAdaptiveDeterminism(t *testing.T) {
 	d := graph.Eccentricity(g, 0)
 	run := func(seed uint64) adapt.Outcome {
 		chf := EpochChannel(channel.NewErasure(0.3, rng.Mix(seed, 0xe13)))
-		a := NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), chf, seed)
+		a := NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), chf, seed, 0)
 		return adapt.Run(a, adapt.Policy{MaxEpochs: adaptMaxEpochs})
 	}
 	a, b := run(1), run(1)
@@ -74,11 +74,11 @@ func TestAdaptiveRunnerReuse(t *testing.T) {
 	cfg := rings.DefaultConfig(g.N(), d, 0, 1)
 	fresh := func(seed uint64) adapt.Outcome {
 		chf := EpochChannel(channel.NewErasure(0.3, rng.Mix(seed, 0xe13)))
-		return adapt.Run(NewAdaptiveTheorem11(g, cfg, chf, seed), adapt.Policy{MaxEpochs: adaptMaxEpochs})
+		return adapt.Run(NewAdaptiveTheorem11(g, cfg, chf, seed, 0), adapt.Policy{MaxEpochs: adaptMaxEpochs})
 	}
 	// The reused runner needs a per-seed channel too: rebuild the
 	// factory by pointing the runner at a fresh erasure instance.
-	reused := NewAdaptiveTheorem11(g, cfg, nil, 0)
+	reused := NewAdaptiveTheorem11(g, cfg, nil, 0, 0)
 	runReused := func(seed uint64) adapt.Outcome {
 		reused.Reseed(seed)
 		reused.SetChannelFactory(EpochChannel(channel.NewErasure(0.3, rng.Mix(seed, 0xe13))))
@@ -102,14 +102,14 @@ func TestAdaptiveRecoversLateWakers(t *testing.T) {
 	cfg := rings.DefaultConfig(g.N(), d, 0, 1)
 	ch := channel.RandomFaults(g.N(), 0, 0.4, 256, 0, 0, rng.Mix(0, 0xe16))
 
-	oneShot := NewTheorem11RunCfg(g, cfg)
+	oneShot := NewTheorem11RunCfg(g, cfg, 0)
 	_, ok, _ := oneShot.RunFrom(nil, ch, 0, 0)
 	if ok || oneShot.Coverage() == g.N() {
 		t.Fatalf("one-shot run under 40%% late wakeups covered %d/%d; expected a coverage collapse",
 			oneShot.Coverage(), g.N())
 	}
 
-	a := NewAdaptiveTheorem11(g, cfg, EpochChannel(ch), 0)
+	a := NewAdaptiveTheorem11(g, cfg, EpochChannel(ch), 0, 0)
 	out := adapt.Run(a, adapt.Policy{MaxEpochs: adaptMaxEpochs})
 	if !out.Completed || out.Covered != g.N() {
 		t.Fatalf("adaptive run did not recover the late wakers: %+v", out)
@@ -124,7 +124,7 @@ func TestAdaptiveRecoversLateWakers(t *testing.T) {
 // to finish still completes once the horizon doubles past its needs.
 func TestAdaptiveDoublingHorizonDecay(t *testing.T) {
 	g := graph.ClusterChain(4, 6)
-	a := NewAdaptiveDecay(g, nil, 3)
+	a := NewAdaptiveDecay(g, nil, 3, 0)
 	// Start with a horizon far too small for any progress to finish
 	// (ideal-channel Decay needs ~60-100 rounds here).
 	out := adapt.Run(a, adapt.Policy{MaxEpochs: 10, EpochLimit: 8, Doubling: true})

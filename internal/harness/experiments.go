@@ -59,6 +59,7 @@ func All() []Experiment {
 		{"E16", "Robustness: radio-fault sweep (late wakeup / crash)", E16Plan},
 		{"E17", "Adaptive retry: loss sweep with re-layering (Thm 1.1/1.3)", E17Plan},
 		{"E18", "Adaptive retry: late-wakeup re-layering (Thm 1.1)", E18Plan},
+		{"E19", "Million-node engine: dense-engine scale sweep (SoA Decay)", E19Plan},
 		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1Plan},
 		{"A2", "Ablation: RLNC vs store-and-forward routing", A2Plan},
 		{"A3", "Ablation: ring width in Theorem 1.1", A3Plan},

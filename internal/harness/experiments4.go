@@ -123,13 +123,13 @@ func e16Cell(g *graph.Graph, d int, proto, variant string, rate float64, seed ui
 	n := float64(g.N())
 	switch proto {
 	case "decay":
-		r := NewDecayRun(g)
+		r := NewDecayRun(g, 0)
 		rounds, ok, st := r.Run(ch, seed, limit)
 		res := exp.RoundsOn(rounds, ok, st.Dropped, st.Jammed)
 		res.Value = float64(r.Coverage()) / n
 		return res
 	case "cr":
-		r := NewCRRun(g, d)
+		r := NewCRRun(g, d, 0)
 		rounds, ok, st := r.Run(ch, seed, limit)
 		res := exp.RoundsOn(rounds, ok, st.Dropped, st.Jammed)
 		res.Value = float64(r.Coverage()) / n

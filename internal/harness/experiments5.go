@@ -66,9 +66,9 @@ func E17Plan(seeds int, quick bool) *exp.Plan {
 						chf := EpochChannel(lossChannel(loss, seed))
 						var a *AdaptiveRunner
 						if proto == "th11" {
-							a = NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), chf, seed)
+							a = NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), chf, seed, 0)
 						} else {
-							a = NewAdaptiveTheorem13(g, rings.DefaultConfig(g.N(), d, k, 1), chf, seed)
+							a = NewAdaptiveTheorem13(g, rings.DefaultConfig(g.N(), d, k, 1), chf, seed, 0)
 						}
 						out := adapt.Run(a, adapt.Policy{MaxEpochs: adaptMaxEpochs, MaxRounds: limit})
 						res := exp.RoundsOn(out.Rounds, out.Completed, out.Stats.Dropped, out.Stats.Jammed)
@@ -162,13 +162,13 @@ func E18Plan(seeds int, quick bool) *exp.Plan {
 							if limit > 0 && limit < lim {
 								lim = limit
 							}
-							r := NewTheorem11RunCfg(g, rings.DefaultConfig(g.N(), d, 0, 1))
+							r := NewTheorem11RunCfg(g, rings.DefaultConfig(g.N(), d, 0, 1), 0)
 							rounds, ok, st := r.RunFrom(nil, ch, seed, lim)
 							res := exp.RoundsOn(rounds, ok, st.Dropped, st.Jammed)
 							res.Value = float64(r.Coverage()) / n
 							return res
 						}
-						a := NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), EpochChannel(ch), seed)
+						a := NewAdaptiveTheorem11(g, rings.DefaultConfig(g.N(), d, 0, 1), EpochChannel(ch), seed, 0)
 						out := adapt.Run(a, adapt.Policy{MaxEpochs: adaptMaxEpochs, MaxRounds: limit})
 						res := exp.RoundsOn(out.Rounds, out.Completed, out.Stats.Dropped, out.Stats.Jammed)
 						res.Value = float64(out.Covered) / n

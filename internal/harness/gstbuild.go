@@ -115,30 +115,33 @@ func RunGSTBuild(g *graph.Graph, nBound, d, c int, pipelined bool, seed uint64) 
 // and run the standard stacks on it.
 
 // NewTheorem11RunCfg builds the reusable Theorem 1.1 stack on an
-// explicit ring configuration.
-func NewTheorem11RunCfg(g *graph.Graph, cfg rings.Config) *Theorem11Run {
+// explicit ring configuration, broadcasting from source.
+func NewTheorem11RunCfg(g *graph.Graph, cfg rings.Config, source graph.NodeID) *Theorem11Run {
 	n := g.N()
 	r := &Theorem11Run{
 		cfg:    cfg,
 		nw:     radio.New(g, radio.Config{CollisionDetection: true}),
 		protos: make([]*rings.Protocol, n),
+		src:    source,
 	}
 	for v := 0; v < n; v++ {
-		r.protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, nil, rng.New())
+		r.protos[v] = rings.New(cfg, graph.NodeID(v), graph.NodeID(v) == source, nil, rng.New())
 		r.protos[v].SingleContent().DoneSet = &r.ds
 	}
 	return r
 }
 
 // RunTheorem11OnCfg executes the Theorem 1.1 pipeline on an explicit
-// ring configuration over an adversarial channel (nil = ideal).
-func RunTheorem11OnCfg(g *graph.Graph, cfg rings.Config, ch radio.Channel, seed uint64) Theorem11Result {
-	return NewTheorem11RunCfg(g, cfg).Run(ch, seed)
+// ring configuration over an adversarial channel (nil = ideal),
+// broadcasting from source.
+func RunTheorem11OnCfg(g *graph.Graph, cfg rings.Config, ch radio.Channel, seed uint64, source graph.NodeID) Theorem11Result {
+	return NewTheorem11RunCfg(g, cfg, source).Run(ch, seed)
 }
 
 // NewTheorem13RunCfg builds the reusable Theorem 1.3 stack on an
-// explicit ring configuration (cfg.K must be positive).
-func NewTheorem13RunCfg(g *graph.Graph, cfg rings.Config) *Theorem13Run {
+// explicit ring configuration (cfg.K must be positive), with source
+// holding the k messages.
+func NewTheorem13RunCfg(g *graph.Graph, cfg rings.Config, source graph.NodeID) *Theorem13Run {
 	n := g.N()
 	r := &Theorem13Run{
 		cfg:    cfg,
@@ -146,23 +149,25 @@ func NewTheorem13RunCfg(g *graph.Graph, cfg rings.Config) *Theorem13Run {
 		protos: make([]*rings.Protocol, n),
 		msgRng: rng.New(),
 		msgs:   make([]rlnc.Message, cfg.K),
+		src:    source,
 	}
 	for i := range r.msgs {
 		r.msgs[i] = bitvec.New(cfg.PayloadBits)
 	}
 	for v := 0; v < n; v++ {
 		var m []rlnc.Message
-		if v == 0 {
+		if graph.NodeID(v) == source {
 			m = r.msgs
 		}
-		r.protos[v] = rings.New(cfg, graph.NodeID(v), v == 0, m, rng.New())
+		r.protos[v] = rings.New(cfg, graph.NodeID(v), graph.NodeID(v) == source, m, rng.New())
 		r.protos[v].Store().SetOnAllDecodable(r.ds.Tick)
 	}
 	return r
 }
 
 // RunTheorem13OnCfg executes the Theorem 1.3 pipeline on an explicit
-// ring configuration over an adversarial channel (nil = ideal).
-func RunTheorem13OnCfg(g *graph.Graph, cfg rings.Config, ch radio.Channel, seed uint64) (rounds int64, completed bool, st radio.Stats) {
-	return NewTheorem13RunCfg(g, cfg).Run(ch, seed)
+// ring configuration over an adversarial channel (nil = ideal), with
+// source holding the k messages.
+func RunTheorem13OnCfg(g *graph.Graph, cfg rings.Config, ch radio.Channel, seed uint64, source graph.NodeID) (rounds int64, completed bool, st radio.Stats) {
+	return NewTheorem13RunCfg(g, cfg, source).Run(ch, seed)
 }

@@ -21,7 +21,7 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 	seeds := []uint64{0, 1, 2, 5}
 
 	t.Run("decay", func(t *testing.T) {
-		run := NewDecayRun(g)
+		run := NewDecayRun(g, 0)
 		for _, s := range seeds {
 			fr, fok, fst := RunDecayOn(g, nil, s, limit)
 			rr, rok, rst := run.Run(nil, s, limit)
@@ -31,7 +31,7 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 		}
 	})
 	t.Run("decay-lossy", func(t *testing.T) {
-		run := NewDecayRun(g)
+		run := NewDecayRun(g, 0)
 		for _, s := range seeds {
 			fr, fok, fst := RunDecayOn(g, channel.NewErasure(0.2, rng.Mix(s, 1)), s, limit)
 			rr, rok, rst := run.Run(channel.NewErasure(0.2, rng.Mix(s, 1)), s, limit)
@@ -41,7 +41,7 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 		}
 	})
 	t.Run("cr", func(t *testing.T) {
-		run := NewCRRun(g, d)
+		run := NewCRRun(g, d, 0)
 		for _, s := range seeds {
 			fr, fok, _ := RunCROn(g, d, nil, s, limit)
 			rr, rok, _ := run.Run(nil, s, limit)
@@ -51,7 +51,7 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 		}
 	})
 	t.Run("gst-single", func(t *testing.T) {
-		run := NewGSTSingleRun(g, false)
+		run := NewGSTSingleRun(g, false, 0)
 		for _, s := range seeds {
 			fr, fok, _ := RunGSTSingleOn(g, false, nil, s, limit)
 			rr, rok, _ := run.Run(nil, s, limit)
@@ -61,7 +61,7 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 		}
 	})
 	t.Run("gst-multi", func(t *testing.T) {
-		run := NewGSTMultiRun(g, 4)
+		run := NewGSTMultiRun(g, 4, 0)
 		for _, s := range seeds {
 			fr, fok, _ := RunGSTMultiOn(g, 4, nil, s, limit)
 			rr, rok, _ := run.Run(nil, s, limit)
@@ -71,7 +71,7 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 		}
 	})
 	t.Run("theorem11", func(t *testing.T) {
-		run := NewTheorem11Run(g, d, 1)
+		run := NewTheorem11Run(g, d, 1, 0)
 		for _, s := range seeds {
 			fresh := RunTheorem11(g, d, 1, s)
 			reused := run.Run(nil, s)
@@ -117,9 +117,9 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 		if !cfg.Pipelined() {
 			t.Fatal("pipelining did not engage at W=5")
 		}
-		run := NewTheorem11RunCfg(g, cfg)
+		run := NewTheorem11RunCfg(g, cfg, 0)
 		for _, s := range seeds {
-			fresh := RunTheorem11OnCfg(g, cfg, nil, s)
+			fresh := RunTheorem11OnCfg(g, cfg, nil, s, 0)
 			reused := run.Run(nil, s)
 			if fresh != reused {
 				t.Fatalf("seed %d:\nfresh  %+v\nreused %+v", s, fresh, reused)
@@ -127,7 +127,7 @@ func TestReuseContextsMatchFreshRuns(t *testing.T) {
 		}
 	})
 	t.Run("theorem13", func(t *testing.T) {
-		run := NewTheorem13Run(g, d, 4, 1)
+		run := NewTheorem13Run(g, d, 4, 1, 0)
 		for _, s := range seeds {
 			fr, fok, _, fst := RunTheorem13On(g, d, 4, 1, nil, s)
 			rr, rok, rst := run.Run(nil, s)

@@ -43,13 +43,13 @@ import (
 type DoneSet = radio.DoneSet
 
 // epochSource resolves node v's source flag for a run with carryover:
-// a fresh run (informed == nil) broadcasts from node 0; a re-layering
-// epoch broadcasts from every informed radio. All five RunFrom
-// implementations share this so carryover semantics cannot drift
-// between stacks.
-func epochSource(informed []bool, v int) bool {
+// a fresh run (informed == nil) broadcasts from the configured source
+// node; a re-layering epoch broadcasts from every informed radio. All
+// five RunFrom implementations share this so carryover semantics
+// cannot drift between stacks.
+func epochSource(informed []bool, v int, source graph.NodeID) bool {
 	if informed == nil {
-		return v == 0
+		return graph.NodeID(v) == source
 	}
 	return informed[v]
 }
@@ -79,15 +79,16 @@ func initDone(ds *DoneSet, n int, done func(v int) bool) {
 type DecayRun struct {
 	nw     *radio.Network
 	protos []*decay.Broadcast
+	src    graph.NodeID
 	ds     DoneSet
 }
 
-// NewDecayRun builds the reusable stack.
-func NewDecayRun(g *graph.Graph) *DecayRun {
+// NewDecayRun builds the reusable stack broadcasting from source.
+func NewDecayRun(g *graph.Graph, source graph.NodeID) *DecayRun {
 	n := g.N()
-	r := &DecayRun{nw: radio.New(g, radio.Config{}), protos: make([]*decay.Broadcast, n)}
+	r := &DecayRun{nw: radio.New(g, radio.Config{}), protos: make([]*decay.Broadcast, n), src: source}
 	for v := 0; v < n; v++ {
-		r.protos[v] = decay.NewBroadcast(n, v == 0, decay.Message{Data: 1}, rng.New())
+		r.protos[v] = decay.NewBroadcast(n, graph.NodeID(v) == source, decay.Message{Data: 1}, rng.New())
 		r.protos[v].DoneSet = &r.ds
 	}
 	return r
@@ -104,7 +105,8 @@ func (r *DecayRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bool,
 // node v starts holding the message iff informed[v] — the adaptive
 // retry layer's re-layering epoch, where every radio informed by
 // earlier epochs broadcasts as an additional source. informed == nil
-// is a fresh run (source = node 0) and rewinds the channel's per-run
+// is a fresh run (broadcasting from the constructor's source) and
+// rewinds the channel's per-run
 // state; carryover epochs deliberately keep it (an adversary's budget
 // spans the whole retried broadcast).
 func (r *DecayRun) RunFrom(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
@@ -114,7 +116,7 @@ func (r *DecayRun) RunFrom(informed []bool, ch radio.Channel, seed uint64, limit
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	for v, p := range r.protos {
-		src := epochSource(informed, v)
+		src := epochSource(informed, v, r.src)
 		p.Reset(src, decay.Message{Data: 1})
 		rng.Reseed(p.Rng(), seed, 0xd0, uint64(v))
 		r.nw.SetProtocol(graph.NodeID(v), p)
@@ -146,7 +148,7 @@ func RunDecay(g *graph.Graph, seed uint64, limit int64) (int64, bool) {
 // RunDecayOn is RunDecay over an adversarial channel (nil = ideal),
 // additionally returning the engine counters.
 func RunDecayOn(g *graph.Graph, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
-	return NewDecayRun(g).Run(ch, seed, limit)
+	return NewDecayRun(g, 0).Run(ch, seed, limit)
 }
 
 // ---------------------------------------------------------------------
@@ -156,16 +158,18 @@ func RunDecayOn(g *graph.Graph, ch radio.Channel, seed uint64, limit int64) (int
 type CRRun struct {
 	nw     *radio.Network
 	protos []*cr.Broadcast
+	src    graph.NodeID
 	ds     DoneSet
 }
 
-// NewCRRun builds the reusable stack for diameter bound d.
-func NewCRRun(g *graph.Graph, d int) *CRRun {
+// NewCRRun builds the reusable stack for diameter bound d,
+// broadcasting from source.
+func NewCRRun(g *graph.Graph, d int, source graph.NodeID) *CRRun {
 	n := g.N()
 	p := cr.NewParams(n, d)
-	r := &CRRun{nw: radio.New(g, radio.Config{}), protos: make([]*cr.Broadcast, n)}
+	r := &CRRun{nw: radio.New(g, radio.Config{}), protos: make([]*cr.Broadcast, n), src: source}
 	for v := 0; v < n; v++ {
-		r.protos[v] = cr.NewBroadcast(p, v == 0, decay.Message{Data: 1}, rng.New())
+		r.protos[v] = cr.NewBroadcast(p, graph.NodeID(v) == source, decay.Message{Data: 1}, rng.New())
 		r.protos[v].DoneSet = &r.ds
 	}
 	return r
@@ -184,7 +188,7 @@ func (r *CRRun) RunFrom(informed []bool, ch radio.Channel, seed uint64, limit in
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	for v, p := range r.protos {
-		src := epochSource(informed, v)
+		src := epochSource(informed, v, r.src)
 		p.Reset(src, decay.Message{Data: 1})
 		rng.Reseed(p.Rng(), seed, 0xc0, uint64(v))
 		r.nw.SetProtocol(graph.NodeID(v), p)
@@ -213,7 +217,7 @@ func RunCR(g *graph.Graph, d int, seed uint64, limit int64) (int64, bool) {
 
 // RunCROn is RunCR over an adversarial channel (nil = ideal).
 func RunCROn(g *graph.Graph, d int, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
-	return NewCRRun(g, d).Run(ch, seed, limit)
+	return NewCRRun(g, d, 0).Run(ch, seed, limit)
 }
 
 // ---------------------------------------------------------------------
@@ -227,23 +231,26 @@ type GSTSingleRun struct {
 	infos    []mmv.NodeInfo
 	protos   []*mmv.Protocol
 	contents []*mmv.SingleMessage
+	src      graph.NodeID
 	ds       DoneSet
 }
 
 // NewGSTSingleRun builds the reusable stack (noising enables the MMV
-// jamming adversary).
-func NewGSTSingleRun(g *graph.Graph, noising bool) *GSTSingleRun {
+// jamming adversary). The GST is rooted at source, which also holds
+// the message.
+func NewGSTSingleRun(g *graph.Graph, noising bool, source graph.NodeID) *GSTSingleRun {
 	n := g.N()
-	tree := gst.Construct(g, 0)
+	tree := gst.Construct(g, source)
 	s := mmv.NewSchedule(n)
 	r := &GSTSingleRun{
 		nw:       radio.New(g, radio.Config{}),
 		infos:    mmv.InfoFromTree(tree),
 		protos:   make([]*mmv.Protocol, n),
 		contents: make([]*mmv.SingleMessage, n),
+		src:      source,
 	}
 	for v := 0; v < n; v++ {
-		r.contents[v] = mmv.NewSingleMessage(v == 0, decay.Message{Data: 1})
+		r.contents[v] = mmv.NewSingleMessage(graph.NodeID(v) == source, decay.Message{Data: 1})
 		r.contents[v].DoneSet = &r.ds
 		r.protos[v] = mmv.New(s, r.infos[v], r.contents[v], noising, rng.New())
 	}
@@ -266,7 +273,7 @@ func (r *GSTSingleRun) RunFrom(informed []bool, ch radio.Channel, seed uint64, l
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	for v, p := range r.protos {
-		src := epochSource(informed, v)
+		src := epochSource(informed, v, r.src)
 		r.contents[v].Reset(src, decay.Message{Data: 1})
 		p.Rebind(r.infos[v], r.contents[v])
 		rng.Reseed(p.Rng(), seed, 0xe0, uint64(v))
@@ -299,7 +306,7 @@ func RunGSTSingle(g *graph.Graph, noising bool, seed uint64, limit int64) (int64
 // RunGSTSingleOn is RunGSTSingle over an adversarial channel
 // (nil = ideal).
 func RunGSTSingleOn(g *graph.Graph, noising bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
-	return NewGSTSingleRun(g, noising).Run(ch, seed, limit)
+	return NewGSTSingleRun(g, noising, 0).Run(ch, seed, limit)
 }
 
 // ---------------------------------------------------------------------
@@ -323,12 +330,13 @@ type Theorem11Run struct {
 	cfg    rings.Config
 	nw     *radio.Network
 	protos []*rings.Protocol
+	src    graph.NodeID
 	ds     DoneSet
 }
 
-// NewTheorem11Run builds the reusable stack.
-func NewTheorem11Run(g *graph.Graph, d, c int) *Theorem11Run {
-	return NewTheorem11RunCfg(g, rings.DefaultConfig(g.N(), d, 0, c))
+// NewTheorem11Run builds the reusable stack broadcasting from source.
+func NewTheorem11Run(g *graph.Graph, d, c int, source graph.NodeID) *Theorem11Run {
+	return NewTheorem11RunCfg(g, rings.DefaultConfig(g.N(), d, 0, c), source)
 }
 
 // Run executes one seeded run over ch (nil = ideal).
@@ -361,7 +369,7 @@ func (r *Theorem11Run) RunFrom(informed []bool, ch radio.Channel, seed uint64, l
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	for v, p := range r.protos {
-		src := epochSource(informed, v)
+		src := epochSource(informed, v, r.src)
 		p.Reset(src, nil)
 		rng.Reseed(p.Rng(), seed, 0x11, uint64(v))
 		r.nw.SetProtocol(graph.NodeID(v), p)
@@ -394,7 +402,7 @@ func RunTheorem11(g *graph.Graph, d, c int, seed uint64) Theorem11Result {
 // RunTheorem11On is RunTheorem11 over an adversarial channel
 // (nil = ideal).
 func RunTheorem11On(g *graph.Graph, d, c int, ch radio.Channel, seed uint64) Theorem11Result {
-	return NewTheorem11Run(g, d, c).Run(ch, seed)
+	return NewTheorem11Run(g, d, c, 0).Run(ch, seed)
 }
 
 // ---------------------------------------------------------------------
@@ -412,13 +420,15 @@ type GSTMultiRun struct {
 	bufs     []*rlnc.Buffer
 	msgRng   *rand.Rand
 	msgs     []rlnc.Message
+	src      graph.NodeID
 	ds       DoneSet
 }
 
-// NewGSTMultiRun builds the reusable stack for k messages.
-func NewGSTMultiRun(g *graph.Graph, k int) *GSTMultiRun {
+// NewGSTMultiRun builds the reusable stack for k messages. The GST is
+// rooted at source, which holds all k messages.
+func NewGSTMultiRun(g *graph.Graph, k int, source graph.NodeID) *GSTMultiRun {
 	n := g.N()
-	tree := gst.Construct(g, 0)
+	tree := gst.Construct(g, source)
 	s := mmv.NewSchedule(n)
 	r := &GSTMultiRun{
 		nw:       radio.New(g, radio.Config{}),
@@ -428,6 +438,7 @@ func NewGSTMultiRun(g *graph.Graph, k int) *GSTMultiRun {
 		bufs:     make([]*rlnc.Buffer, n),
 		msgRng:   rng.New(),
 		msgs:     make([]rlnc.Message, k),
+		src:      source,
 	}
 	for i := range r.msgs {
 		r.msgs[i] = bitvec.New(gstMultiPayloadBits)
@@ -452,7 +463,7 @@ func (r *GSTMultiRun) Run(ch radio.Channel, seed uint64, limit int64) (int64, bo
 		r.msgs[i].Randomize(r.msgRng.Uint64)
 	}
 	for v, p := range r.protos {
-		if v == 0 {
+		if graph.NodeID(v) == r.src {
 			r.bufs[v].ResetSource(r.msgs)
 		} else {
 			r.bufs[v].Reset()
@@ -492,7 +503,7 @@ func RunGSTMulti(g *graph.Graph, k int, seed uint64, limit int64) (int64, bool) 
 // RunGSTMultiOn is RunGSTMulti over an adversarial channel
 // (nil = ideal).
 func RunGSTMultiOn(g *graph.Graph, k int, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats) {
-	return NewGSTMultiRun(g, k).Run(ch, seed, limit)
+	return NewGSTMultiRun(g, k, 0).Run(ch, seed, limit)
 }
 
 // ---------------------------------------------------------------------
@@ -507,12 +518,13 @@ type Theorem13Run struct {
 	protos []*rings.Protocol
 	msgRng *rand.Rand
 	msgs   []rlnc.Message
+	src    graph.NodeID
 	ds     DoneSet
 }
 
-// NewTheorem13Run builds the reusable stack.
-func NewTheorem13Run(g *graph.Graph, d, k, c int) *Theorem13Run {
-	return NewTheorem13RunCfg(g, rings.DefaultConfig(g.N(), d, k, c))
+// NewTheorem13Run builds the reusable stack broadcasting from source.
+func NewTheorem13Run(g *graph.Graph, d, k, c int, source graph.NodeID) *Theorem13Run {
+	return NewTheorem13RunCfg(g, rings.DefaultConfig(g.N(), d, k, c), source)
 }
 
 // Config returns the compiled ring configuration.
@@ -541,7 +553,7 @@ func (r *Theorem13Run) RunFrom(informed []bool, ch radio.Channel, seed uint64, l
 	r.nw.Reset()
 	r.nw.SetChannel(ch)
 	for v, p := range r.protos {
-		src := epochSource(informed, v)
+		src := epochSource(informed, v, r.src)
 		var m []rlnc.Message
 		if src {
 			m = r.msgs
@@ -579,7 +591,7 @@ func RunTheorem13(g *graph.Graph, d, k, c int, seed uint64) (rounds int64, compl
 // RunTheorem13On is RunTheorem13 over an adversarial channel
 // (nil = ideal).
 func RunTheorem13On(g *graph.Graph, d, k, c int, ch radio.Channel, seed uint64) (rounds int64, completed bool, cfg rings.Config, st radio.Stats) {
-	r := NewTheorem13Run(g, d, k, c)
+	r := NewTheorem13Run(g, d, k, c, 0)
 	rounds, completed, st = r.Run(ch, seed)
 	return rounds, completed, r.cfg, st
 }

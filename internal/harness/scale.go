@@ -1,0 +1,224 @@
+package harness
+
+// E19: the million-node scale sweep. Every cell drives the dense
+// engine (radio.Dense + decay.Dense — structure-of-arrays node state,
+// bitset frontiers) over a streaming-generated CSR workload
+// (graph.FromStream / graph.BuildConnected: no Builder maps, the edge
+// stream lands directly in the final arrays), optionally with the
+// deterministic intra-run parallel delivery pass (radio.Config.Workers
+// — byte-identical output at any worker count, so the table below is
+// CI-comparable across worker settings).
+//
+// The rendered table holds only reproducible outputs (rounds,
+// deliveries, completion). The capacity metrics — live-heap growth of
+// graph + engine + protocol state, process peak RSS, and per-cell wall
+// time for rounds/sec — ride the JSON artifact (mem_bytes,
+// peak_rss_bytes, wall_us per cell; radiobench -json, the CI
+// BENCH_scale.json artifact) and are zeroed by exp.Artifact.Canonical.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"radiocast/internal/decay"
+	"radiocast/internal/exp"
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+	"radiocast/internal/sched"
+	"radiocast/internal/stats"
+)
+
+// E19MaxN caps the sweep's largest workload size. The default keeps
+// test-suite and CI runs to n = 10^5; the acceptance run raises it to
+// 10^6 (cmd/radiobench -scalemaxn).
+var E19MaxN = 100_000
+
+// E19Workers is the dense engine's worker count for every E19 cell;
+// 0 resolves to min(8, GOMAXPROCS). Results are byte-identical at any
+// setting (cmd/radiobench -scaleworkers).
+var E19Workers = 0
+
+// e19Seed keys the GNP workload's edge stream; fixed so every cell of
+// a sweep measures the same graph.
+const e19Seed = 0xe19
+
+// e19Workloads orders the workload columns.
+var e19Workloads = []string{"path", "grid", "gnp", "cluster"}
+
+// e19PathCap bounds the path workload: a 10^6-node path needs ~10^7
+// Decay rounds (D log n), which is a different experiment. The other
+// workloads have sublinear diameter and scale to 10^6.
+const e19PathCap = 10_000
+
+func e19Workers() int {
+	if E19Workers > 0 {
+		return E19Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// e19Graph builds one workload at size ~n through the streaming
+// generators. Actual node counts are the generator's (grid and cluster
+// round n to their factor shapes).
+func e19Graph(workload string, n int) *graph.Graph {
+	switch workload {
+	case "path":
+		return graph.FromStream(graph.StreamPath(n))
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return graph.FromStream(graph.StreamGrid(side, side))
+	case "gnp":
+		return graph.BuildConnected(graph.StreamGNP(n, 16/float64(n), e19Seed), e19Seed)
+	default: // "cluster"
+		size := int(math.Sqrt(float64(n)))
+		return graph.FromStream(graph.StreamClusterChain(n/size, size))
+	}
+}
+
+// e19Rounds estimates a workload's Decay completion rounds (cost
+// model only): D log n + log^2 n on the generator's diameter shape.
+func e19Rounds(workload string, n int) int64 {
+	l := int64(sched.LogN(n))
+	var d int64
+	switch workload {
+	case "path":
+		d = int64(n)
+	case "grid", "cluster":
+		d = 2 * int64(math.Sqrt(float64(n)))
+	default: // gnp, p = 16/n
+		d = l
+	}
+	return d*l + l*l
+}
+
+// peakRSSBytes reads the process high-water resident set (VmHWM) from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func peakRSSBytes() int64 {
+	blob, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// liveHeap returns the collected live-heap size.
+func liveHeap() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// E19Plan is the scale sweep: n = 10^3 .. E19MaxN per workload (path
+// capped at 10^4), one dense Decay broadcast per (workload, n, seed).
+func E19Plan(seeds int, quick bool) *exp.Plan {
+	sizes := []int{1_000, 10_000, 100_000, 1_000_000}
+	if quick {
+		sizes = []int{1_000, 10_000}
+	}
+	maxN := E19MaxN
+	workers := e19Workers()
+	p := &exp.Plan{ID: "E19", Title: "Million-node engine: dense-engine scale sweep (SoA Decay)"}
+	type cfg struct {
+		workload string
+		n        int
+	}
+	var cfgs []cfg
+	for _, n := range sizes {
+		if n > maxN {
+			continue
+		}
+		for _, w := range e19Workloads {
+			if w == "path" && n > e19PathCap {
+				continue
+			}
+			cfgs = append(cfgs, cfg{w, n})
+		}
+	}
+	for _, c := range cfgs {
+		for s := 0; s < seeds; s++ {
+			c, seed := c, uint64(s)
+			p.Cells = append(p.Cells, exp.Cell{
+				Key:        exp.Key{Experiment: "E19", Config: fmt.Sprintf("%s/n=%d", c.workload, c.n), Seed: seed},
+				RoundLimit: broadcastLimit,
+				Cost:       budgetCost(c.n, e19Rounds(c.workload, c.n)),
+				Run: func(limit int64) exp.Result {
+					// The heap delta brackets everything the cell allocates
+					// and keeps live: CSR graph, engine buffers, SoA protocol
+					// state. Concurrent cells can perturb it — it is a
+					// capacity figure, not a reproducible output.
+					before := liveHeap()
+					g := e19Graph(c.workload, c.n)
+					pr := decay.NewDense(g, seed, 0)
+					eng := radio.NewDense(g, radio.Config{Workers: workers}, pr)
+					defer eng.Close()
+					rounds, ok := eng.RunUntil(limit, pr.Done)
+					st := eng.Stats()
+					after := liveHeap()
+					res := exp.Rounds(rounds, ok)
+					res.Value = float64(st.Deliveries)
+					if d := after - before; d > 0 {
+						res.MemBytes = d
+					}
+					res.PeakRSS = peakRSSBytes()
+					return res
+				},
+			})
+		}
+	}
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			// The worker count stays out of the title: the rendered table
+			// must be byte-identical at any -scaleworkers setting (CI
+			// compares the sequential and parallel sweeps with cmp).
+			Title: "E19: dense-engine scale sweep (SoA Decay, streaming CSR)",
+			Comment: "one dense Decay broadcast per cell; rounds and deliveries are byte-identical at any worker\n" +
+				"count (the deterministic parallel delivery pass); bytes/node, peak RSS, and rounds/sec ride the\n" +
+				"JSON artifact only (mem_bytes, peak_rss_bytes, wall_us) — they are machine measurements",
+			Header: []string{"workload", "n", "ok", "rounds", "deliveries"},
+		}
+		for _, c := range cfgs {
+			var rs, ds []float64
+			okCount := 0
+			for s := 0; s < seeds; s++ {
+				r := idx[exp.Key{Experiment: "E19", Config: fmt.Sprintf("%s/n=%d", c.workload, c.n), Seed: uint64(s)}]
+				if r.Completed {
+					okCount++
+					rs = append(rs, float64(r.Rounds))
+					ds = append(ds, r.Value)
+				}
+			}
+			t.AddRow(c.workload, fmt.Sprintf("%d", c.n),
+				fmt.Sprintf("%d/%d", okCount, seeds),
+				stats.F(meanOrDash(rs)), stats.F(meanOrDash(ds)))
+		}
+		return t
+	}
+	return p
+}
+
+// E19ScaleSweep runs E19 sequentially (compat wrapper).
+func E19ScaleSweep(seeds int, quick bool) *stats.Table { return runPlan(E19Plan(seeds, quick)) }

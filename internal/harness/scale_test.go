@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"radiocast/internal/exp"
+)
+
+// TestE19QuickCompletes runs the quick scale sweep (n up to 10^4) and
+// requires every cell to finish its broadcast and carry the capacity
+// metrics.
+func TestE19QuickCompletes(t *testing.T) {
+	p := E19Plan(1, true)
+	results := (&exp.Runner{Parallelism: 1}).Run(p)
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("%s: %s", r.Key, r.Err)
+		}
+		if !r.Completed {
+			t.Errorf("%s: broadcast incomplete after %d rounds", r.Key, r.Rounds)
+		}
+		if r.MemBytes < 0 || r.Value <= 0 {
+			t.Errorf("%s: implausible metrics mem=%d deliveries=%g", r.Key, r.MemBytes, r.Value)
+		}
+	}
+	if tb := p.Assemble(results); len(tb.Rows) == 0 {
+		t.Fatal("E19 produced no rows")
+	}
+}
+
+// TestE19WorkerInvariance pins the sweep-level face of the dense
+// engine's determinism contract: the E19 table (and the canonical
+// artifact) is byte-identical whether the engine runs sequentially or
+// with the parallel delivery pass.
+func TestE19WorkerInvariance(t *testing.T) {
+	defer func(w int) { E19Workers = w }(E19Workers)
+	run := func(workers int) string {
+		E19Workers = workers
+		p := E19Plan(1, true)
+		tb, _ := (&exp.Runner{Parallelism: 1}).RunTable(p)
+		return tb.String()
+	}
+	seq := run(1)
+	par := run(4)
+	if seq != par {
+		t.Fatalf("E19 tables diverge across worker counts:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
+	}
+}

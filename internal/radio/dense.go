@@ -1,0 +1,563 @@
+package radio
+
+// The dense engine: the million-node counterpart of Network.
+//
+// Network drives one Protocol object per node through interface calls —
+// ~100 bytes and several indirections per node, which is the right
+// shape for the heterogeneous multi-message stacks (GST rings, coding
+// buffers) but caps practical scale around 10^4..10^5 nodes. Dense
+// inverts the ownership: a single DenseProtocol owns ALL node state in
+// structure-of-arrays form (bitsets for membership, flat arrays for
+// per-node scalars) and the engine talks to it in word-granular bulk
+// operations. One round costs O(frontier + deliveries) with zero
+// steady-state allocations, and the delivery pass parallelizes across
+// cores while staying byte-identical to sequential execution.
+//
+// Semantics match Network's round structure — a listener receives iff
+// exactly one neighbor's transmission survives the channel, CD turns
+// >=2 survivors into the ⊤ symbol, transmitters never receive — with
+// the deviations documented on Dense (polling, Polls/ActiveRounds
+// accounting, packet-size checks at delivery).
+//
+// Determinism at any worker count. Every pass either partitions
+// disjoint state or accumulates commutative effects that are merged in
+// a fixed order:
+//
+//   - Collect: partitions are word-aligned node ranges; each writes
+//     only its own transmitter-bitset words and its own list.
+//   - The round's transmitter list is the in-order concatenation of the
+//     per-partition lists — ascending node order regardless of the
+//     partition count — and source suppression walks it sequentially.
+//   - Scatter: workers take contiguous chunks of that list and route
+//     each surviving (transmitter, listener) hit into a bucket indexed
+//     by (scatter worker, listener's owner partition). Channel DropLink
+//     draws are keyed by (round, link), so evaluation order is
+//     irrelevant (see Config.Workers for the concurrency contract).
+//   - Merge: each owner folds its buckets in scatter-worker order,
+//     which reconstructs ascending transmitter order. Per-listener
+//     counts are sums; the recorded sender is only consulted when the
+//     final count is 1, in which case it is the unique contributor.
+//   - Deliver/Observe touch disjoint per-listener state by contract,
+//     and per-partition stats are summed in partition order.
+//
+// The parallel gate (previous round's transmitter count >= denseParGate)
+// depends only on deterministic state, so the sequential fallback — the
+// exact same partition loops, run inline — kicks in at the same rounds
+// for every worker count.
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"radiocast/internal/graph"
+)
+
+// DenseProtocol is the bulk, structure-of-arrays counterpart of
+// Protocol: one value owns the state of every node. The engine calls,
+// per round r:
+//
+//  1. ListenWords(r) once, then AppendTransmitters(r, lo, hi, dst) for
+//     each partition — concurrently when Config.Workers > 1, so it must
+//     not touch shared mutable state beyond the [lo, hi) range's.
+//  2. Packet(r, v) for transmitters whose packet is actually delivered
+//     (unlike Network, undelivered packets are never materialized).
+//  3. Deliver(r, v, out) for every listener with an observation —
+//     possibly concurrently for different v, in no particular order.
+//  4. EndRound(r) once, sequentially: apply the round's accumulated
+//     effects (promote newly informed nodes, advance schedules).
+type DenseProtocol interface {
+	// AppendTransmitters appends the transmitting nodes in [lo, hi) for
+	// round r to dst in ascending order and returns the extended slice.
+	// lo is word-aligned (multiple of 64); hi is word-aligned or n.
+	AppendTransmitters(r int64, lo, hi NodeID, dst []NodeID) []NodeID
+	// ListenWords returns the listener bitset for round r as 64-bit
+	// words (bit j of word i = node 64i+j), ⌈n/64⌉ words with zero tail
+	// bits. The engine reads it throughout the round and additionally
+	// masks out transmitters, so the protocol may report "every
+	// non-informed node" style supersets cheaply.
+	ListenWords(r int64) []uint64
+	// Packet returns what node v transmits in round r. Called only for
+	// v that AppendTransmitters reported this round; must be stable
+	// within the round and is called concurrently.
+	Packet(r int64, v NodeID) Packet
+	// Deliver hands listener v its observation for round r (a packet,
+	// or ⊤ under collision detection). Calls for distinct v may be
+	// concurrent and in any order; the effect must be confined to
+	// v-local state (per-node array slots, v's own bitset bit) and be
+	// independent of delivery order within the round. Cross-node
+	// effects belong in EndRound.
+	Deliver(r int64, v NodeID, out Outcome)
+	// EndRound runs sequentially after all deliveries of round r.
+	EndRound(r int64)
+}
+
+// denseParGate is the minimum previous-round transmitter count at
+// which a multi-worker Dense actually fans out; below it the partition
+// loops run inline (identical results, no synchronization cost).
+const denseParGate = 64
+
+// hearEvt is one surviving transmission reaching one listener.
+type hearEvt struct {
+	to, from NodeID
+}
+
+// partStats accumulates one partition's (or scatter worker's) counter
+// deltas for the current round; summed into Stats in index order.
+type partStats struct {
+	deliveries int64
+	collisions int64
+	dropped    int64
+	jammed     int64
+}
+
+// Dense runs a DenseProtocol over a graph. Create with NewDense, drive
+// with Step/Run/RunUntil, and Close when done (Close stops the worker
+// pool; it is a no-op for Workers <= 1).
+//
+// Documented deviations from Network: every node is polled every round
+// (no sleeping — the SoA passes make polling O(words), so ActiveRounds
+// counts rounds with at least one transmitter and Polls stays 0);
+// Config.Tracer is ignored; MaxPacketBits is enforced on delivered
+// packets rather than at transmission.
+type Dense struct {
+	g     *graph.Graph
+	cfg   Config
+	proto DenseProtocol
+
+	offsets []int32
+	edges   []NodeID
+	n       int
+	nWords  int
+
+	parts        int // partition/worker count (>= 1)
+	wordsPerPart int // words per partition (last may be short)
+
+	round  int64
+	stats  Stats
+	lastTx int // previous round's transmitter count (parallel gate)
+
+	txWords   []uint64   // current round's transmitter bitset
+	txLists   [][]NodeID // per-partition transmitter lists (ascending)
+	allTx     []NodeID   // concatenation, ascending node order
+	keptTx    []NodeID   // channel path: survivors of source suppression
+	listenW   []uint64   // this round's listener words (protocol-owned)
+	effTx     []NodeID   // scatter input: allTx or keptTx
+	hearStamp []int64    // round-stamped per-listener scratch
+	hearCount []int32
+	hearFrom  []NodeID
+	buckets   [][]hearEvt // [scatterWorker*parts + ownerPartition]
+	touched   [][]NodeID  // per-owner listeners first heard this round
+	perPart   []partStats
+
+	// Worker pool: spawned lazily on the first parallel round. Phase
+	// dispatch is one channel send per worker per phase and one
+	// WaitGroup wait — no per-round allocations.
+	curRound int64
+	phase    int
+	work     []chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+	closed   bool
+}
+
+const (
+	phaseCollect = iota
+	phaseScatter
+	phaseMerge   // ideal path: merge buckets + deliver
+	phaseCount   // adverse path: merge buckets only
+	phaseObserve // adverse path: channel-mediated sweep of all listeners
+)
+
+// NewDense creates a dense engine for proto over g. cfg.Workers > 1
+// enables the partitioned parallel passes (byte-identical results at
+// any count); cfg.Tracer is ignored.
+func NewDense(g *graph.Graph, cfg Config, proto DenseProtocol) *Dense {
+	n := g.N()
+	nWords := (n + 63) / 64
+	parts := cfg.Workers
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > nWords && nWords > 0 {
+		parts = nWords // a partition needs at least one word
+	}
+	if nWords == 0 {
+		parts = 1
+	}
+	offsets, edges := g.CSR()
+	d := &Dense{
+		g:            g,
+		cfg:          cfg,
+		proto:        proto,
+		offsets:      offsets,
+		edges:        edges,
+		n:            n,
+		nWords:       nWords,
+		parts:        parts,
+		wordsPerPart: (nWords + parts - 1) / parts,
+		txWords:      make([]uint64, nWords),
+		txLists:      make([][]NodeID, parts),
+		hearStamp:    make([]int64, n),
+		hearCount:    make([]int32, n),
+		hearFrom:     make([]NodeID, n),
+		buckets:      make([][]hearEvt, parts*parts),
+		touched:      make([][]NodeID, parts),
+		perPart:      make([]partStats, parts),
+	}
+	for i := range d.hearStamp {
+		d.hearStamp[i] = -1
+	}
+	return d
+}
+
+// Close stops the worker pool. The engine must not be stepped after
+// Close. Safe to call multiple times and on never-parallel engines.
+func (d *Dense) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	if d.started {
+		for _, c := range d.work {
+			if c != nil { // slot 0 runs on the stepping goroutine
+				close(c)
+			}
+		}
+	}
+}
+
+// Graph returns the underlying graph.
+func (d *Dense) Graph() *graph.Graph { return d.g }
+
+// Round returns the current round number (the next round to execute).
+func (d *Dense) Round() int64 { return d.round }
+
+// Stats returns a copy of the run counters.
+func (d *Dense) Stats() Stats { return d.stats }
+
+// partNodeRange returns partition p's node range [lo, hi).
+func (d *Dense) partNodeRange(p int) (NodeID, NodeID) {
+	lo := p * d.wordsPerPart * 64
+	hi := (p + 1) * d.wordsPerPart * 64
+	if lo > d.n {
+		lo = d.n
+	}
+	if hi > d.n {
+		hi = d.n
+	}
+	return NodeID(lo), NodeID(hi)
+}
+
+// owner returns the partition owning node u's word.
+func (d *Dense) owner(u NodeID) int { return int(u>>6) / d.wordsPerPart }
+
+// evenChunk returns chunk w of total split into parts contiguous
+// near-equal pieces.
+func evenChunk(total, parts, w int) (int, int) {
+	lo := total * w / parts
+	hi := total * (w + 1) / parts
+	return lo, hi
+}
+
+// ensureWorkers lazily spawns the pool (parts-1 goroutines; chunk 0 of
+// every phase runs on the stepping goroutine).
+func (d *Dense) ensureWorkers() {
+	if d.started {
+		return
+	}
+	d.started = true
+	d.work = make([]chan struct{}, d.parts)
+	for w := 1; w < d.parts; w++ {
+		c := make(chan struct{}, 1)
+		d.work[w] = c
+		go func(w int, c chan struct{}) {
+			for range c {
+				d.exec(d.phase, d.curRound, w)
+				d.wg.Done()
+			}
+		}(w, c)
+	}
+}
+
+// runPhase executes one phase across all partitions — fanned out when
+// parallel, inline otherwise. The same per-partition code runs either
+// way, which is what makes the gate invisible in the results.
+func (d *Dense) runPhase(phase int, r int64, parallel bool) {
+	if parallel && d.parts > 1 {
+		d.ensureWorkers()
+		d.phase = phase
+		d.curRound = r
+		d.wg.Add(d.parts - 1)
+		for w := 1; w < d.parts; w++ {
+			d.work[w] <- struct{}{}
+		}
+		d.exec(phase, r, 0)
+		d.wg.Wait()
+		return
+	}
+	for w := 0; w < d.parts; w++ {
+		d.exec(phase, r, w)
+	}
+}
+
+func (d *Dense) exec(phase int, r int64, w int) {
+	switch phase {
+	case phaseCollect:
+		d.execCollect(r, w)
+	case phaseScatter:
+		d.execScatter(r, w)
+	case phaseMerge:
+		d.execMerge(r, w, true)
+	case phaseCount:
+		d.execMerge(r, w, false)
+	case phaseObserve:
+		d.execObserve(r, w)
+	}
+}
+
+// execCollect clears partition w's previous transmitter bits and
+// gathers this round's transmitters for its node range.
+func (d *Dense) execCollect(r int64, w int) {
+	lst := d.txLists[w]
+	for _, v := range lst {
+		d.txWords[v>>6] &^= 1 << (uint(v) & 63)
+	}
+	lo, hi := d.partNodeRange(w)
+	lst = d.proto.AppendTransmitters(r, lo, hi, lst[:0])
+	prev := lo - 1
+	for _, v := range lst {
+		if v <= prev || v >= hi {
+			panic(fmt.Sprintf("radio: AppendTransmitters violated order/range: %d after %d in [%d,%d)",
+				v, prev, lo, hi))
+		}
+		prev = v
+		d.txWords[v>>6] |= 1 << (uint(v) & 63)
+	}
+	d.txLists[w] = lst
+}
+
+// execScatter routes chunk w of the surviving transmitter list's
+// neighborhood hits into per-owner buckets.
+func (d *Dense) execScatter(r int64, w int) {
+	ch := d.cfg.Channel
+	st := &d.perPart[w]
+	lo, hi := evenChunk(len(d.effTx), d.parts, w)
+	base := w * d.parts
+	for _, t := range d.effTx[lo:hi] {
+		for _, u := range d.edges[d.offsets[t]:d.offsets[t+1]] {
+			if (d.listenW[u>>6]&^d.txWords[u>>6])&(1<<(uint(u)&63)) == 0 {
+				continue // transmitting or not listening
+			}
+			if ch != nil && ch.DropLink(r, t, u) {
+				st.dropped++
+				continue
+			}
+			o := d.owner(u)
+			d.buckets[base+o] = append(d.buckets[base+o], hearEvt{to: u, from: t})
+		}
+	}
+}
+
+// execMerge folds owner partition w's buckets (in scatter-worker
+// order, reconstructing ascending transmitter order) into the stamped
+// per-listener count/sender scratch. On the ideal path (deliver=true)
+// it then resolves each first-touched listener: unique sender →
+// packet, >=2 with CD → ⊤.
+func (d *Dense) execMerge(r int64, w int, deliver bool) {
+	touched := d.touched[w][:0]
+	for sw := 0; sw < d.parts; sw++ {
+		b := d.buckets[sw*d.parts+w]
+		for _, e := range b {
+			if d.hearStamp[e.to] != r {
+				d.hearStamp[e.to] = r
+				d.hearCount[e.to] = 0
+				touched = append(touched, e.to)
+			}
+			d.hearCount[e.to]++
+			if d.hearCount[e.to] == 1 {
+				d.hearFrom[e.to] = e.from
+			}
+		}
+		d.buckets[sw*d.parts+w] = b[:0]
+	}
+	d.touched[w] = touched
+	if !deliver {
+		return
+	}
+	st := &d.perPart[w]
+	for _, u := range touched {
+		switch {
+		case d.hearCount[u] == 1:
+			from := d.hearFrom[u]
+			pkt := d.proto.Packet(r, from)
+			d.checkBits(u, pkt)
+			d.proto.Deliver(r, u, Outcome{Packet: pkt, From: from})
+			st.deliveries++
+		case d.cfg.CollisionDetection:
+			d.proto.Deliver(r, u, Outcome{Collision: true})
+			st.collisions++
+		}
+	}
+}
+
+// execObserve is the channel-mediated finalization for owner partition
+// w: every listener in its word range — not only neighbors of
+// transmitters — is swept in ascending node order so the channel can
+// inject observations into silent receptions, mirroring
+// Network.deliverAdverse (over all listeners rather than awake ones:
+// dense nodes are always awake).
+func (d *Dense) execObserve(r int64, w int) {
+	ch := d.cfg.Channel
+	st := &d.perPart[w]
+	wLo := w * d.wordsPerPart
+	wHi := wLo + d.wordsPerPart
+	if wHi > d.nWords {
+		wHi = d.nWords
+	}
+	for wi := wLo; wi < wHi; wi++ {
+		wordBits := d.listenW[wi] &^ d.txWords[wi]
+		for wordBits != 0 {
+			u := NodeID(wi<<6 + bits.TrailingZeros64(wordBits))
+			wordBits &= wordBits - 1
+			count := 0
+			if d.hearStamp[u] == r {
+				count = int(d.hearCount[u])
+			}
+			var out Outcome
+			ok := false
+			switch {
+			case count == 1:
+				from := d.hearFrom[u]
+				out = Outcome{Packet: d.proto.Packet(r, from), From: from}
+				ok = true
+			case count >= 2 && d.cfg.CollisionDetection:
+				out = Outcome{Collision: true}
+				ok = true
+			}
+			ideal := outcomeClass(out, ok)
+			fin, fok := ch.Observe(r, u, count, out, ok)
+			if fok && fin.Collision && !d.cfg.CollisionDetection {
+				fin, fok = Outcome{}, false // ⊤ is unobservable without CD
+			}
+			if fok && !fin.Collision && fin.Packet == nil {
+				fin, fok = Outcome{}, false // no payload and no symbol: silence
+			}
+			if outcomeClass(fin, fok) != ideal {
+				st.jammed++
+			}
+			if !fok {
+				continue
+			}
+			if fin.Collision {
+				st.collisions++
+			} else {
+				d.checkBits(u, fin.Packet)
+				st.deliveries++
+			}
+			d.proto.Deliver(r, u, fin)
+		}
+	}
+}
+
+func (d *Dense) checkBits(u NodeID, pkt Packet) {
+	if d.cfg.MaxPacketBits > 0 && pkt.Bits() > d.cfg.MaxPacketBits {
+		panic(fmt.Sprintf("radio: packet %T of %d bits delivered to node %d exceeds budget %d",
+			pkt, pkt.Bits(), u, d.cfg.MaxPacketBits))
+	}
+}
+
+// Step executes exactly one round.
+func (d *Dense) Step() {
+	if d.closed {
+		panic("radio: Step on closed Dense")
+	}
+	r := d.round
+	// The gate reads last round's transmitter count — deterministic
+	// state — so sequential and parallel execution agree on which
+	// rounds fan out (and produce identical results either way).
+	par := d.parts > 1 && d.lastTx >= denseParGate
+
+	d.listenW = d.proto.ListenWords(r)
+	if len(d.listenW) != d.nWords {
+		panic(fmt.Sprintf("radio: ListenWords returned %d words, want %d", len(d.listenW), d.nWords))
+	}
+	d.runPhase(phaseCollect, r, par)
+
+	totalTx := 0
+	for _, lst := range d.txLists {
+		totalTx += len(lst)
+	}
+	d.allTx = d.allTx[:0]
+	for _, lst := range d.txLists {
+		d.allTx = append(d.allTx, lst...)
+	}
+	d.stats.Transmissions += int64(totalTx)
+	if totalTx > 0 {
+		d.stats.ActiveRounds++
+	}
+
+	d.effTx = d.allTx
+	ch := d.cfg.Channel
+	if ch != nil {
+		// Source suppression first, THEN RoundStart with the surviving
+		// set, exactly as in Network.deliverAdverse. Both run
+		// sequentially in ascending node order at any worker count.
+		kept := d.keptTx[:0]
+		for _, t := range d.allTx {
+			if ch.SuppressTransmit(r, t) {
+				d.stats.Dropped++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		d.keptTx = kept
+		ch.RoundStart(r, kept)
+		d.effTx = kept
+	}
+
+	d.runPhase(phaseScatter, r, par)
+	if ch == nil {
+		d.runPhase(phaseMerge, r, par)
+	} else {
+		d.runPhase(phaseCount, r, par)
+		d.runPhase(phaseObserve, r, par)
+	}
+
+	for p := range d.perPart {
+		st := &d.perPart[p]
+		d.stats.Deliveries += st.deliveries
+		d.stats.CollisionObs += st.collisions
+		d.stats.Dropped += st.dropped
+		d.stats.Jammed += st.jammed
+		*st = partStats{}
+	}
+
+	d.proto.EndRound(r)
+	d.lastTx = totalTx
+	d.round = r + 1
+	d.stats.Rounds = d.round
+}
+
+// Run executes rounds until the round counter reaches limit.
+func (d *Dense) Run(limit int64) {
+	for d.round < limit {
+		d.Step()
+	}
+}
+
+// RunUntil executes rounds until pred returns true (checked after
+// every round) or the counter reaches limit; it reports the round
+// count at stop and whether pred was satisfied.
+func (d *Dense) RunUntil(limit int64, pred func() bool) (int64, bool) {
+	if pred() {
+		return d.round, true
+	}
+	for d.round < limit {
+		d.Step()
+		if pred() {
+			return d.round, true
+		}
+	}
+	return d.round, false
+}

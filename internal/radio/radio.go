@@ -168,6 +168,19 @@ type Config struct {
 	// unreliable CD, radio faults). nil is the ideal channel and keeps
 	// the zero-allocation delivery fast path.
 	Channel Channel
+	// Workers, when greater than one, partitions the dense engine's
+	// per-round passes across that many goroutines. Results are
+	// byte-identical at any worker count (see Dense). Only NewDense
+	// consults it; Network is always sequential.
+	//
+	// When a Channel is combined with Workers > 1, its DropLink and
+	// Observe hooks are called concurrently from multiple goroutines
+	// (RoundStart and SuppressTransmit stay sequential). The stock
+	// models satisfy this: Erasure, NoisyCD, and Faults are pure keyed
+	// functions of (round, node/link), and Jammer mutates state only in
+	// RoundStart. A custom model that mutates state in DropLink or
+	// Observe must be used with Workers <= 1.
+	Workers int
 }
 
 // Stats aggregates engine counters for a run.

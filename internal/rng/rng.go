@@ -34,6 +34,21 @@ func Mix(keys ...uint64) uint64 {
 	return splitmix64(&state)
 }
 
+// Mix3 is Mix for exactly three keys, avoiding the variadic slice.
+// The dense engine draws one keyed value per (seed, node, round) on its
+// hottest path, where even a stack-promoted slice header is measurable;
+// Mix3(a, b, c) == Mix(a, b, c) bit-for-bit.
+func Mix3(a, b, c uint64) uint64 {
+	state := uint64(0x243f6a8885a308d3)
+	state ^= splitmix64(&state) ^ a
+	_ = splitmix64(&state)
+	state ^= splitmix64(&state) ^ b
+	_ = splitmix64(&state)
+	state ^= splitmix64(&state) ^ c
+	_ = splitmix64(&state)
+	return splitmix64(&state)
+}
+
 // Source is a deterministic rand.Source64 backed by xoshiro256**.
 type Source struct {
 	s [4]uint64

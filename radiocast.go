@@ -125,10 +125,10 @@ func StackChannels(chs ...Channel) Channel { return channel.Stack(chs) }
 
 // Options configures a protocol run.
 type Options struct {
-	// Source is the broadcasting node (default 0). Known limitation:
-	// the harness-backed Broadcast* runners currently broadcast from
-	// node 0 regardless; a non-zero Source affects only schedule sizing
-	// (eccentricity) today. BuildGSTDistributed honors it fully.
+	// Source is the broadcasting node (default 0). Every Broadcast*
+	// runner, adaptive or not, starts the wave from it; for the
+	// k-message broadcasts it is the node initially holding all k
+	// messages, and BuildGSTDistributed roots the tree at it.
 	Source NodeID
 	// Seed drives all protocol randomness (runs are reproducible).
 	Seed uint64
@@ -215,10 +215,10 @@ func BroadcastCD(g *Graph, opts Options) (Result, error) {
 	cfg := rings.DefaultConfig(g.N(), d, 0, opts.scale())
 	cfg.SetPipelined(opts.PipelinedBoundaries)
 	if opts.Adaptive {
-		a := harness.NewAdaptiveTheorem11(g, cfg, harness.EpochChannel(opts.Channel), opts.Seed)
+		a := harness.NewAdaptiveTheorem11(g, cfg, harness.EpochChannel(opts.Channel), opts.Seed, opts.Source)
 		return adaptiveResult(adapt.Run(a, opts.policy())), nil
 	}
-	res := harness.RunTheorem11OnCfg(g, cfg, opts.Channel, opts.Seed)
+	res := harness.RunTheorem11OnCfg(g, cfg, opts.Channel, opts.Seed, opts.Source)
 	return Result{Rounds: res.Rounds, Completed: res.Completed,
 		Dropped: res.Stats.Dropped, Jammed: res.Stats.Jammed}, nil
 }
@@ -231,14 +231,14 @@ func BroadcastKnownTopology(g *Graph, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	if opts.Adaptive {
-		a := harness.NewAdaptiveGSTSingle(g, false, harness.EpochChannel(opts.Channel), opts.Seed)
+		a := harness.NewAdaptiveGSTSingle(g, false, harness.EpochChannel(opts.Channel), opts.Seed, opts.Source)
 		return adaptiveResult(adapt.Run(a, opts.policy())), nil
 	}
 	limit := opts.RoundLimit
 	if limit == 0 {
 		limit = 1 << 24
 	}
-	rounds, ok, st := harness.RunGSTSingleOn(g, false, opts.Channel, opts.Seed, limit)
+	rounds, ok, st := harness.NewGSTSingleRun(g, false, opts.Source).Run(opts.Channel, opts.Seed, limit)
 	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
@@ -258,7 +258,7 @@ func BroadcastK(g *Graph, k int, opts Options) (Result, error) {
 	if limit == 0 {
 		limit = 1 << 24
 	}
-	rounds, ok, st := harness.RunGSTMultiOn(g, k, opts.Channel, opts.Seed, limit)
+	rounds, ok, st := harness.NewGSTMultiRun(g, k, opts.Source).Run(opts.Channel, opts.Seed, limit)
 	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
@@ -276,10 +276,10 @@ func BroadcastKCD(g *Graph, k int, opts Options) (Result, error) {
 	cfg := rings.DefaultConfig(g.N(), d, k, opts.scale())
 	cfg.SetPipelined(opts.PipelinedBoundaries)
 	if opts.Adaptive {
-		a := harness.NewAdaptiveTheorem13(g, cfg, harness.EpochChannel(opts.Channel), opts.Seed)
+		a := harness.NewAdaptiveTheorem13(g, cfg, harness.EpochChannel(opts.Channel), opts.Seed, opts.Source)
 		return adaptiveResult(adapt.Run(a, opts.policy())), nil
 	}
-	rounds, ok, st := harness.RunTheorem13OnCfg(g, cfg, opts.Channel, opts.Seed)
+	rounds, ok, st := harness.RunTheorem13OnCfg(g, cfg, opts.Channel, opts.Seed, opts.Source)
 	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
@@ -290,14 +290,14 @@ func DecayBroadcast(g *Graph, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	if opts.Adaptive {
-		a := harness.NewAdaptiveDecay(g, harness.EpochChannel(opts.Channel), opts.Seed)
+		a := harness.NewAdaptiveDecay(g, harness.EpochChannel(opts.Channel), opts.Seed, opts.Source)
 		return adaptiveResult(adapt.Run(a, opts.policy())), nil
 	}
 	limit := opts.RoundLimit
 	if limit == 0 {
 		limit = 1 << 24
 	}
-	rounds, ok, st := harness.RunDecayOn(g, opts.Channel, opts.Seed, limit)
+	rounds, ok, st := harness.NewDecayRun(g, opts.Source).Run(opts.Channel, opts.Seed, limit)
 	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 
@@ -309,14 +309,14 @@ func CRBroadcast(g *Graph, opts Options) (Result, error) {
 	}
 	d := graph.Eccentricity(g, opts.Source)
 	if opts.Adaptive {
-		a := harness.NewAdaptiveCR(g, d, harness.EpochChannel(opts.Channel), opts.Seed)
+		a := harness.NewAdaptiveCR(g, d, harness.EpochChannel(opts.Channel), opts.Seed, opts.Source)
 		return adaptiveResult(adapt.Run(a, opts.policy())), nil
 	}
 	limit := opts.RoundLimit
 	if limit == 0 {
 		limit = 1 << 24
 	}
-	rounds, ok, st := harness.RunCROn(g, d, opts.Channel, opts.Seed, limit)
+	rounds, ok, st := harness.NewCRRun(g, d, opts.Source).Run(opts.Channel, opts.Seed, limit)
 	return Result{Rounds: rounds, Completed: ok, Dropped: st.Dropped, Jammed: st.Jammed}, nil
 }
 

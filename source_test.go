@@ -1,0 +1,84 @@
+package radiocast_test
+
+// Facade-level Options.Source tests: every Broadcast* entry point must
+// start the wave at opts.Source — the previously documented "broadcasts
+// from node 0 regardless" limitation is gone. The lollipop's tail end
+// is the worst-placed source (the wave must cross the whole tail before
+// flooding the clique), and a wrong origin changes the round count's
+// lower bound, so completion from there is the end-to-end check.
+
+import (
+	"testing"
+
+	"radiocast"
+)
+
+func TestOptionsSourceHonored(t *testing.T) {
+	g := radiocast.NewClusterChain(6, 6)
+	src := radiocast.NodeID(g.N() - 1)
+	opts := radiocast.Options{Source: src, Seed: 7}
+
+	cases := []struct {
+		name string
+		run  func() (radiocast.Result, error)
+	}{
+		{"decay", func() (radiocast.Result, error) { return radiocast.DecayBroadcast(g, opts) }},
+		{"cr", func() (radiocast.Result, error) { return radiocast.CRBroadcast(g, opts) }},
+		{"known-topology", func() (radiocast.Result, error) { return radiocast.BroadcastKnownTopology(g, opts) }},
+		{"cd", func() (radiocast.Result, error) { return radiocast.BroadcastCD(g, opts) }},
+		{"k", func() (radiocast.Result, error) { return radiocast.BroadcastK(g, 2, opts) }},
+		{"kcd", func() (radiocast.Result, error) { return radiocast.BroadcastKCD(g, 2, opts) }},
+	}
+	for _, tc := range cases {
+		res, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Completed {
+			t.Errorf("%s: broadcast from source %d did not complete", tc.name, src)
+		}
+	}
+}
+
+// TestOptionsSourceAdaptive covers the adaptive wrappers: epoch 0 must
+// broadcast from opts.Source, and the retry layer must still complete a
+// far-source broadcast under packet loss.
+func TestOptionsSourceAdaptive(t *testing.T) {
+	g := radiocast.NewClusterChain(6, 6)
+	src := radiocast.NodeID(g.N() - 1)
+	opts := radiocast.Options{Source: src, Seed: 7, Adaptive: true,
+		Channel: radiocast.ErasureChannel(0.2, 11)}
+
+	for _, tc := range []struct {
+		name string
+		run  func() (radiocast.Result, error)
+	}{
+		{"decay", func() (radiocast.Result, error) { return radiocast.DecayBroadcast(g, opts) }},
+		{"cr", func() (radiocast.Result, error) { return radiocast.CRBroadcast(g, opts) }},
+		{"known-topology", func() (radiocast.Result, error) { return radiocast.BroadcastKnownTopology(g, opts) }},
+		{"cd", func() (radiocast.Result, error) { return radiocast.BroadcastCD(g, opts) }},
+		{"kcd", func() (radiocast.Result, error) { return radiocast.BroadcastKCD(g, 2, opts) }},
+	} {
+		res, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !res.Completed {
+			t.Errorf("%s: adaptive broadcast from source %d under loss did not complete", tc.name, src)
+		}
+		if res.Epochs < 1 {
+			t.Errorf("%s: adaptive run reported Epochs = %d", tc.name, res.Epochs)
+		}
+	}
+}
+
+// TestSourceOutOfRange pins the facade's validation of Options.Source.
+func TestSourceOutOfRange(t *testing.T) {
+	g := radiocast.NewPath(8)
+	if _, err := radiocast.DecayBroadcast(g, radiocast.Options{Source: 8}); err == nil {
+		t.Error("source == n accepted")
+	}
+	if _, err := radiocast.DecayBroadcast(g, radiocast.Options{Source: -1}); err == nil {
+		t.Error("negative source accepted")
+	}
+}
