@@ -15,6 +15,11 @@
 // missing from the input is an error too: a silently-skipped guard is
 // a disabled guard. Improvements (fewer allocs) print a note — commit
 // the lower number to ratchet the baseline down.
+//
+// A second mode guards the E19 scale-sweep trajectory (see scale.go):
+//
+//	go run ./cmd/benchguard -scale BENCH_scale.json \
+//	    -scalebaseline bench/scale_baseline.json
 package main
 
 import (
@@ -42,7 +47,14 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?\s(\d+)
 
 func main() {
 	baselinePath := flag.String("baseline", "bench/baseline.json", "committed baseline JSON")
+	scalePath := flag.String("scale", "", "radiobench -json scale artifact (BENCH_scale.json); enables the E19 trajectory ratchet instead of the stdin alloc gate")
+	scaleBaselinePath := flag.String("scalebaseline", "bench/scale_baseline.json", "committed scale-trajectory baseline JSON")
 	flag.Parse()
+
+	if *scalePath != "" {
+		runScaleGuard(*scalePath, *scaleBaselinePath)
+		return
+	}
 
 	blob, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -98,6 +110,33 @@ func main() {
 		}
 	}
 	if failed {
+		os.Exit(1)
+	}
+}
+
+// runScaleGuard runs the E19 trajectory ratchet (-scale mode).
+func runScaleGuard(artifactPath, baselinePath string) {
+	baseBlob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base ScaleBaseline
+	if err := json.Unmarshal(baseBlob, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parse %s: %v\n", baselinePath, err)
+		os.Exit(2)
+	}
+	artBlob, err := os.ReadFile(artifactPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	got, err := scaleMetrics(artBlob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", artifactPath, err)
+		os.Exit(2)
+	}
+	if checkScale(base, got, os.Stderr) {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,169 @@
+package main
+
+// The E19 trajectory ratchet: diff a radiobench -json scale artifact
+// (BENCH_scale.json) against a committed per-workload baseline. Two
+// capacity trajectories are guarded per workload:
+//
+//   - bytes/node: per-cell live-heap growth (mem_bytes) over the
+//     workload's nominal node count. Heap growth is near-deterministic
+//     for the dense engine's SoA layout, so the band is tight — a
+//     breach means the engine or the CSR build started keeping more
+//     state per node.
+//   - rounds/sec: simulated rounds over wall time. Wall time is a
+//     machine measurement, so the band is wide; the ratchet catches
+//     order-of-magnitude throughput collapses (an accidental
+//     serialization, a hot-path allocation), not scheduler noise.
+//
+// As with the alloc gate, a guarded workload missing from the artifact
+// is a failure: a silently-skipped guard is a disabled guard.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScaleRow pins one workload's guarded trajectory values.
+type ScaleRow struct {
+	// BytesPerNode is mean live-heap growth per nominal node.
+	BytesPerNode float64 `json:"bytes_per_node"`
+	// RoundsPerSec is mean simulated rounds per wall-clock second.
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+}
+
+// ScaleBaseline is the committed scale-trajectory contract
+// (bench/scale_baseline.json).
+type ScaleBaseline struct {
+	// BytesTolerancePct is the allowed relative increase in bytes/node.
+	BytesTolerancePct float64 `json:"bytes_tolerance_pct"`
+	// ThroughputTolerancePct is the allowed relative decrease in
+	// rounds/sec (wide: wall time is machine-dependent).
+	ThroughputTolerancePct float64 `json:"throughput_tolerance_pct"`
+	// Workloads maps E19 cell configs ("gnp/n=100000") to their rows.
+	Workloads map[string]ScaleRow `json:"workloads"`
+}
+
+// scaleArtifact is the slice of the radiobench -json artifact the
+// ratchet reads.
+type scaleArtifact struct {
+	Experiments []struct {
+		ID    string `json:"id"`
+		Cells []struct {
+			Config    string `json:"config"`
+			Rounds    int64  `json:"rounds"`
+			Completed bool   `json:"completed"`
+			MemBytes  int64  `json:"mem_bytes"`
+			WallUS    int64  `json:"wall_us"`
+		} `json:"cells"`
+	} `json:"experiments"`
+}
+
+// configN extracts the nominal node count from an E19 cell config like
+// "gnp/n=100000".
+func configN(config string) (int64, bool) {
+	i := strings.LastIndex(config, "n=")
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(config[i+2:], 10, 64)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// scaleMetrics aggregates an artifact's E19 cells into per-workload
+// trajectory rows (means over seeds; incomplete cells are dropped, so
+// a workload that stopped finishing vanishes and trips the
+// missing-guard failure).
+func scaleMetrics(blob []byte) (map[string]ScaleRow, error) {
+	var art scaleArtifact
+	if err := json.Unmarshal(blob, &art); err != nil {
+		return nil, fmt.Errorf("parse artifact: %w", err)
+	}
+	type acc struct {
+		bytesPerNode, roundsPerSec float64
+		cells                      int
+	}
+	sums := map[string]*acc{}
+	for _, e := range art.Experiments {
+		if e.ID != "E19" {
+			continue
+		}
+		for _, c := range e.Cells {
+			if !c.Completed {
+				continue
+			}
+			n, ok := configN(c.Config)
+			if !ok || c.MemBytes <= 0 || c.WallUS <= 0 {
+				continue
+			}
+			a := sums[c.Config]
+			if a == nil {
+				a = &acc{}
+				sums[c.Config] = a
+			}
+			a.bytesPerNode += float64(c.MemBytes) / float64(n)
+			a.roundsPerSec += float64(c.Rounds) / (float64(c.WallUS) / 1e6)
+			a.cells++
+		}
+	}
+	out := make(map[string]ScaleRow, len(sums))
+	for cfg, a := range sums {
+		out[cfg] = ScaleRow{
+			BytesPerNode: a.bytesPerNode / float64(a.cells),
+			RoundsPerSec: a.roundsPerSec / float64(a.cells),
+		}
+	}
+	return out, nil
+}
+
+// checkScale compares measured trajectories against the baseline,
+// logging one line per guarded workload, and reports whether any guard
+// failed. Improvements print a note — commit the better number to
+// ratchet the baseline.
+func checkScale(base ScaleBaseline, got map[string]ScaleRow, out io.Writer) bool {
+	names := make([]string, 0, len(base.Workloads))
+	for name := range base.Workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		want := base.Workloads[name]
+		have, ok := got[name]
+		if !ok {
+			fmt.Fprintf(out, "benchguard: FAIL %s: guarded workload missing from artifact\n", name)
+			failed = true
+			continue
+		}
+		byteLimit := want.BytesPerNode * (1 + base.BytesTolerancePct/100)
+		tputFloor := want.RoundsPerSec * (1 - base.ThroughputTolerancePct/100)
+		bad := false
+		if have.BytesPerNode > byteLimit {
+			fmt.Fprintf(out, "benchguard: FAIL %s: %.1f bytes/node, baseline %.1f (+%.0f%% tolerance = %.1f)\n",
+				name, have.BytesPerNode, want.BytesPerNode, base.BytesTolerancePct, byteLimit)
+			bad = true
+		}
+		if have.RoundsPerSec < tputFloor {
+			fmt.Fprintf(out, "benchguard: FAIL %s: %.0f rounds/sec, baseline %.0f (-%.0f%% tolerance = %.0f)\n",
+				name, have.RoundsPerSec, want.RoundsPerSec, base.ThroughputTolerancePct, tputFloor)
+			bad = true
+		}
+		switch {
+		case bad:
+			failed = true
+		case have.BytesPerNode < want.BytesPerNode || have.RoundsPerSec > want.RoundsPerSec:
+			fmt.Fprintf(out, "benchguard: note %s improved: %.1f bytes/node (baseline %.1f), %.0f rounds/sec (baseline %.0f) — consider ratcheting\n",
+				name, have.BytesPerNode, want.BytesPerNode, have.RoundsPerSec, want.RoundsPerSec)
+		default:
+			fmt.Fprintf(out, "benchguard: ok %s: %.1f bytes/node (baseline %.1f), %.0f rounds/sec (baseline %.0f)\n",
+				name, have.BytesPerNode, want.BytesPerNode, have.RoundsPerSec, want.RoundsPerSec)
+		}
+	}
+	return failed
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// artifact builds a minimal radiobench -json blob with one E19 cell
+// per (config, mem, wall, rounds) row.
+func artifact(cells string) []byte {
+	return []byte(`{"module":"radiocast","experiments":[{"id":"E19","cells":[` + cells + `]}]}`)
+}
+
+const goodCell = `{"experiment":"E19","config":"gnp/n=100000","seed":0,"rounds":127,"completed":true,"value":99999,"mem_bytes":12800000,"wall_us":100000}`
+
+func baseBaseline() ScaleBaseline {
+	return ScaleBaseline{
+		BytesTolerancePct:      25,
+		ThroughputTolerancePct: 60,
+		Workloads: map[string]ScaleRow{
+			"gnp/n=100000": {BytesPerNode: 128, RoundsPerSec: 1270},
+		},
+	}
+}
+
+func TestScaleMetrics(t *testing.T) {
+	got, err := scaleMetrics(artifact(goodCell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ok := got["gnp/n=100000"]
+	if !ok {
+		t.Fatalf("workload missing: %v", got)
+	}
+	if row.BytesPerNode != 128 {
+		t.Errorf("bytes/node = %g, want 128", row.BytesPerNode)
+	}
+	// 127 rounds in 0.1 s.
+	if row.RoundsPerSec != 1270 {
+		t.Errorf("rounds/sec = %g, want 1270", row.RoundsPerSec)
+	}
+}
+
+func TestScaleMetricsMeansOverSeeds(t *testing.T) {
+	cells := goodCell + `,{"experiment":"E19","config":"gnp/n=100000","seed":1,"rounds":127,"completed":true,"mem_bytes":25600000,"wall_us":50000}`
+	got, err := scaleMetrics(artifact(cells))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := got["gnp/n=100000"]
+	if row.BytesPerNode != (128+256)/2 {
+		t.Errorf("bytes/node = %g, want 192", row.BytesPerNode)
+	}
+	if row.RoundsPerSec != (1270+2540)/2 {
+		t.Errorf("rounds/sec = %g, want 1905", row.RoundsPerSec)
+	}
+}
+
+func TestScaleMetricsSkipsIncomplete(t *testing.T) {
+	cell := strings.Replace(goodCell, `"completed":true`, `"completed":false`, 1)
+	got, err := scaleMetrics(artifact(cell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("incomplete cell should be dropped, got %v", got)
+	}
+}
+
+func TestCheckScaleOK(t *testing.T) {
+	var out strings.Builder
+	got := map[string]ScaleRow{"gnp/n=100000": {BytesPerNode: 130, RoundsPerSec: 1200}}
+	if checkScale(baseBaseline(), got, &out) {
+		t.Fatalf("in-band trajectory flagged as regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok gnp/n=100000") {
+		t.Errorf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestCheckScaleBytesRegression(t *testing.T) {
+	var out strings.Builder
+	// 128 * 1.25 = 160 is the limit; 170 breaches it.
+	got := map[string]ScaleRow{"gnp/n=100000": {BytesPerNode: 170, RoundsPerSec: 1270}}
+	if !checkScale(baseBaseline(), got, &out) {
+		t.Fatal("bytes/node regression not flagged")
+	}
+	if !strings.Contains(out.String(), "bytes/node") {
+		t.Errorf("failure line should name bytes/node:\n%s", out.String())
+	}
+}
+
+func TestCheckScaleThroughputRegression(t *testing.T) {
+	var out strings.Builder
+	// Floor is 1270 * 0.4 = 508; 500 breaches it.
+	got := map[string]ScaleRow{"gnp/n=100000": {BytesPerNode: 128, RoundsPerSec: 500}}
+	if !checkScale(baseBaseline(), got, &out) {
+		t.Fatal("rounds/sec regression not flagged")
+	}
+	if !strings.Contains(out.String(), "rounds/sec") {
+		t.Errorf("failure line should name rounds/sec:\n%s", out.String())
+	}
+}
+
+func TestCheckScaleBothRegressionsReported(t *testing.T) {
+	var out strings.Builder
+	got := map[string]ScaleRow{"gnp/n=100000": {BytesPerNode: 999, RoundsPerSec: 1}}
+	if !checkScale(baseBaseline(), got, &out) {
+		t.Fatal("regressions not flagged")
+	}
+	if c := strings.Count(out.String(), "FAIL"); c != 2 {
+		t.Errorf("want both FAIL lines, got %d:\n%s", c, out.String())
+	}
+}
+
+func TestCheckScaleMissingWorkloadFails(t *testing.T) {
+	var out strings.Builder
+	if !checkScale(baseBaseline(), map[string]ScaleRow{}, &out) {
+		t.Fatal("missing guarded workload must fail")
+	}
+	if !strings.Contains(out.String(), "missing from artifact") {
+		t.Errorf("missing-guard line absent:\n%s", out.String())
+	}
+}
+
+func TestCheckScaleImprovementNotes(t *testing.T) {
+	var out strings.Builder
+	got := map[string]ScaleRow{"gnp/n=100000": {BytesPerNode: 100, RoundsPerSec: 2000}}
+	if checkScale(baseBaseline(), got, &out) {
+		t.Fatalf("improvement flagged as regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "improved") {
+		t.Errorf("improvement note absent:\n%s", out.String())
+	}
+}
+
+func TestConfigN(t *testing.T) {
+	for _, tc := range []struct {
+		config string
+		n      int64
+		ok     bool
+	}{
+		{"gnp/n=100000", 100000, true},
+		{"path/n=1000", 1000, true},
+		{"weird", 0, false},
+		{"gnp/n=", 0, false},
+	} {
+		n, ok := configN(tc.config)
+		if n != tc.n || ok != tc.ok {
+			t.Errorf("configN(%q) = %d,%v want %d,%v", tc.config, n, ok, tc.n, tc.ok)
+		}
+	}
+}
+
+// TestCommittedScaleBaseline checks the committed baseline parses and
+// carries sane trajectory values for every guarded workload.
+func TestCommittedScaleBaseline(t *testing.T) {
+	blob, err := os.ReadFile("../../bench/scale_baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	var base ScaleBaseline
+	if err := dec.Decode(&base); err != nil {
+		t.Fatalf("parse committed baseline: %v", err)
+	}
+	if base.BytesTolerancePct <= 0 || base.ThroughputTolerancePct <= 0 {
+		t.Fatal("committed baseline must set positive tolerances")
+	}
+	if len(base.Workloads) == 0 {
+		t.Fatal("committed baseline guards no workloads")
+	}
+	for name, row := range base.Workloads {
+		if _, ok := configN(name); !ok {
+			t.Errorf("workload key %q does not carry n=", name)
+		}
+		if row.BytesPerNode <= 0 || row.RoundsPerSec <= 0 {
+			t.Errorf("workload %q has non-positive trajectory values", name)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	           [-workers N] [-timeout 30s] [-roundlimit N] [-json FILE]
 //	           [-scalemaxn N] [-scaleworkers N]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-logformat text|json] [-loglevel debug|info|warn|error]
 //
 // Each experiment reproduces one theorem/lemma of the paper as a
 // measured round-complexity table — plus the E13-E16 robustness sweeps
@@ -32,7 +33,10 @@
 // -scaleworkers pins its dense-engine worker count — E19 output is
 // byte-identical at any worker setting, only wall times move. -cpuprofile/-memprofile write
 // runtime/pprof profiles of the sweep so perf work can show profiles
-// instead of guesses.
+// instead of guesses. Stderr diagnostics ride the shared internal/obs
+// logger: -logformat json makes them machine-parseable, -loglevel
+// debug adds a per-cell "cell.done" event stream. Tables on stdout are
+// untouched by either flag (CI compares them byte-for-byte).
 package main
 
 import (
@@ -46,6 +50,7 @@ import (
 
 	"radiocast/internal/exp"
 	"radiocast/internal/harness"
+	"radiocast/internal/obs"
 )
 
 func main() {
@@ -63,7 +68,15 @@ func main() {
 	scaleWorkers := flag.Int("scaleworkers", 0, "dense-engine workers for E19 cells (0 = min(8, GOMAXPROCS); output is identical at any setting)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
+	logFormat := flag.String("logformat", "text", "stderr diagnostics format: text or json")
+	logLevel := flag.String("loglevel", "info", "stderr diagnostics level: debug (per-cell events), info, warn, error")
 	flag.Parse()
+
+	lg, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "radiobench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *only == "" {
 		*only = *experiments
@@ -105,7 +118,7 @@ func main() {
 		cpuFile = f
 	}
 
-	runner := &exp.Runner{Parallelism: 1, Timeout: *timeout, RoundLimit: *roundLimit}
+	runner := &exp.Runner{Parallelism: 1, Timeout: *timeout, RoundLimit: *roundLimit, Log: lg}
 	if *parallel || *workers > 0 {
 		runner.Parallelism = *workers // 0 = GOMAXPROCS
 	}
@@ -155,16 +168,25 @@ func main() {
 		default:
 			fmt.Printf("%s\n", tb.String())
 		}
-		fmt.Fprintf(os.Stderr, "[%s: %d cell(s), %d seed(s), %v cell time]\n",
-			e.ID, len(plan.Cells), *seeds, cellWall.Round(time.Millisecond))
+		lg.Info(obs.EventExpDone,
+			"experiment", e.ID,
+			"cells", len(plan.Cells),
+			"seeds", *seeds,
+			"cell_wall_ms", cellWall.Milliseconds())
 		for _, r := range results {
 			if r.Err != "" {
-				fmt.Fprintf(os.Stderr, "[%s: cell %s failed: %s]\n", e.ID, r.Key, r.Err)
+				lg.Warn("cell failed",
+					"experiment", e.ID,
+					"config", r.Key.Config,
+					"seed", r.Key.Seed,
+					"err", r.Err)
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "[total: %d experiment(s) in %v wall, %d worker(s)]\n",
-		len(selected), total.Round(time.Millisecond), resolved)
+	lg.Info("sweep done",
+		"experiments", len(selected),
+		"wall_ms", total.Milliseconds(),
+		"workers", resolved)
 
 	// The allocation profile is written before the JSON artifact so a
 	// failed artifact write cannot discard the profile of a sweep that

@@ -1,0 +1,89 @@
+// Command radiocastd is the simulation-as-a-service daemon: submit
+// broadcast jobs over HTTP, watch their progress over SSE, scrape
+// Prometheus metrics.
+//
+//	radiocastd -addr :8080 -opsaddr :9090 -workers 4
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{
+//	  "protocol": "decay",
+//	  "graph": {"kind": "cluster", "chain": 8, "clique": 8},
+//	  "seed": 1
+//	}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -N localhost:8080/v1/jobs/j000001/events
+//	curl -s localhost:8080/metrics
+//
+// The ops port additionally serves net/http/pprof under /debug/pprof/.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"radiocast/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "job API listen address")
+		opsAddr   = flag.String("opsaddr", ":9090", "ops listen address (metrics, health, pprof); empty disables")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "job worker pool size")
+		queue     = flag.Int("queue", 64, "job queue depth (full queue returns 503)")
+		logFormat = flag.String("logformat", "json", "log format: text or json")
+		logLevel  = flag.String("loglevel", "info", "log level: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	lg, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radiocastd:", err)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	mgr := NewManager(*workers, *queue, lg, reg)
+	srv := newServer(mgr, reg)
+
+	api := &http.Server{Addr: *addr, Handler: srv.apiMux()}
+	var ops *http.Server
+	if *opsAddr != "" {
+		ops = &http.Server{Addr: *opsAddr, Handler: srv.opsMux()}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				lg.Error("ops listener failed", "err", err.Error())
+			}
+		}()
+	}
+	go func() {
+		lg.Info("radiocastd up", "addr", *addr, "opsaddr", *opsAddr, "workers", *workers)
+		if err := api.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			lg.Error("api listener failed", "err", err.Error())
+			os.Exit(1)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	// Drain: stop admitting (readyz flips), finish in-flight jobs, then
+	// close the listeners.
+	lg.Info("radiocastd draining")
+	srv.ready.Store(false)
+	mgr.Shutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = api.Shutdown(ctx)
+	if ops != nil {
+		_ = ops.Shutdown(ctx)
+	}
+	lg.Info("radiocastd stopped")
+}

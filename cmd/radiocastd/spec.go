@@ -1,0 +1,280 @@
+package main
+
+// Job specs: the JSON surface of POST /v1/jobs. A spec pins everything
+// a run depends on — protocol, workload graph, channel stack, adaptive
+// policy, seed — so a job is exactly as reproducible as the library
+// call it maps onto. Specs also carry the pooling fingerprint: two
+// jobs that differ only in seed, channel, or observability settings
+// share one reuse context (the PR-3 zero-rebuild layer).
+
+import (
+	"fmt"
+	"strings"
+
+	"radiocast/internal/channel"
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+)
+
+// Protocols the daemon can run. The names match the radiosim CLI.
+var protocols = map[string]bool{
+	"decay":       true, // BGI Decay baseline (sparse engine)
+	"cr":          true, // Czumaj–Rytter-shaped baseline
+	"gst":         true, // known-topology single message ([7]-style)
+	"k-known":     true, // Theorem 1.2: k messages, known topology, RLNC
+	"cd":          true, // Theorem 1.1: unknown topology + CD
+	"k-cd":        true, // Theorem 1.3: k messages, unknown topology + CD
+	"dense-decay": true, // SoA Decay on the dense engine (million-node scale)
+}
+
+// GraphSpec describes the workload graph.
+type GraphSpec struct {
+	// Kind is one of path, grid, cluster, gnp, unitdisk.
+	Kind string `json:"kind"`
+	// N is the node count (path, gnp, unitdisk).
+	N int `json:"n,omitempty"`
+	// Rows and Cols size the grid.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Chain and Clique size the cluster chain.
+	Chain  int `json:"chain,omitempty"`
+	Clique int `json:"clique,omitempty"`
+	// P is the G(n,p) edge probability; Radius the unit-disk range.
+	P      float64 `json:"p,omitempty"`
+	Radius float64 `json:"radius,omitempty"`
+	// Seed drives the randomized generators (gnp, unitdisk).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// check validates the spec without paying for construction (admission
+// control runs on the HTTP handler; build runs on a worker).
+func (g GraphSpec) check() error {
+	switch g.Kind {
+	case "path":
+		if g.N < 2 {
+			return fmt.Errorf("path: n must be >= 2, got %d", g.N)
+		}
+	case "grid":
+		if g.Rows < 1 || g.Cols < 1 {
+			return fmt.Errorf("grid: rows/cols must be positive, got %dx%d", g.Rows, g.Cols)
+		}
+	case "cluster":
+		if g.Chain < 1 || g.Clique < 1 {
+			return fmt.Errorf("cluster: chain/clique must be positive, got %d/%d", g.Chain, g.Clique)
+		}
+	case "gnp":
+		if g.N < 2 || g.P <= 0 || g.P > 1 {
+			return fmt.Errorf("gnp: need n >= 2 and p in (0,1], got n=%d p=%g", g.N, g.P)
+		}
+	case "unitdisk":
+		if g.N < 2 || g.Radius <= 0 {
+			return fmt.Errorf("unitdisk: need n >= 2 and radius > 0, got n=%d r=%g", g.N, g.Radius)
+		}
+	default:
+		return fmt.Errorf("unknown graph kind %q (path, grid, cluster, gnp, unitdisk)", g.Kind)
+	}
+	return nil
+}
+
+// build constructs the graph (all generators return connected graphs).
+func (g GraphSpec) build() (*graph.Graph, error) {
+	if err := g.check(); err != nil {
+		return nil, err
+	}
+	switch g.Kind {
+	case "path":
+		return graph.Path(g.N), nil
+	case "grid":
+		return graph.Grid(g.Rows, g.Cols), nil
+	case "cluster":
+		return graph.ClusterChain(g.Chain, g.Clique), nil
+	case "gnp":
+		return graph.GNP(g.N, g.P, g.Seed), nil
+	default: // unitdisk; check() rejected everything else
+		return graph.UnitDisk(g.N, g.Radius, g.Seed), nil
+	}
+}
+
+// key is the graph's contribution to the pooling fingerprint.
+func (g GraphSpec) key() string {
+	return fmt.Sprintf("%s/n=%d/r=%d/c=%d/ch=%d/cl=%d/p=%g/rad=%g/gs=%d",
+		g.Kind, g.N, g.Rows, g.Cols, g.Chain, g.Clique, g.P, g.Radius, g.Seed)
+}
+
+// ChannelSpec describes one layer of the channel-adversity stack.
+type ChannelSpec struct {
+	// Kind is one of erasure, noisycd, jammer, adaptive-jammer, faults.
+	Kind string `json:"kind"`
+	// P is the erasure probability.
+	P float64 `json:"p,omitempty"`
+	// Miss and Spurious are the unreliable-CD rates.
+	Miss     float64 `json:"miss,omitempty"`
+	Spurious float64 `json:"spurious,omitempty"`
+	// Budget and Rate configure the jammers (budget < 0 = unlimited).
+	Budget int64   `json:"budget,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+	// LateFrac/MaxDelay/CrashFrac/Horizon configure radio faults.
+	LateFrac  float64 `json:"late_frac,omitempty"`
+	MaxDelay  int64   `json:"max_delay,omitempty"`
+	CrashFrac float64 `json:"crash_frac,omitempty"`
+	Horizon   int64   `json:"horizon,omitempty"`
+	// Seed keys the layer's randomness (defaults to the job seed).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// check validates the layer without constructing it.
+func (c ChannelSpec) check() error {
+	switch c.Kind {
+	case "erasure":
+		if c.P <= 0 || c.P >= 1 {
+			return fmt.Errorf("erasure: p must be in (0,1), got %g", c.P)
+		}
+	case "noisycd", "jammer", "adaptive-jammer", "faults":
+	default:
+		return fmt.Errorf("unknown channel kind %q (erasure, noisycd, jammer, adaptive-jammer, faults)", c.Kind)
+	}
+	return nil
+}
+
+// build constructs one channel layer for an n-node run from source.
+func (c ChannelSpec) build(n int, source graph.NodeID, jobSeed uint64) (radio.Channel, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = jobSeed
+	}
+	switch c.Kind {
+	case "erasure":
+		return channel.NewErasure(c.P, seed), nil
+	case "noisycd":
+		return channel.NewNoisyCD(c.Miss, c.Spurious, seed), nil
+	case "jammer":
+		return channel.NewJammer(c.Budget, c.Rate, seed), nil
+	case "adaptive-jammer":
+		return channel.NewAdaptiveJammer(c.Budget, 1, seed), nil
+	case "faults":
+		return channel.RandomFaults(n, source, c.LateFrac, c.MaxDelay, c.CrashFrac, c.Horizon, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown channel kind %q (erasure, noisycd, jammer, adaptive-jammer, faults)", c.Kind)
+	}
+}
+
+// AdaptiveSpec enables the loss-adaptive retry layer.
+type AdaptiveSpec struct {
+	// MaxEpochs caps retry epochs; 0 retries until done (bounded by
+	// adapt.UntilDoneCap).
+	MaxEpochs int `json:"max_epochs,omitempty"`
+}
+
+// JobSpec is the POST /v1/jobs request body.
+type JobSpec struct {
+	// Protocol selects the stack (see the protocols map).
+	Protocol string    `json:"protocol"`
+	Graph    GraphSpec `json:"graph"`
+	// K is the message count for the k-message protocols (default 1).
+	K int `json:"k,omitempty"`
+	// Seed drives all protocol randomness.
+	Seed uint64 `json:"seed,omitempty"`
+	// Source is the broadcasting node (default 0).
+	Source int64 `json:"source,omitempty"`
+	// RoundLimit caps simulated rounds (0 = the protocol's own budget).
+	RoundLimit int64 `json:"round_limit,omitempty"`
+	// Workers is the dense engine's worker count (dense-decay only).
+	Workers int `json:"workers,omitempty"`
+	// Channel stacks adversity layers (empty = ideal channel).
+	Channel []ChannelSpec `json:"channel,omitempty"`
+	// Adaptive wraps the run in the retry layer (sparse protocols only).
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+	// ObserveEvery is the round stride for progress events (default
+	// 1024; lower = finer-grained SSE at more event volume).
+	ObserveEvery int64 `json:"observe_every,omitempty"`
+}
+
+// validate checks everything that can fail before graph construction.
+func (s *JobSpec) validate() error {
+	if !protocols[s.Protocol] {
+		names := make([]string, 0, len(protocols))
+		for p := range protocols {
+			names = append(names, p)
+		}
+		return fmt.Errorf("unknown protocol %q (one of %s)", s.Protocol, strings.Join(names, ", "))
+	}
+	if s.K < 0 {
+		return fmt.Errorf("k must be >= 0, got %d", s.K)
+	}
+	if s.K > 0 && s.Protocol != "k-known" && s.Protocol != "k-cd" {
+		return fmt.Errorf("k applies only to k-known and k-cd, not %q", s.Protocol)
+	}
+	if s.Adaptive != nil {
+		switch s.Protocol {
+		case "k-known", "dense-decay":
+			return fmt.Errorf("adaptive retry is not supported by %q", s.Protocol)
+		}
+	}
+	if s.Workers != 0 && s.Protocol != "dense-decay" {
+		return fmt.Errorf("workers applies only to dense-decay")
+	}
+	if s.Source < 0 {
+		return fmt.Errorf("source must be >= 0, got %d", s.Source)
+	}
+	if s.RoundLimit < 0 {
+		return fmt.Errorf("round_limit must be >= 0, got %d", s.RoundLimit)
+	}
+	if err := s.Graph.check(); err != nil {
+		return err
+	}
+	for i, cs := range s.Channel {
+		if err := cs.check(); err != nil {
+			return fmt.Errorf("channel[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// k returns the effective message count.
+func (s *JobSpec) k() int {
+	if s.K < 1 {
+		return 1
+	}
+	return s.K
+}
+
+// stride returns the effective observer stride.
+func (s *JobSpec) stride() int64 {
+	if s.ObserveEvery < 1 {
+		return 1024
+	}
+	return s.ObserveEvery
+}
+
+// fingerprint identifies the reuse context a job needs: everything
+// that forces a rebuild (protocol, graph, k, source, adaptivity) and
+// nothing that doesn't (seed, channel, limits, observability).
+func (s *JobSpec) fingerprint() string {
+	adaptive := ""
+	if s.Adaptive != nil {
+		adaptive = "/adaptive"
+	}
+	return fmt.Sprintf("%s/k=%d/src=%d%s|%s", s.Protocol, s.k(), s.Source, adaptive, s.Graph.key())
+}
+
+// buildChannel assembles the job's channel stack (nil = ideal).
+func (s *JobSpec) buildChannel(n int) (radio.Channel, error) {
+	if len(s.Channel) == 0 {
+		return nil, nil
+	}
+	if len(s.Channel) == 1 {
+		return s.Channel[0].build(n, graph.NodeID(s.Source), s.Seed)
+	}
+	stack := make(channel.Stack, len(s.Channel))
+	for i, cs := range s.Channel {
+		ch, err := cs.build(n, graph.NodeID(s.Source), s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		stack[i] = ch
+	}
+	return stack, nil
+}

@@ -27,6 +27,11 @@
 // epochs elapse (0 = until done). Supported by every protocol except
 // k-known.
 //
+// -logformat/-loglevel route run lifecycle events (job.start,
+// job.done) to stderr through the shared internal/obs logger; the
+// default warn level keeps stderr quiet, and the human-readable result
+// on stdout is unaffected.
+//
 // Incoherent flag combinations are rejected up front with a usage
 // message (-pipelined on a protocol without a distributed GST build,
 // -jamadaptive without a -jam budget, -maxepochs without -adaptive,
@@ -42,9 +47,11 @@ import (
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"radiocast"
 	"radiocast/internal/graph"
+	"radiocast/internal/obs"
 )
 
 func buildGraph(kind string, n int, seed uint64) (*radiocast.Graph, error) {
@@ -177,7 +184,15 @@ func main() {
 	flag.Float64Var(&cf.cdNoise, "cdnoise", 0, "probability a true collision symbol is missed")
 	flag.Float64Var(&cf.cdSpurious, "cdspurious", 0, "probability silence is observed as a spurious collision symbol")
 	flag.Float64Var(&cf.faults, "faults", 0, "per-node late-wakeup probability (crash probability is half of it)")
+	logFormat := flag.String("logformat", "text", "stderr event format: text or json")
+	logLevel := flag.String("loglevel", "warn", "stderr event level: debug, info (run lifecycle events), warn, error")
 	flag.Parse()
+
+	lg, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radiosim:", err)
+		os.Exit(2)
+	}
 
 	validateFlags(*protocol, *pipelined, cf, *adaptive, *maxEpochs)
 
@@ -197,6 +212,14 @@ func main() {
 	if len(chNames) > 0 {
 		fmt.Printf("channel: %s\n", strings.Join(chNames, " + "))
 	}
+	lg.Info(obs.EventJobStart,
+		"protocol", *protocol,
+		"workload", g.Name(),
+		"n", g.N(),
+		"seed", *seed,
+		"channel", strings.Join(chNames, "+"),
+		"adaptive", *adaptive)
+	start := time.Now()
 
 	opts := radiocast.Options{Seed: *seed, Channel: ch, PipelinedBoundaries: *pipelined,
 		Adaptive: *adaptive, MaxEpochs: *maxEpochs}
@@ -221,6 +244,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	lg.Info(obs.EventJobDone,
+		"protocol", *protocol,
+		"rounds", res.Rounds,
+		"completed", res.Completed,
+		"epochs", res.Epochs,
+		"dropped", res.Dropped,
+		"jammed", res.Jammed,
+		"wall_us", time.Since(start).Microseconds())
 	status := "completed"
 	if !res.Completed {
 		status = "INCOMPLETE (round limit)"

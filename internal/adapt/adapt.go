@@ -83,6 +83,13 @@ type Policy struct {
 	// across epochs: each epoch's limit is clamped to the remaining
 	// budget, so Outcome.Rounds never exceeds it.
 	MaxRounds int64
+	// OnEpoch, when non-nil, is invoked synchronously after every
+	// executed epoch with the epoch number, that epoch's rounds, the
+	// cumulative informed count, and whether the broadcast is complete
+	// — the observability hook surfaced as structured log events and
+	// SSE progress. Covered() is an O(1) DoneSet read, so the callback
+	// adds no per-node work; it must not mutate the runner.
+	OnEpoch func(epoch int, rounds int64, covered int, done bool)
 }
 
 // epochs resolves the effective epoch cap.
@@ -130,6 +137,9 @@ func Run(r Runner, p Policy) Outcome {
 		out.Epochs++
 		out.Rounds += rounds
 		out.Stats.Add(st)
+		if p.OnEpoch != nil {
+			p.OnEpoch(e, rounds, r.Covered(), done)
+		}
 		if done {
 			out.Completed = true
 			break

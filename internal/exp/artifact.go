@@ -10,18 +10,23 @@ import (
 // CellRecord is the serialized form of one cell result: flat fields so
 // artifacts are trivially queryable (jq '.experiments[].cells[]').
 type CellRecord struct {
-	Experiment string  `json:"experiment"`
-	Config     string  `json:"config"`
-	Seed       uint64  `json:"seed"`
-	Rounds     int64   `json:"rounds"`
-	Completed  bool    `json:"completed"`
-	Value      float64 `json:"value,omitempty"`
-	Dropped    int64   `json:"dropped,omitempty"`
-	Jammed     int64   `json:"jammed,omitempty"`
-	MemBytes   int64   `json:"mem_bytes,omitempty"`
-	PeakRSS    int64   `json:"peak_rss_bytes,omitempty"`
-	Error      string  `json:"error,omitempty"`
-	WallMicros int64   `json:"wall_us"`
+	Experiment   string  `json:"experiment"`
+	Config       string  `json:"config"`
+	Seed         uint64  `json:"seed"`
+	Rounds       int64   `json:"rounds"`
+	Completed    bool    `json:"completed"`
+	Value        float64 `json:"value,omitempty"`
+	Dropped      int64   `json:"dropped,omitempty"`
+	Jammed       int64   `json:"jammed,omitempty"`
+	BusyRounds   int64   `json:"busy_rounds,omitempty"`
+	SilentRounds int64   `json:"silent_rounds,omitempty"`
+	MaxFrontier  int64   `json:"max_frontier,omitempty"`
+	Epochs       int     `json:"epochs,omitempty"`
+	Covered      int     `json:"covered,omitempty"`
+	MemBytes     int64   `json:"mem_bytes,omitempty"`
+	PeakRSS      int64   `json:"peak_rss_bytes,omitempty"`
+	Error        string  `json:"error,omitempty"`
+	WallMicros   int64   `json:"wall_us"`
 }
 
 // ExperimentRecord is one experiment's slice of a bench artifact: the
@@ -66,18 +71,23 @@ func (a *Artifact) Add(p *Plan, tb *stats.Table, results []Result, wall time.Dur
 	}
 	for i, r := range results {
 		rec.Cells[i] = CellRecord{
-			Experiment: r.Key.Experiment,
-			Config:     r.Key.Config,
-			Seed:       r.Key.Seed,
-			Rounds:     r.Rounds,
-			Completed:  r.Completed,
-			Value:      r.Value,
-			Dropped:    r.Dropped,
-			Jammed:     r.Jammed,
-			MemBytes:   r.MemBytes,
-			PeakRSS:    r.PeakRSS,
-			Error:      r.Err,
-			WallMicros: r.Wall.Microseconds(),
+			Experiment:   r.Key.Experiment,
+			Config:       r.Key.Config,
+			Seed:         r.Key.Seed,
+			Rounds:       r.Rounds,
+			Completed:    r.Completed,
+			Value:        r.Value,
+			Dropped:      r.Dropped,
+			Jammed:       r.Jammed,
+			BusyRounds:   r.BusyRounds,
+			SilentRounds: r.SilentRounds,
+			MaxFrontier:  r.MaxFrontier,
+			Epochs:       r.Epochs,
+			Covered:      r.Covered,
+			MemBytes:     r.MemBytes,
+			PeakRSS:      r.PeakRSS,
+			Error:        r.Err,
+			WallMicros:   r.Wall.Microseconds(),
 		}
 	}
 	a.Experiments = append(a.Experiments, rec)

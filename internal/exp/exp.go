@@ -15,11 +15,13 @@ package exp
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"radiocast/internal/obs"
 	"radiocast/internal/stats"
 )
 
@@ -51,6 +53,17 @@ type Result struct {
 	// observations whose class the channel changed.
 	Dropped int64 `json:"dropped,omitempty"`
 	Jammed  int64 `json:"jammed,omitempty"`
+	// BusyRounds, SilentRounds and MaxFrontier are the engine's frontier
+	// counters (radio.Stats): executed rounds with/without a surviving
+	// transmitter and the peak per-round transmitter count. Populated by
+	// the cells that expose full engine stats (the E19 scale sweep).
+	BusyRounds   int64 `json:"busy_rounds,omitempty"`
+	SilentRounds int64 `json:"silent_rounds,omitempty"`
+	MaxFrontier  int64 `json:"max_frontier,omitempty"`
+	// Epochs and Covered describe adaptive-retry cells (adapt.Outcome):
+	// epochs executed and nodes informed when the policy stopped.
+	Epochs  int `json:"epochs,omitempty"`
+	Covered int `json:"covered,omitempty"`
 	// MemBytes is the cell's measured live-heap growth (scale cells:
 	// graph + engine + protocol state), and PeakRSS the process peak
 	// resident set sampled after the run. Both are environment-dependent
@@ -132,6 +145,14 @@ type Runner struct {
 	Timeout time.Duration
 	// RoundLimit, when positive, lowers every cell's round cap.
 	RoundLimit int64
+	// Metrics, when non-nil, accumulates per-experiment sweep counters
+	// (cells, errors, rounds, wall-time histogram) under the
+	// radiocast_exp_* names. Counters are atomic, so any worker count is
+	// fine; nil costs nothing.
+	Metrics *obs.Registry
+	// Log, when non-nil, emits one structured cell.done event per
+	// executed cell. nil costs nothing.
+	Log *slog.Logger
 }
 
 func (r *Runner) workers(cells int) int {
@@ -247,6 +268,7 @@ func (r *Runner) runCell(c *Cell) Result {
 		res := safeRun(c, limit)
 		res.Key = c.Key
 		res.Wall = time.Since(start)
+		r.observe(res)
 		return res
 	}
 	done := make(chan Result, 1)
@@ -257,13 +279,44 @@ func (r *Runner) runCell(c *Cell) Result {
 	case res := <-done:
 		res.Key = c.Key
 		res.Wall = time.Since(start)
+		r.observe(res)
 		return res
 	case <-timer.C:
-		return Result{
+		res := Result{
 			Key:  c.Key,
 			Err:  fmt.Sprintf("timeout after %v", r.Timeout),
 			Wall: time.Since(start),
 		}
+		r.observe(res)
+		return res
+	}
+}
+
+// observe reports one finished cell to the runner's metrics and log.
+// Measurement only — results are never altered, so instrumented and
+// bare sweeps stay byte-identical.
+func (r *Runner) observe(res Result) {
+	if r.Metrics != nil {
+		exp := obs.L("experiment", res.Key.Experiment)
+		r.Metrics.Counter("radiocast_exp_cells_total", "experiment cells executed", exp).Inc()
+		r.Metrics.Counter("radiocast_exp_rounds_total", "simulated rounds across cells", exp).Add(res.Rounds)
+		if res.Err != "" {
+			r.Metrics.Counter("radiocast_exp_cell_errors_total", "cells that timed out or panicked", exp).Inc()
+		}
+		r.Metrics.Histogram("radiocast_exp_cell_wall_seconds", "per-cell wall time",
+			obs.DefTimeBuckets, exp).Observe(res.Wall.Seconds())
+	}
+	if r.Log != nil {
+		// Debug: a sweep runs hundreds of cells; info level keeps the
+		// per-experiment summaries (the CLI's) without the cell firehose.
+		r.Log.Debug(obs.EventCellDone,
+			"experiment", res.Key.Experiment,
+			"config", res.Key.Config,
+			"seed", res.Key.Seed,
+			"rounds", res.Rounds,
+			"completed", res.Completed,
+			"wall_us", res.Wall.Microseconds(),
+			"err", res.Err)
 	}
 }
 

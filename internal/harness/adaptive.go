@@ -14,6 +14,7 @@ import (
 	"radiocast/internal/adapt"
 	"radiocast/internal/channel"
 	"radiocast/internal/graph"
+	"radiocast/internal/obs"
 	"radiocast/internal/radio"
 	"radiocast/internal/rings"
 	"radiocast/internal/rng"
@@ -60,9 +61,10 @@ type AdaptiveRunner struct {
 	epochLimit int64 // default per-epoch cap when the policy passes 0
 	elapsed    int64
 
-	exec    func(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats)
-	covered func() int
-	mark    func(dst []bool)
+	exec        func(informed []bool, ch radio.Channel, seed uint64, limit int64) (int64, bool, radio.Stats)
+	covered     func() int
+	mark        func(dst []bool)
+	setObserver func(o obs.RoundObserver, stride int64)
 }
 
 var _ adapt.Runner = (*AdaptiveRunner)(nil)
@@ -75,6 +77,13 @@ func (a *AdaptiveRunner) Reseed(seed uint64) { a.baseSeed = seed }
 // adaptive run (a reused runner needs a per-seed channel, exactly like
 // the underlying contexts take a fresh channel per Run).
 func (a *AdaptiveRunner) SetChannelFactory(chf ChannelFactory) { a.chf = chf }
+
+// SetObserver forwards to the wrapped context's engine observer (see
+// radio.Network.SetObserver); the observer spans every epoch of every
+// subsequent adaptive run until replaced or detached with nil.
+func (a *AdaptiveRunner) SetObserver(o obs.RoundObserver, stride int64) {
+	a.setObserver(o, stride)
+}
 
 // RunEpoch implements adapt.Runner.
 func (a *AdaptiveRunner) RunEpoch(epoch int, limit int64) (int64, bool, radio.Stats) {
@@ -123,13 +132,14 @@ func NewAdaptiveDecay(g *graph.Graph, chf ChannelFactory, seed uint64, source gr
 	r := NewDecayRun(g, source)
 	d := graph.Eccentricity(g, source)
 	return &AdaptiveRunner{
-		informed:   make([]bool, g.N()),
-		baseSeed:   seed,
-		chf:        chf,
-		epochLimit: baselineEpochBudget(g, d),
-		exec:       r.RunFrom,
-		covered:    r.Coverage,
-		mark:       r.mark,
+		informed:    make([]bool, g.N()),
+		baseSeed:    seed,
+		chf:         chf,
+		epochLimit:  baselineEpochBudget(g, d),
+		exec:        r.RunFrom,
+		covered:     r.Coverage,
+		mark:        r.mark,
+		setObserver: r.SetObserver,
 	}
 }
 
@@ -138,13 +148,14 @@ func NewAdaptiveDecay(g *graph.Graph, chf ChannelFactory, seed uint64, source gr
 func NewAdaptiveCR(g *graph.Graph, d int, chf ChannelFactory, seed uint64, source graph.NodeID) *AdaptiveRunner {
 	r := NewCRRun(g, d, source)
 	return &AdaptiveRunner{
-		informed:   make([]bool, g.N()),
-		baseSeed:   seed,
-		chf:        chf,
-		epochLimit: baselineEpochBudget(g, d),
-		exec:       r.RunFrom,
-		covered:    r.Coverage,
-		mark:       r.mark,
+		informed:    make([]bool, g.N()),
+		baseSeed:    seed,
+		chf:         chf,
+		epochLimit:  baselineEpochBudget(g, d),
+		exec:        r.RunFrom,
+		covered:     r.Coverage,
+		mark:        r.mark,
+		setObserver: r.SetObserver,
 	}
 }
 
@@ -154,13 +165,14 @@ func NewAdaptiveGSTSingle(g *graph.Graph, noising bool, chf ChannelFactory, seed
 	r := NewGSTSingleRun(g, noising, source)
 	d := graph.Eccentricity(g, source)
 	return &AdaptiveRunner{
-		informed:   make([]bool, g.N()),
-		baseSeed:   seed,
-		chf:        chf,
-		epochLimit: baselineEpochBudget(g, d),
-		exec:       r.RunFrom,
-		covered:    r.Coverage,
-		mark:       r.mark,
+		informed:    make([]bool, g.N()),
+		baseSeed:    seed,
+		chf:         chf,
+		epochLimit:  baselineEpochBudget(g, d),
+		exec:        r.RunFrom,
+		covered:     r.Coverage,
+		mark:        r.mark,
+		setObserver: r.SetObserver,
 	}
 }
 
@@ -171,12 +183,13 @@ func NewAdaptiveGSTSingle(g *graph.Graph, noising bool, chf ChannelFactory, seed
 func NewAdaptiveTheorem11(g *graph.Graph, cfg rings.Config, chf ChannelFactory, seed uint64, source graph.NodeID) *AdaptiveRunner {
 	r := NewTheorem11RunCfg(g, cfg, source)
 	return &AdaptiveRunner{
-		informed: make([]bool, g.N()),
-		baseSeed: seed,
-		chf:      chf,
-		exec:     r.RunFrom,
-		covered:  r.Coverage,
-		mark:     r.mark,
+		informed:    make([]bool, g.N()),
+		baseSeed:    seed,
+		chf:         chf,
+		exec:        r.RunFrom,
+		covered:     r.Coverage,
+		mark:        r.mark,
+		setObserver: r.SetObserver,
 	}
 }
 
@@ -186,11 +199,12 @@ func NewAdaptiveTheorem11(g *graph.Graph, cfg rings.Config, chf ChannelFactory, 
 func NewAdaptiveTheorem13(g *graph.Graph, cfg rings.Config, chf ChannelFactory, seed uint64, source graph.NodeID) *AdaptiveRunner {
 	r := NewTheorem13RunCfg(g, cfg, source)
 	return &AdaptiveRunner{
-		informed: make([]bool, g.N()),
-		baseSeed: seed,
-		chf:      chf,
-		exec:     r.RunFrom,
-		covered:  r.Coverage,
-		mark:     r.mark,
+		informed:    make([]bool, g.N()),
+		baseSeed:    seed,
+		chf:         chf,
+		exec:        r.RunFrom,
+		covered:     r.Coverage,
+		mark:        r.mark,
+		setObserver: r.SetObserver,
 	}
 }

@@ -73,6 +73,8 @@ func E17Plan(seeds int, quick bool) *exp.Plan {
 						out := adapt.Run(a, adapt.Policy{MaxEpochs: adaptMaxEpochs, MaxRounds: limit})
 						res := exp.RoundsOn(out.Rounds, out.Completed, out.Stats.Dropped, out.Stats.Jammed)
 						res.Value = float64(out.Epochs)
+						res.Epochs = out.Epochs
+						res.Covered = out.Covered
 						return res
 					},
 				})
@@ -173,6 +175,8 @@ func E18Plan(seeds int, quick bool) *exp.Plan {
 						res := exp.RoundsOn(out.Rounds, out.Completed, out.Stats.Dropped, out.Stats.Jammed)
 						res.Value = float64(out.Covered) / n
 						res.Payload = out.Epochs
+						res.Epochs = out.Epochs
+						res.Covered = out.Covered
 						return res
 					},
 				})

@@ -31,6 +31,7 @@ import (
 	"radiocast/internal/graph"
 	"radiocast/internal/gst"
 	"radiocast/internal/mmv"
+	"radiocast/internal/obs"
 	"radiocast/internal/radio"
 	"radiocast/internal/rings"
 	"radiocast/internal/rlnc"
@@ -697,3 +698,33 @@ func RunGSTMultiRouting(g *graph.Graph, k int, seed uint64, limit int64) (int64,
 	initDone(&ds, g.N(), func(v int) bool { return contents[v].Done() })
 	return nw.RunUntil(limit, ds.Done)
 }
+
+// ---------------------------------------------------------------------
+// Observability plumbing. Every reusable run context exposes the
+// engine's round observer so callers (the daemon's job workers, the
+// experiment runner) can attach per-run progress without touching the
+// stacks. Observers survive the engine's Reset — one SetObserver call
+// covers every subsequent seed — and nil detaches.
+
+// SetObserver attaches o at the given round stride (see
+// radio.Config.ObserverStride); nil detaches.
+func (r *DecayRun) SetObserver(o obs.RoundObserver, stride int64) { r.nw.SetObserver(o, stride) }
+
+// SetObserver attaches o at the given round stride; nil detaches.
+func (r *CRRun) SetObserver(o obs.RoundObserver, stride int64) { r.nw.SetObserver(o, stride) }
+
+// SetObserver attaches o at the given round stride; nil detaches.
+func (r *GSTSingleRun) SetObserver(o obs.RoundObserver, stride int64) { r.nw.SetObserver(o, stride) }
+
+// SetObserver attaches o at the given round stride; nil detaches.
+func (r *Theorem11Run) SetObserver(o obs.RoundObserver, stride int64) { r.nw.SetObserver(o, stride) }
+
+// SetObserver attaches o at the given round stride; nil detaches.
+func (r *GSTMultiRun) SetObserver(o obs.RoundObserver, stride int64) { r.nw.SetObserver(o, stride) }
+
+// SetObserver attaches o at the given round stride; nil detaches.
+func (r *Theorem13Run) SetObserver(o obs.RoundObserver, stride int64) { r.nw.SetObserver(o, stride) }
+
+// Coverage returns how many nodes had decoded all k messages when the
+// last run stopped (== n on completed runs).
+func (r *GSTMultiRun) Coverage() int { return r.ds.Count() }

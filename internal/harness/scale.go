@@ -179,6 +179,9 @@ func E19Plan(seeds int, quick bool) *exp.Plan {
 					after := liveHeap()
 					res := exp.Rounds(rounds, ok)
 					res.Value = float64(st.Deliveries)
+					res.BusyRounds = st.BusyRounds
+					res.SilentRounds = st.SilentRounds
+					res.MaxFrontier = st.MaxFrontier
 					if d := after - before; d > 0 {
 						res.MemBytes = d
 					}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("radiocastd_jobs_submitted_total", "jobs accepted", L("protocol", "decay"))
+	c.Inc()
+	c.Add(2)
+	r.Counter("radiocastd_jobs_submitted_total", "jobs accepted", L("protocol", "cd")).Inc()
+	g := r.Gauge("radiocastd_jobs_running", "jobs executing now")
+	g.Set(2)
+	g.Dec()
+	r.GaugeFunc("radiocastd_heap_alloc_bytes", "live heap", func() float64 { return 4096 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE radiocastd_jobs_submitted_total counter",
+		`radiocastd_jobs_submitted_total{protocol="decay"} 3`,
+		`radiocastd_jobs_submitted_total{protocol="cd"} 1`,
+		"# TYPE radiocastd_jobs_running gauge",
+		"radiocastd_jobs_running 1",
+		"radiocastd_heap_alloc_bytes 4096",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesHandleCaching(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", L("job", "j1"))
+	b := r.Counter("x_total", "", L("job", "j1"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	if c := r.Counter("x_total", "", L("job", "j2")); c == a {
+		t.Fatal("distinct labels share a counter")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("y_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering y_total as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("y_total", "")
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("job_wall_seconds", "job wall time", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`job_wall_seconds_bucket{le="0.1"} 1`,
+		`job_wall_seconds_bucket{le="1"} 3`,
+		`job_wall_seconds_bucket{le="10"} 4`,
+		`job_wall_seconds_bucket{le="+Inf"} 5`,
+		"job_wall_seconds_sum 56.05",
+		"job_wall_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramWithLabelsSplicesLe(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("w_seconds", "", []float64{1}, L("protocol", "decay")).Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `w_seconds_bucket{protocol="decay",le="1"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", DefTimeBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %g, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestConcurrentResolution races the FIRST resolution of one series
+// from many goroutines: all must receive the same handle (counts
+// land in one counter) — the daemon's workers resolve labelled series
+// lazily on the hot path.
+func TestConcurrentResolution(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("lazy_total", "", L("p", "x")).Inc()
+				r.Gauge("lazy_g", "").Inc()
+				r.Histogram("lazy_seconds", "", DefTimeBuckets).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("lazy_total", "", L("p", "x")).Value(); v != 1600 {
+		t.Fatalf("counter = %d, want 1600 (split handles?)", v)
+	}
+	if v := r.Gauge("lazy_g", "").Value(); v != 1600 {
+		t.Fatalf("gauge = %g, want 1600 (split handles?)", v)
+	}
+	if n := r.Histogram("lazy_seconds", "", DefTimeBuckets).Count(); n != 1600 {
+		t.Fatalf("histogram count = %d, want 1600 (split handles?)", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "", L("cfg", `a"b\c`)).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `e_total{cfg="a\"b\\c"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("missing escaped series %q:\n%s", want, b.String())
+	}
+}

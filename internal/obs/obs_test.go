@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerJSONSchema(t *testing.T) {
+	var b bytes.Buffer
+	lg, err := NewLogger(&b, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info(EventJobDone, "protocol", "decay", "rounds", int64(42), "completed", true)
+	var ev map[string]any
+	if err := json.Unmarshal(b.Bytes(), &ev); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, b.String())
+	}
+	if ev["msg"] != EventJobDone || ev["protocol"] != "decay" || ev["rounds"] != float64(42) {
+		t.Fatalf("unexpected event shape: %v", ev)
+	}
+}
+
+func TestNewLoggerTextAndLevels(t *testing.T) {
+	var b bytes.Buffer
+	lg, err := NewLogger(&b, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("suppressed")
+	lg.Warn("kept")
+	out := b.String()
+	if strings.Contains(out, "suppressed") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering broken:\n%s", out)
+	}
+}
+
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "xml", ""); err == nil {
+		t.Fatal("format xml accepted")
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "json", "loud"); err == nil {
+		t.Fatal("level loud accepted")
+	}
+}
+
+func TestObserverFunc(t *testing.T) {
+	var got RoundSnapshot
+	var o RoundObserver = ObserverFunc(func(s RoundSnapshot) { got = s })
+	o.OnRound(RoundSnapshot{Round: 9, Deliveries: 3})
+	if got.Round != 9 || got.Deliveries != 3 {
+		t.Fatalf("snapshot not delivered: %+v", got)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"sync"
 
 	"radiocast/internal/graph"
+	"radiocast/internal/obs"
 )
 
 // DenseProtocol is the bulk, structure-of-arrays counterpart of
@@ -537,6 +538,31 @@ func (d *Dense) Step() {
 	d.lastTx = totalTx
 	d.round = r + 1
 	d.stats.Rounds = d.round
+	// Frontier accounting mirrors Network.finishRound and runs on the
+	// stepping goroutine from the already-merged global survivor list,
+	// so it is deterministic at any worker count.
+	surv := int64(len(d.effTx))
+	if surv > 0 {
+		d.stats.BusyRounds++
+		if surv > d.stats.MaxFrontier {
+			d.stats.MaxFrontier = surv
+		}
+	} else {
+		d.stats.SilentRounds++
+	}
+	if o := d.cfg.Observer; o != nil {
+		stride := d.cfg.ObserverStride
+		if stride < 1 || r%stride == 0 {
+			o.OnRound(d.stats.snapshot(r))
+		}
+	}
+}
+
+// SetObserver installs (or clears) the round observer and its stride;
+// the same contract as Network.SetObserver.
+func (d *Dense) SetObserver(o obs.RoundObserver, stride int64) {
+	d.cfg.Observer = o
+	d.cfg.ObserverStride = stride
 }
 
 // Run executes rounds until the round counter reaches limit.

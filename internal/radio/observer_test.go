@@ -1,0 +1,186 @@
+package radio_test
+
+// Observer neutrality: attaching a RoundObserver must not perturb a
+// run (identical rounds, Stats, and protocol outcomes vs an unobserved
+// twin), the stride must gate which rounds are reported, and the
+// reported snapshots must be consistent with the engine counters. The
+// nil-observer zero-alloc guarantee is pinned by the repo-root
+// alloc-guard tests; here we additionally pin that an ATTACHED
+// observer adds no steady-state allocations either.
+
+import (
+	"testing"
+
+	"radiocast/internal/decay"
+	"radiocast/internal/graph"
+	"radiocast/internal/obs"
+	"radiocast/internal/radio"
+)
+
+// obsRecorder collects every snapshot it is handed.
+type obsRecorder struct {
+	snaps []obs.RoundSnapshot
+}
+
+func (o *obsRecorder) OnRound(s obs.RoundSnapshot) { o.snaps = append(o.snaps, s) }
+
+// runDenseObserved is runDenseDecay with an optional observer.
+func runDenseObserved(g *graph.Graph, seed uint64, workers int,
+	o obs.RoundObserver, stride int64) denseFingerprint {
+	pr := decay.NewDense(g, seed, 0)
+	eng := radio.NewDense(g, radio.Config{CollisionDetection: true, Workers: workers}, pr)
+	defer eng.Close()
+	if o != nil {
+		eng.SetObserver(o, stride)
+	}
+	rounds, completed := eng.RunUntil(1<<20, pr.Done)
+	fp := denseFingerprint{
+		rounds:    rounds,
+		completed: completed,
+		stats:     eng.Stats(),
+		informed:  make([]bool, g.N()),
+		recvRound: make([]int64, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		fp.informed[v] = pr.Informed(graph.NodeID(v))
+		fp.recvRound[v] = pr.RecvRound(graph.NodeID(v))
+	}
+	return fp
+}
+
+// TestDenseObserverNeutral runs an observed engine (stride 1 and a
+// coarse stride, sequential and gate-engaged parallel) against an
+// unobserved twin and requires byte-identical fingerprints.
+func TestDenseObserverNeutral(t *testing.T) {
+	g := graph.ClusterChain(12, 16)
+	base := runDenseObserved(g, 42, 1, nil, 0)
+	if !base.completed {
+		t.Fatal("baseline run did not complete")
+	}
+	for _, workers := range []int{1, 4} {
+		for _, stride := range []int64{1, 7} {
+			rec := &obsRecorder{}
+			got := runDenseObserved(g, 42, workers, rec, stride)
+			label := "observed workers=" + string(rune('0'+workers)) + " stride=" + string(rune('0'+stride))
+			sameFingerprint(t, label, got, base)
+			if len(rec.snaps) == 0 {
+				t.Fatalf("%s: observer never fired", label)
+			}
+			// At stride 1 the last snapshot is the last executed round
+			// and must agree with the final counters exactly.
+			if stride == 1 {
+				last := rec.snaps[len(rec.snaps)-1]
+				if last.Deliveries != got.stats.Deliveries || last.BusyRounds != got.stats.BusyRounds {
+					t.Fatalf("%s: final snapshot %+v inconsistent with stats %+v", label, last, got.stats)
+				}
+			}
+		}
+	}
+}
+
+// obsProto is a deterministic sparse protocol: transmit every k-th
+// round, listen otherwise, count receptions.
+type obsProto struct {
+	id       radio.NodeID
+	every    int64
+	received int
+}
+
+func (p *obsProto) Act(r int64) radio.Action {
+	if r%p.every == int64(p.id)%p.every {
+		return radio.Transmit(radio.RawPacket{Value: r})
+	}
+	return radio.Listen
+}
+
+func (p *obsProto) Observe(int64, radio.Outcome) { p.received++ }
+
+func runNetworkObserved(g *graph.Graph, o obs.RoundObserver, stride int64) (radio.Stats, int) {
+	nw := radio.New(g, radio.Config{CollisionDetection: true})
+	if o != nil {
+		nw.SetObserver(o, stride)
+	}
+	total := 0
+	protos := make([]*obsProto, g.N())
+	for v := range protos {
+		protos[v] = &obsProto{id: radio.NodeID(v), every: 3 + int64(v%4)}
+		nw.SetProtocol(radio.NodeID(v), protos[v])
+	}
+	nw.Run(200)
+	for _, p := range protos {
+		total += p.received
+	}
+	return nw.Stats(), total
+}
+
+// TestNetworkObserverNeutral is the sparse-engine twin comparison,
+// plus the stride gate: with stride s only rounds divisible by s are
+// reported, in order.
+func TestNetworkObserverNeutral(t *testing.T) {
+	g := graph.Grid(5, 5)
+	baseStats, baseRec := runNetworkObserved(g, nil, 0)
+	rec := &obsRecorder{}
+	gotStats, gotRec := runNetworkObserved(g, rec, 5)
+	if gotStats != baseStats || gotRec != baseRec {
+		t.Fatalf("observed run diverged:\nbase %+v rec=%d\ngot  %+v rec=%d",
+			baseStats, baseRec, gotStats, gotRec)
+	}
+	if len(rec.snaps) != 40 {
+		t.Fatalf("stride 5 over 200 rounds reported %d snapshots, want 40", len(rec.snaps))
+	}
+	for i, s := range rec.snaps {
+		if s.Round != int64(i*5) {
+			t.Fatalf("snapshot %d is round %d, want %d", i, s.Round, i*5)
+		}
+	}
+	// Every executed round carried traffic on this workload, so the
+	// frontier counters must account for all of them.
+	if gotStats.BusyRounds+gotStats.SilentRounds != gotStats.Rounds {
+		t.Fatalf("busy+silent = %d+%d != rounds %d",
+			gotStats.BusyRounds, gotStats.SilentRounds, gotStats.Rounds)
+	}
+	if gotStats.MaxFrontier < 1 || gotStats.MaxFrontier > int64(g.N()) {
+		t.Fatalf("implausible MaxFrontier %d", gotStats.MaxFrontier)
+	}
+}
+
+// TestNetworkObserverSurvivesReset pins the Reset contract: unlike the
+// channel, the observer stays attached across Reset.
+func TestNetworkObserverSurvivesReset(t *testing.T) {
+	g := graph.Path(4)
+	nw := radio.New(g, radio.Config{})
+	rec := &obsRecorder{}
+	nw.SetObserver(rec, 1)
+	nw.SetProtocol(0, &obsProto{id: 0, every: 2})
+	nw.Run(4)
+	nw.Reset()
+	n1 := len(rec.snaps)
+	if n1 == 0 {
+		t.Fatal("observer never fired before Reset")
+	}
+	nw.SetProtocol(0, &obsProto{id: 0, every: 2})
+	nw.Run(4)
+	if len(rec.snaps) <= n1 {
+		t.Fatal("observer detached by Reset")
+	}
+}
+
+// TestObservedStepAllocsZero pins that an attached observer keeps the
+// steady-state round loop allocation-free: snapshots are plain value
+// structs handed to the interface by value.
+func TestObservedStepAllocsZero(t *testing.T) {
+	g := graph.Path(256)
+	pr := decay.NewDense(g, 7, 0)
+	eng := radio.NewDense(g, radio.Config{}, pr)
+	defer eng.Close()
+	var rounds int64
+	eng.SetObserver(obs.ObserverFunc(func(s obs.RoundSnapshot) { rounds = s.Round }), 1)
+	eng.Run(64) // warm up scratch growth
+	avg := testing.AllocsPerRun(200, func() { eng.Step() })
+	if avg != 0 {
+		t.Fatalf("observed dense step allocates %.2f/op, want 0", avg)
+	}
+	if rounds == 0 {
+		t.Fatal("observer did not fire")
+	}
+}

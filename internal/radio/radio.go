@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"radiocast/internal/graph"
+	"radiocast/internal/obs"
 )
 
 // NodeID identifies a node (0..N-1), aliasing graph.NodeID.
@@ -181,6 +182,17 @@ type Config struct {
 	// RoundStart. A custom model that mutates state in DropLink or
 	// Observe must be used with Workers <= 1.
 	Workers int
+	// Observer, when non-nil, receives a cumulative-counter snapshot
+	// every ObserverStride-th executed round, synchronously after the
+	// round's deliveries. nil is never consulted and preserves the
+	// zero-allocation hot path byte-for-byte (the same guard discipline
+	// as a nil Channel). Observers see counters only; they must not
+	// block and cannot perturb the run.
+	Observer obs.RoundObserver
+	// ObserverStride is the round interval between Observer callbacks
+	// (round r is reported when r is a multiple of the stride); values
+	// below 1 mean every executed round. Ignored when Observer is nil.
+	ObserverStride int64
 }
 
 // Stats aggregates engine counters for a run.
@@ -193,6 +205,19 @@ type Stats struct {
 	Polls         int64 // Act calls (wall-clock work proxy)
 	Dropped       int64 // transmissions/link deliveries erased by the channel
 	Jammed        int64 // observations whose class the channel changed
+	BusyRounds    int64 // executed rounds with >= 1 channel-surviving transmitter
+	SilentRounds  int64 // executed rounds with none (idle fast-forwarded rounds count in neither)
+	MaxFrontier   int64 // peak per-round surviving-transmitter count
+}
+
+// Utilization is the fraction of executed rounds that carried traffic
+// (BusyRounds over executed rounds); 0 when nothing executed.
+func (s Stats) Utilization() float64 {
+	executed := s.BusyRounds + s.SilentRounds
+	if executed == 0 {
+		return 0
+	}
+	return float64(s.BusyRounds) / float64(executed)
 }
 
 // Add accumulates other's counters into s. Multi-run aggregators (the
@@ -208,6 +233,28 @@ func (s *Stats) Add(other Stats) {
 	s.Polls += other.Polls
 	s.Dropped += other.Dropped
 	s.Jammed += other.Jammed
+	s.BusyRounds += other.BusyRounds
+	s.SilentRounds += other.SilentRounds
+	// MaxFrontier is a high-water mark, not a flow: the aggregate peak
+	// is the max of the per-run peaks.
+	if other.MaxFrontier > s.MaxFrontier {
+		s.MaxFrontier = other.MaxFrontier
+	}
+}
+
+// snapshot renders the counters as an observer snapshot for round r.
+func (s *Stats) snapshot(r int64) obs.RoundSnapshot {
+	return obs.RoundSnapshot{
+		Round:         r,
+		Transmissions: s.Transmissions,
+		Deliveries:    s.Deliveries,
+		CollisionObs:  s.CollisionObs,
+		Dropped:       s.Dropped,
+		Jammed:        s.Jammed,
+		BusyRounds:    s.BusyRounds,
+		SilentRounds:  s.SilentRounds,
+		MaxFrontier:   s.MaxFrontier,
+	}
 }
 
 // Network is a synchronous radio network simulation over a fixed graph.
@@ -305,6 +352,15 @@ func (nw *Network) Reset() {
 // network needs a fresh instance after every Reset.
 func (nw *Network) SetChannel(ch Channel) { nw.cfg.Channel = ch }
 
+// SetObserver installs (or clears) the round observer and its stride.
+// Unlike channels, observers carry no per-run simulation state, so —
+// like the tracer — an installed observer survives Reset; pass nil to
+// detach and restore the observer-free hot path.
+func (nw *Network) SetObserver(o obs.RoundObserver, stride int64) {
+	nw.cfg.Observer = o
+	nw.cfg.ObserverStride = stride
+}
+
 // Graph returns the underlying graph.
 func (nw *Network) Graph() *graph.Graph { return nw.g }
 
@@ -358,8 +414,7 @@ func (nw *Network) step() {
 	}
 	if nw.cfg.Channel != nil {
 		nw.deliverAdverse(r, awake)
-		nw.round = r + 1
-		nw.stats.Rounds = nw.round
+		nw.finishRound(r, int64(len(nw.keptTx)))
 		return
 	}
 	// Delivery: count transmitting neighbors of each awake listener,
@@ -400,8 +455,32 @@ func (nw *Network) step() {
 			nw.cfg.Tracer.OnDeliver(r, u, out)
 		}
 	}
+	nw.finishRound(r, int64(len(nw.transmitter)))
+}
+
+// finishRound closes out executed round r: advances the round counter
+// and folds the surviving-transmitter count surv (post channel
+// suppression; every transmitter on the ideal path) into the frontier
+// counters, then fires the stride-gated observer. Both delivery paths
+// funnel through here so the busy/silent split and MaxFrontier mean the
+// same thing with and without a channel.
+func (nw *Network) finishRound(r, surv int64) {
 	nw.round = r + 1
 	nw.stats.Rounds = nw.round
+	if surv > 0 {
+		nw.stats.BusyRounds++
+		if surv > nw.stats.MaxFrontier {
+			nw.stats.MaxFrontier = surv
+		}
+	} else {
+		nw.stats.SilentRounds++
+	}
+	if o := nw.cfg.Observer; o != nil {
+		stride := nw.cfg.ObserverStride
+		if stride < 1 || r%stride == 0 {
+			o.OnRound(nw.stats.snapshot(r))
+		}
+	}
 }
 
 // deliverAdverse is the Channel-mediated delivery pass. It mirrors the

@@ -1,0 +1,108 @@
+// k6 load script for the radiocastd job API: submit a mix of small
+// broadcast jobs, poll each to a terminal state, and assert the
+// status/latency contract. Run manually (or from a nightly pipeline)
+// against a local daemon — this is NOT part of CI, which only smokes
+// the daemon once; k6 is not vendored and must be installed from
+// https://k6.io.
+//
+//   radiocastd -addr :8080 -opsaddr :9090 &
+//   k6 run scripts/load/k6-jobs.js
+//   k6 run -e BASE=http://localhost:8080 -e VUS=20 -e DURATION=2m \
+//       scripts/load/k6-jobs.js
+//
+// While it runs, watch the daemon's own view of the load:
+//
+//   curl -s localhost:9090/metrics | grep radiocastd_
+//
+// The job mix mirrors the pooling fingerprint design: most iterations
+// reuse one of a few fixed (protocol, graph) shapes with a fresh seed,
+// so the daemon's per-worker reuse contexts should show a high
+// radiocastd_pool_hits_total : misses ratio under load.
+
+import http from "k6/http";
+import { check, sleep } from "k6";
+import { Trend, Counter } from "k6/metrics";
+
+const BASE = __ENV.BASE || "http://localhost:8080";
+const VUS = Number(__ENV.VUS || 10);
+const DURATION = __ENV.DURATION || "30s";
+
+export const options = {
+  vus: VUS,
+  duration: DURATION,
+  thresholds: {
+    // Submission is admission control only; it must stay fast even
+    // while workers grind. 503s (full queue) are backpressure, not
+    // failures — they are counted separately below.
+    "http_req_duration{endpoint:submit}": ["p(95)<100"],
+    checks: ["rate>0.95"],
+  },
+};
+
+const jobWall = new Trend("radiocast_job_wall_ms", true);
+const backpressure = new Counter("radiocast_submit_backpressure");
+const failedJobs = new Counter("radiocast_jobs_failed");
+
+// Small, fast specs spanning the sparse engine, the channel/adaptive
+// stack, and the dense engine. Seeds vary per iteration; shapes do
+// not (pool-friendly).
+const SPECS = [
+  {
+    protocol: "decay",
+    graph: { kind: "cluster", chain: 6, clique: 6 },
+  },
+  {
+    protocol: "cd",
+    graph: { kind: "grid", rows: 8, cols: 8 },
+  },
+  {
+    protocol: "decay",
+    graph: { kind: "gnp", n: 256, p: 0.05, seed: 7 },
+    channel: [{ kind: "erasure", p: 0.2 }],
+    adaptive: { max_epochs: 8 },
+  },
+  {
+    protocol: "dense-decay",
+    graph: { kind: "grid", rows: 32, cols: 32 },
+    workers: 2,
+  },
+];
+
+export default function () {
+  const spec = Object.assign({}, SPECS[__ITER % SPECS.length], {
+    seed: 1 + __VU * 100000 + __ITER,
+  });
+
+  const res = http.post(`${BASE}/v1/jobs`, JSON.stringify(spec), {
+    headers: { "Content-Type": "application/json" },
+    tags: { endpoint: "submit" },
+  });
+  if (res.status === 503) {
+    // Full queue: the daemon is shedding load as designed. Back off.
+    backpressure.add(1);
+    sleep(0.5);
+    return;
+  }
+  check(res, {
+    "submit accepted": (r) => r.status === 202,
+    "submit returns id": (r) => !!r.json("id"),
+  });
+  if (res.status !== 202) return;
+
+  const id = res.json("id");
+  const t0 = Date.now();
+  let state = "queued";
+  // Poll to a terminal state; every spec above finishes in well under
+  // the budget on an idle machine.
+  for (let i = 0; i < 120 && state !== "done" && state !== "failed"; i++) {
+    sleep(0.25);
+    const st = http.get(`${BASE}/v1/jobs/${id}`, {
+      tags: { endpoint: "status" },
+    });
+    if (st.status !== 200) continue;
+    state = st.json("state");
+  }
+  jobWall.add(Date.now() - t0);
+  if (state === "failed") failedJobs.add(1);
+  check(null, { "job reached done": () => state === "done" });
+}
