@@ -17,6 +17,9 @@ import (
 	"testing"
 
 	"radiocast/internal/adapt"
+	"radiocast/internal/beep"
+	"radiocast/internal/channel"
+	"radiocast/internal/cr"
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
 	"radiocast/internal/gstdist"
@@ -129,42 +132,124 @@ func TestDenseSteadyStateAllocsZero(t *testing.T) {
 	}
 }
 
+// TestDenseCatalogSteadyStateAllocsZero extends the 0-alloc guard to
+// the rest of the SoA catalog — cr.Dense (keyed FastDecay draws) and
+// beep.DenseWave (deterministic frontier pulses) — sequentially, with
+// the parallel delivery pass, and on the channel-adverse engine path
+// (per-link erasure forces the per-listener hear-count sweep, which
+// must be in-place too). Warm-ups are sized so the measured window
+// never crosses completion.
+func TestDenseCatalogSteadyStateAllocsZero(t *testing.T) {
+	grid := func() *graph.Graph { return graph.FromStream(graph.StreamGrid(192, 192)) }
+	path := func() *graph.Graph { return graph.FromStream(graph.StreamPath(2048)) }
+	mkCR := func(g *graph.Graph) (radio.DenseProtocol, func() bool) {
+		p := cr.NewDense(g, cr.NewParams(g.N(), graph.Eccentricity(g, 0)), 7, 0)
+		return p, p.Done
+	}
+	mkWave := func(g *graph.Graph) (radio.DenseProtocol, func() bool) {
+		// Horizon far past the measured window: the wave must not finish
+		// (or fall silent) while we measure.
+		w := beep.NewDenseWave(g, 0, 1<<20)
+		return w, w.Done
+	}
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		mk      func(*graph.Graph) (radio.DenseProtocol, func() bool)
+		workers int
+		cd      bool
+		erasure bool
+		warm    int64
+	}{
+		{"cr-sequential-path2048", path(), mkCR, 1, false, false, 512},
+		{"cr-parallel-grid192x192", grid(), mkCR, 4, false, false, 1000},
+		{"cr-erasure-grid192x192", grid(), mkCR, 4, false, true, 1000},
+		{"wave-sequential-path2048", path(), mkWave, 1, true, false, 512},
+		{"wave-parallel-grid192x192", grid(), mkWave, 4, true, false, 128},
+		{"wave-erasure-grid192x192", grid(), mkWave, 4, true, true, 128},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := radio.Config{Workers: tc.workers, CollisionDetection: tc.cd}
+			if tc.erasure {
+				cfg.Channel = channel.NewErasure(0.1, 99)
+			}
+			pr, done := tc.mk(tc.g)
+			eng := radio.NewDense(tc.g, cfg, pr)
+			defer eng.Close()
+			eng.Run(tc.warm)
+			if done() {
+				t.Fatal("warm-up completed the run; nothing left to measure")
+			}
+			allocs := testing.AllocsPerRun(64, func() { eng.Step() })
+			if allocs != 0 {
+				t.Fatalf("dense steady-state round loop allocates %.2f objects/round, want 0", allocs)
+			}
+			if done() {
+				t.Fatal("measured window crossed completion; shrink the warm-up")
+			}
+		})
+	}
+}
+
 // denseScaleMemBudget caps the live-heap growth of a full n = 10^5
 // dense GNP cell: streaming CSR graph (~16n int32 edge entries), the
-// engine's word bitsets and stamp arrays, and the SoA Decay state.
-// Measured ~9 MB; the 16 MB budget leaves headroom while still failing
-// loudly if anyone reintroduces per-node objects (the AoS stack costs
-// >100 bytes/node before protocol state).
+// engine's word bitsets and stamp arrays, and the SoA protocol state.
+// Decay measured ~9 MB (CR and the wave carry the same per-node
+// footprint: bitsets + one int32/int64 array); the 16 MB budget leaves
+// headroom while still failing loudly if anyone reintroduces per-node
+// objects (the AoS stack costs >100 bytes/node before protocol state).
 const denseScaleMemBudget = 16 << 20
 
-// TestDenseScaleMemoryBudget pins the bytes/node story at n = 10^5:
-// building and running the dense stack must fit the budget.
+// TestDenseScaleMemoryBudget pins the bytes/node story at n = 10^5 for
+// every protocol of the dense catalog: building and running the stack
+// must fit the budget.
 func TestDenseScaleMemoryBudget(t *testing.T) {
 	if testing.Short() {
-		t.Skip("10^5-node run")
+		t.Skip("10^5-node runs")
 	}
-	runtime.GC()
-	var before runtime.MemStats
-	runtime.ReadMemStats(&before)
-
 	const n = 100_000
-	g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
-	pr := decay.NewDense(g, 7, 0)
-	eng := radio.NewDense(g, radio.Config{Workers: 4}, pr)
-	defer eng.Close()
-	rounds, ok := eng.RunUntil(1<<20, pr.Done)
-	if !ok {
-		t.Fatalf("dense GNP-%d broadcast incomplete after %d rounds", n, rounds)
-	}
+	for _, proto := range []string{"decay", "cr", "wave"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
 
-	runtime.GC()
-	var after runtime.MemStats
-	runtime.ReadMemStats(&after)
-	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
-	t.Logf("n=%d: %d rounds, live-heap growth %.1f MB (%.0f bytes/node)",
-		n, rounds, float64(grew)/(1<<20), float64(grew)/n)
-	if grew > denseScaleMemBudget {
-		t.Fatalf("dense stack grew live heap by %d bytes, budget %d", grew, denseScaleMemBudget)
+			g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
+			cfg := radio.Config{Workers: 4}
+			var pr radio.DenseProtocol
+			var done func() bool
+			switch proto {
+			case "cr":
+				p := cr.NewDense(g, cr.NewParams(g.N(), graph.Eccentricity(g, 0)), 7, 0)
+				pr, done = p, p.Done
+			case "wave":
+				cfg.CollisionDetection = true
+				w := beep.NewDenseWave(g, 0, int64(graph.Eccentricity(g, 0)))
+				pr, done = w, w.Done
+			default:
+				p := decay.NewDense(g, 7, 0)
+				pr, done = p, p.Done
+			}
+			eng := radio.NewDense(g, cfg, pr)
+			defer eng.Close()
+			rounds, ok := eng.RunUntil(1<<20, done)
+			if !ok {
+				t.Fatalf("dense %s GNP-%d run incomplete after %d rounds", proto, n, rounds)
+			}
+
+			runtime.GC()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+			t.Logf("%s n=%d: %d rounds, live-heap growth %.1f MB (%.0f bytes/node)",
+				proto, n, rounds, float64(grew)/(1<<20), float64(grew)/n)
+			if grew > denseScaleMemBudget {
+				t.Fatalf("dense %s stack grew live heap by %d bytes, budget %d", proto, grew, denseScaleMemBudget)
+			}
+		})
 	}
 }
 

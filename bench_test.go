@@ -15,7 +15,9 @@ import (
 	"testing"
 
 	"radiocast/internal/adapt"
+	"radiocast/internal/beep"
 	"radiocast/internal/channel"
+	"radiocast/internal/cr"
 	"radiocast/internal/decay"
 	"radiocast/internal/exp"
 	"radiocast/internal/graph"
@@ -431,6 +433,40 @@ func BenchmarkEngine_DenseDecayParallel_GNP100k(b *testing.B) {
 		eng := radio.NewDense(g, radio.Config{Workers: 4}, pr)
 		defer eng.Close()
 		return eng.RunUntil(1<<20, pr.Done)
+	})
+}
+
+// BenchmarkEngine_DenseCR_GNP100k is the same E19 cell shape for the
+// CR port: one full dense CR broadcast (FastDecay schedule, keyed
+// draws) over the shared streaming GNP-10^5 per op. The schedule
+// params hang off the source eccentricity, computed once outside the
+// loop (the harness pays it per cell; here it would drown the signal).
+func BenchmarkEngine_DenseCR_GNP100k(b *testing.B) {
+	const n = 100_000
+	g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
+	p := cr.NewParams(n, graph.Eccentricity(g, 0))
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		pr := cr.NewDense(g, p, seed, 0)
+		eng := radio.NewDense(g, radio.Config{}, pr)
+		defer eng.Close()
+		return eng.RunUntil(1<<20, pr.Done)
+	})
+}
+
+// BenchmarkEngine_DenseWave_GNP100k is the E19 cell shape for the
+// collision wave: one full dense layering (CD on, horizon = source
+// eccentricity — the wave completes in exactly that many rounds on the
+// ideal channel) over the shared streaming GNP-10^5 per op. The wave
+// is deterministic, so rounds/op is the eccentricity itself.
+func BenchmarkEngine_DenseWave_GNP100k(b *testing.B) {
+	const n = 100_000
+	g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
+	ecc := int64(graph.Eccentricity(g, 0))
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		pr := beep.NewDenseWave(g, 0, ecc)
+		eng := radio.NewDense(g, radio.Config{CollisionDetection: true}, pr)
+		defer eng.Close()
+		return eng.RunUntil(ecc, pr.Done)
 	})
 }
 

@@ -1,8 +1,8 @@
 package main
 
-// The E19 trajectory ratchet: diff a radiobench -json scale artifact
-// (BENCH_scale.json) against a committed per-workload baseline. Two
-// capacity trajectories are guarded per workload:
+// The E19/E20 trajectory ratchet: diff a radiobench -json scale
+// artifact (BENCH_scale.json) against a committed per-cell-config
+// baseline. Two capacity trajectories are guarded per config:
 //
 //   - bytes/node: per-cell live-heap growth (mem_bytes) over the
 //     workload's nominal node count. Heap growth is near-deterministic
@@ -42,7 +42,10 @@ type ScaleBaseline struct {
 	// ThroughputTolerancePct is the allowed relative decrease in
 	// rounds/sec (wide: wall time is machine-dependent).
 	ThroughputTolerancePct float64 `json:"throughput_tolerance_pct"`
-	// Workloads maps E19 cell configs ("gnp/n=100000") to their rows.
+	// Workloads maps scale-sweep cell configs — E19's
+	// "decay/gnp/n=100000" or E20's "loss=0.1/cr/n=100000" — to their
+	// rows. Config strings are globally unique across the two
+	// experiments, so one flat map guards both.
 	Workloads map[string]ScaleRow `json:"workloads"`
 }
 
@@ -61,8 +64,8 @@ type scaleArtifact struct {
 	} `json:"experiments"`
 }
 
-// configN extracts the nominal node count from an E19 cell config like
-// "gnp/n=100000".
+// configN extracts the nominal node count from a scale cell config
+// like "decay/gnp/n=100000".
 func configN(config string) (int64, bool) {
 	i := strings.LastIndex(config, "n=")
 	if i < 0 {
@@ -75,9 +78,9 @@ func configN(config string) (int64, bool) {
 	return n, true
 }
 
-// scaleMetrics aggregates an artifact's E19 cells into per-workload
+// scaleMetrics aggregates an artifact's E19/E20 cells into per-config
 // trajectory rows (means over seeds; incomplete cells are dropped, so
-// a workload that stopped finishing vanishes and trips the
+// a config that stopped finishing vanishes and trips the
 // missing-guard failure).
 func scaleMetrics(blob []byte) (map[string]ScaleRow, error) {
 	var art scaleArtifact
@@ -90,7 +93,7 @@ func scaleMetrics(blob []byte) (map[string]ScaleRow, error) {
 	}
 	sums := map[string]*acc{}
 	for _, e := range art.Experiments {
-		if e.ID != "E19" {
+		if e.ID != "E19" && e.ID != "E20" {
 			continue
 		}
 		for _, c := range e.Cells {

@@ -44,6 +44,34 @@ func TestScaleMetrics(t *testing.T) {
 	}
 }
 
+// TestScaleMetricsIncludesE20 pins that the ratchet aggregates BOTH
+// scale experiments — E19 and the E20 erasure sweep — and nothing
+// else: a guarded E20 config silently filtered out would be a disabled
+// guard.
+func TestScaleMetricsIncludesE20(t *testing.T) {
+	blob := []byte(`{"module":"radiocast","experiments":[
+		{"id":"E19","cells":[{"config":"decay/gnp/n=100000","rounds":127,"completed":true,"mem_bytes":12800000,"wall_us":100000}]},
+		{"id":"E20","cells":[{"config":"loss=0.1/cr/n=100000","rounds":400,"completed":true,"mem_bytes":12800000,"wall_us":200000}]},
+		{"id":"E1","cells":[{"config":"chain=8/decay/n=100000","rounds":99,"completed":true,"mem_bytes":1,"wall_us":1}]}]}`)
+	got, err := scaleMetrics(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["decay/gnp/n=100000"]; !ok {
+		t.Errorf("E19 config missing: %v", got)
+	}
+	row, ok := got["loss=0.1/cr/n=100000"]
+	if !ok {
+		t.Fatalf("E20 config missing: %v", got)
+	}
+	if row.RoundsPerSec != 2000 {
+		t.Errorf("E20 rounds/sec = %g, want 2000", row.RoundsPerSec)
+	}
+	if len(got) != 2 {
+		t.Errorf("non-scale experiments must stay out of the ratchet: %v", got)
+	}
+}
+
 func TestScaleMetricsMeansOverSeeds(t *testing.T) {
 	cells := goodCell + `,{"experiment":"E19","config":"gnp/n=100000","seed":1,"rounds":127,"completed":true,"mem_bytes":25600000,"wall_us":50000}`
 	got, err := scaleMetrics(artifact(cells))

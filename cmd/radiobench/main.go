@@ -27,11 +27,13 @@
 // global pool an experiment has no wall-clock of its own). -timeout
 // and -roundlimit bound each cell's wall clock and simulated rounds.
 // -json writes a machine-readable bench artifact with per-cell rounds
-// and wall times ("-" for stdout). -scalemaxn raises the E19 scale
-// sweep's largest workload (the acceptance run is
-// "-only E19 -scalemaxn 1000000 -seeds 1 -json BENCH_scale.json") and
-// -scaleworkers pins its dense-engine worker count — E19 output is
-// byte-identical at any worker setting, only wall times move. -cpuprofile/-memprofile write
+// and wall times ("-" for stdout). -scalemaxn raises the E19/E20 scale
+// sweeps' largest workload (the acceptance run is
+// "-only E19,E20 -scalemaxn 1000000 -seeds 1 -json BENCH_scale.json")
+// and -scaleworkers pins their dense-engine worker count — scale
+// output is byte-identical at any worker setting, only wall times
+// move; both land in a harness.ScaleConfig threaded through
+// harness.AllWithScale. -cpuprofile/-memprofile write
 // runtime/pprof profiles of the sweep so perf work can show profiles
 // instead of guesses. Stderr diagnostics ride the shared internal/obs
 // logger: -logformat json makes them machine-parseable, -loglevel
@@ -64,8 +66,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-cell wall-clock guard (0 = none)")
 	roundLimit := flag.Int64("roundlimit", 0, "per-cell simulated-round cap (0 = experiment defaults)")
 	jsonPath := flag.String("json", "", "write a JSON bench artifact to this file (\"-\" = stdout)")
-	scaleMaxN := flag.Int("scalemaxn", 100_000, "largest workload size of the E19 scale sweep (acceptance: 1000000)")
-	scaleWorkers := flag.Int("scaleworkers", 0, "dense-engine workers for E19 cells (0 = min(8, GOMAXPROCS); output is identical at any setting)")
+	scaleMaxN := flag.Int("scalemaxn", 100_000, "largest workload size of the E19/E20 scale sweeps (acceptance: 1000000)")
+	scaleWorkers := flag.Int("scaleworkers", 0, "dense-engine workers for E19/E20 cells (0 = min(8, GOMAXPROCS); output is identical at any setting)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
 	logFormat := flag.String("logformat", "text", "stderr diagnostics format: text or json")
@@ -81,10 +83,7 @@ func main() {
 	if *only == "" {
 		*only = *experiments
 	}
-	// E19's plan captures these at compile time, so set them before any
-	// Plan() call below.
-	harness.E19MaxN = *scaleMaxN
-	harness.E19Workers = *scaleWorkers
+	scale := harness.ScaleConfig{MaxN: *scaleMaxN, Workers: *scaleWorkers}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -133,7 +132,7 @@ func main() {
 	// whole sweep drains.
 	var selected []harness.Experiment
 	var plans []*exp.Plan
-	for _, e := range harness.All() {
+	for _, e := range harness.AllWithScale(scale) {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}

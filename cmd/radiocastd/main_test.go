@@ -206,6 +206,50 @@ func TestDenseJob(t *testing.T) {
 	}
 }
 
+// TestDenseCatalogJobs runs each new dense port end-to-end: full
+// coverage, and (one worker, two identical submits) pooled reruns
+// byte-identical to the fresh-build run — the pooled-determinism
+// contract extended to the whole dense-* catalog.
+func TestDenseCatalogJobs(t *testing.T) {
+	for name, spec := range map[string]string{
+		"dense-cr": `{
+			"protocol": "dense-cr",
+			"graph": {"kind": "grid", "rows": 24, "cols": 24},
+			"seed": 5,
+			"workers": 2,
+			"observe_every": 32
+		}`,
+		"dense-wave": `{
+			"protocol": "dense-wave",
+			"graph": {"kind": "cluster", "chain": 12, "clique": 8},
+			"seed": 5,
+			"workers": 2,
+			"observe_every": 32
+		}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			ts, _ := newTestServer(t, 1, 16)
+			a := waitDone(t, ts, submit(t, ts, spec))
+			if a.State != StateDone || !a.Result.Completed {
+				t.Fatalf("%s job failed: %+v (err %q)", name, a.Result, a.Error)
+			}
+			wantCovered := 24 * 24
+			if name == "dense-wave" {
+				wantCovered = 12 * 8
+			}
+			if a.Result.Covered != wantCovered {
+				t.Fatalf("covered = %d, want %d", a.Result.Covered, wantCovered)
+			}
+			b := waitDone(t, ts, submit(t, ts, spec))
+			ra, rb := *a.Result, *b.Result
+			ra.WallMicros, rb.WallMicros = 0, 0
+			if ra != rb {
+				t.Fatalf("pooled rerun diverged:\nfresh  %+v\npooled %+v", ra, rb)
+			}
+		})
+	}
+}
+
 func TestSpecValidation(t *testing.T) {
 	ts, _ := newTestServer(t, 1, 4)
 	for name, spec := range map[string]string{
@@ -215,6 +259,8 @@ func TestSpecValidation(t *testing.T) {
 		"unknown field":    `{"protocol": "decay", "graph": {"kind": "path", "n": 8}, "frobnicate": 1}`,
 		"k on decay":       `{"protocol": "decay", "k": 3, "graph": {"kind": "path", "n": 8}}`,
 		"adaptive k-known": `{"protocol": "k-known", "adaptive": {}, "graph": {"kind": "path", "n": 8}}`,
+		"adaptive dense":   `{"protocol": "dense-cr", "adaptive": {}, "graph": {"kind": "path", "n": 8}}`,
+		"workers sparse":   `{"protocol": "cr", "workers": 4, "graph": {"kind": "path", "n": 8}}`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
 		if err != nil {

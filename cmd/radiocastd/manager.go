@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"radiocast/internal/adapt"
+	"radiocast/internal/beep"
+	"radiocast/internal/cr"
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
 	"radiocast/internal/harness"
@@ -477,22 +479,46 @@ func (m *Manager) buildCtx(spec *JobSpec) (*pooledCtx, error) {
 	}
 	src := graph.NodeID(spec.Source)
 
-	if spec.Protocol == "dense-decay" {
+	if denseProtocol(spec.Protocol) {
 		// The dense engine is rebuilt per job (SoA state is cheap next to
-		// the graph, which IS pooled).
+		// the graph, which IS pooled). CR's schedule and the wave's
+		// horizon hang off the source eccentricity; one BFS per context,
+		// amortized with the graph.
+		ecc := 0
+		if spec.Protocol != "dense-decay" {
+			ecc = graph.Eccentricity(g, src)
+		}
 		return &pooledCtx{g: g, run: func(job *Job, ch radio.Channel, o obs.RoundObserver, stride int64) (int64, bool, radio.Stats, int, int, error) {
-			pr := decay.NewDense(g, job.Spec.Seed, src)
-			eng := radio.NewDense(g, radio.Config{Channel: ch, Workers: job.Spec.Workers}, pr)
+			cfg := radio.Config{Channel: ch, Workers: job.Spec.Workers}
+			limit := limitOr(&job.Spec)
+			var pr radio.DenseProtocol
+			var done func() bool
+			var covered func() int
+			switch spec.Protocol {
+			case "dense-cr":
+				p := cr.NewDense(g, cr.NewParams(g.N(), ecc), job.Spec.Seed, src)
+				pr, done, covered = p, p.Done, p.InformedCount
+			case "dense-wave":
+				// The wave REQUIRES collision detection on dense layers, so
+				// the daemon forces it on. The 4x-eccentricity horizon (plus
+				// slack) leaves room for lossy channel stacks; the run is
+				// over at the horizon by construction (mirrors harness E20).
+				horizon := 4*int64(ecc) + 64
+				if horizon < limit {
+					limit = horizon
+				}
+				cfg.CollisionDetection = true
+				w := beep.NewDenseWave(g, src, horizon)
+				pr, done, covered = w, w.Done, w.TriggeredCount
+			default: // dense-decay
+				p := decay.NewDense(g, job.Spec.Seed, src)
+				pr, done, covered = p, p.Done, p.InformedCount
+			}
+			eng := radio.NewDense(g, cfg, pr)
 			defer eng.Close()
 			eng.SetObserver(o, stride)
-			rounds, ok := eng.RunUntil(limitOr(&job.Spec), pr.Done)
-			covered := 0
-			for v := 0; v < g.N(); v++ {
-				if pr.Informed(graph.NodeID(v)) {
-					covered++
-				}
-			}
-			return rounds, ok, eng.Stats(), 0, covered, nil
+			rounds, ok := eng.RunUntil(limit, done)
+			return rounds, ok, eng.Stats(), 0, covered(), nil
 		}}, nil
 	}
 

@@ -25,7 +25,13 @@ var protocols = map[string]bool{
 	"cd":          true, // Theorem 1.1: unknown topology + CD
 	"k-cd":        true, // Theorem 1.3: k messages, unknown topology + CD
 	"dense-decay": true, // SoA Decay on the dense engine (million-node scale)
+	"dense-cr":    true, // SoA CR (FastDecay schedule) on the dense engine
+	"dense-wave":  true, // SoA collision wave on the dense engine (CD forced on)
 }
+
+// denseProtocol reports whether name runs on the dense engine (and so
+// accepts Workers but not the sparse-only adaptive layer).
+func denseProtocol(name string) bool { return strings.HasPrefix(name, "dense-") }
 
 // GraphSpec describes the workload graph.
 type GraphSpec struct {
@@ -181,7 +187,7 @@ type JobSpec struct {
 	Source int64 `json:"source,omitempty"`
 	// RoundLimit caps simulated rounds (0 = the protocol's own budget).
 	RoundLimit int64 `json:"round_limit,omitempty"`
-	// Workers is the dense engine's worker count (dense-decay only).
+	// Workers is the dense engine's worker count (dense-* protocols only).
 	Workers int `json:"workers,omitempty"`
 	// Channel stacks adversity layers (empty = ideal channel).
 	Channel []ChannelSpec `json:"channel,omitempty"`
@@ -207,14 +213,11 @@ func (s *JobSpec) validate() error {
 	if s.K > 0 && s.Protocol != "k-known" && s.Protocol != "k-cd" {
 		return fmt.Errorf("k applies only to k-known and k-cd, not %q", s.Protocol)
 	}
-	if s.Adaptive != nil {
-		switch s.Protocol {
-		case "k-known", "dense-decay":
-			return fmt.Errorf("adaptive retry is not supported by %q", s.Protocol)
-		}
+	if s.Adaptive != nil && (s.Protocol == "k-known" || denseProtocol(s.Protocol)) {
+		return fmt.Errorf("adaptive retry is not supported by %q", s.Protocol)
 	}
-	if s.Workers != 0 && s.Protocol != "dense-decay" {
-		return fmt.Errorf("workers applies only to dense-decay")
+	if s.Workers != 0 && !denseProtocol(s.Protocol) {
+		return fmt.Errorf("workers applies only to the dense-* protocols")
 	}
 	if s.Source < 0 {
 		return fmt.Errorf("source must be >= 0, got %d", s.Source)

@@ -1,0 +1,148 @@
+package beep_test
+
+// Dense-vs-sparse twin identity for the SoA collision wave. The wave
+// is deterministic (no RNG), so the twin comparison is exact: per-node
+// levels from a DenseWave run must equal the per-node Wave levels from
+// RunLayering on the sparse engine — on the ideal channel (where both
+// equal BFS distance) and under per-link erasure with a shared seed
+// (where drops are keyed by (round, link) and agree across engines).
+
+import (
+	"testing"
+
+	"radiocast/internal/beep"
+	"radiocast/internal/channel"
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+)
+
+// runDense executes one dense wave and returns per-node levels plus
+// the completion round (or horizon if incomplete).
+func runDense(g *graph.Graph, src graph.NodeID, horizon int64, cd bool, ch radio.Channel) ([]int, int64, bool) {
+	pr := beep.NewDenseWave(g, src, horizon)
+	eng := radio.NewDense(g, radio.Config{CollisionDetection: cd, Channel: ch, MaxPacketBits: 8}, pr)
+	defer eng.Close()
+	rounds, ok := eng.RunUntil(horizon, pr.Done)
+	levels := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		levels[v] = pr.Level(graph.NodeID(v))
+	}
+	return levels, rounds, ok
+}
+
+// runSparse executes the per-node Wave via RunLayering.
+func runSparse(g *graph.Graph, src graph.NodeID, horizon int64, cd bool, ch radio.Channel) []int {
+	nw := radio.New(g, radio.Config{CollisionDetection: cd, Channel: ch, MaxPacketBits: 8})
+	return beep.RunLayering(nw, src, horizon)
+}
+
+// TestDenseWaveMatchesSparseIdeal: with CD on the ideal channel, the
+// dense wave completes in exactly the source eccentricity and every
+// level equals the BFS distance — and is identical to the sparse Wave.
+func TestDenseWaveMatchesSparseIdeal(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(8, 8),
+		graph.FromStream(graph.StreamGrid(13, 17)),
+		graph.BuildConnected(graph.StreamGNP(300, 0.03, 11), 11),
+		graph.FromStream(graph.StreamPath(200)),
+	}
+	for _, g := range graphs {
+		src := graph.NodeID(0)
+		ecc := int64(graph.Eccentricity(g, src))
+		dense, rounds, ok := runDense(g, src, ecc, true, nil)
+		if !ok || rounds != ecc {
+			t.Fatalf("%s: dense wave rounds/ok = %d/%v, want %d/true", g.Name(), rounds, ok, ecc)
+		}
+		sparse := runSparse(g, src, ecc, true, nil)
+		dist := graph.BFS(g, src).Dist
+		for v := 0; v < g.N(); v++ {
+			if dense[v] != sparse[v] || dense[v] != int(dist[v]) {
+				t.Fatalf("%s: node %d dense/sparse/bfs = %d/%d/%d",
+					g.Name(), v, dense[v], sparse[v], dist[v])
+			}
+		}
+	}
+}
+
+// TestDenseWaveMatchesSparseErasure: under shared-seed per-link
+// erasure the two engines' waves stay level-identical (levels need not
+// be BFS distances anymore — losses delay layers).
+func TestDenseWaveMatchesSparseErasure(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(8, 8),
+		graph.FromStream(graph.StreamGrid(13, 17)),
+		graph.BuildConnected(graph.StreamGNP(300, 0.03, 11), 11),
+	}
+	for _, g := range graphs {
+		for _, loss := range []float64{0.1, 0.3} {
+			src := graph.NodeID(g.N() - 1)
+			horizon := 4*int64(graph.Eccentricity(g, src)) + 64
+			dense, _, ok := runDense(g, src, horizon, true, channel.NewErasure(loss, 99))
+			if !ok {
+				t.Fatalf("%s loss=%g: dense wave incomplete within horizon %d", g.Name(), loss, horizon)
+			}
+			sparse := runSparse(g, src, horizon, true, channel.NewErasure(loss, 99))
+			for v := 0; v < g.N(); v++ {
+				if dense[v] != sparse[v] {
+					t.Fatalf("%s loss=%g: node %d dense level %d != sparse %d",
+						g.Name(), loss, v, dense[v], sparse[v])
+				}
+			}
+		}
+	}
+}
+
+// TestDenseWaveNoCDOnPath: a path never produces collisions (each
+// listener has at most one pulsing neighbor), so the wave works
+// without CD there; dense and sparse must still agree. This is the
+// "CD off where applicable" face of the twin contract — on dense
+// layers the wave REQUIRES CD, which the ideal test exercises.
+func TestDenseWaveNoCDOnPath(t *testing.T) {
+	g := graph.FromStream(graph.StreamPath(300))
+	ecc := int64(graph.Eccentricity(g, 0))
+	dense, rounds, ok := runDense(g, 0, ecc, false, nil)
+	if !ok || rounds != ecc {
+		t.Fatalf("dense wave without CD on path: rounds/ok = %d/%v, want %d/true", rounds, ok, ecc)
+	}
+	sparse := runSparse(g, 0, ecc, false, nil)
+	for v := range dense {
+		if dense[v] != sparse[v] {
+			t.Fatalf("node %d dense level %d != sparse %d", v, dense[v], sparse[v])
+		}
+	}
+}
+
+// TestDenseWaveStallsWithoutCD documents why the wave needs CD: on a
+// grid swept from a corner, interior node (1,1) hears its two
+// distance-1 neighbors collide every round; without the ⊤ symbol it
+// never triggers and the wave cannot cover the grid.
+func TestDenseWaveStallsWithoutCD(t *testing.T) {
+	g := graph.FromStream(graph.StreamGrid(8, 8))
+	horizon := 4 * int64(graph.Eccentricity(g, 0))
+	_, _, ok := runDense(g, 0, horizon, false, nil)
+	if ok {
+		t.Fatal("collision wave completed without CD on a grid; collision semantics look wrong")
+	}
+}
+
+// TestDenseWavePostHorizonSilence pins the post-horizon contract: the
+// wave neither transmits nor listens after the horizon, so extra
+// rounds change nothing (mirroring the sparse Wave's Sleep).
+func TestDenseWavePostHorizonSilence(t *testing.T) {
+	g := graph.ClusterChain(4, 4)
+	ecc := int64(graph.Eccentricity(g, 0))
+	pr := beep.NewDenseWave(g, 0, ecc)
+	eng := radio.NewDense(g, radio.Config{CollisionDetection: true}, pr)
+	defer eng.Close()
+	eng.Run(ecc + 16)
+	st := eng.Stats()
+	if !pr.Done() {
+		t.Fatal("wave incomplete at horizon on ideal channel")
+	}
+	if st.ActiveRounds > ecc {
+		t.Fatalf("transmissions in %d rounds, want none past horizon %d", st.ActiveRounds, ecc)
+	}
+	if eng.Round() != ecc+16 {
+		t.Fatalf("engine round = %d, want %d", eng.Round(), ecc+16)
+	}
+}

@@ -1,0 +1,173 @@
+package cr
+
+// Dense-vs-sparse twin identity for the SoA CR port. decay.Dense's
+// keyed draws make dense runs incomparable with the per-node-RNG
+// Broadcast, so the twin here is a sparse radio.Protocol that replays
+// the IDENTICAL keyed coins (same DenseKey, same Mix3(key, node,
+// round) draw, same FastDecay slot) on the per-node engine. Frontier
+// pruning aside — which provably cannot change informed-set dynamics,
+// see dense.go — the two engines must then produce the same broadcast:
+// same reception round for every node, same completion round. Checked
+// on the ideal channel and under per-link erasure (whose drops are
+// keyed by (round, link) and therefore agree across engines), with CD
+// on and off.
+
+import (
+	"fmt"
+	"testing"
+
+	"radiocast/internal/channel"
+	"radiocast/internal/decay"
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+	"radiocast/internal/rng"
+)
+
+// keyedSparse is the sparse twin: a per-node radio.Protocol drawing
+// the dense engine's keyed coins.
+type keyedSparse struct {
+	params Params
+	key    uint64
+	id     graph.NodeID
+
+	has  bool
+	pkt  radio.Packet
+	recv int64
+}
+
+var _ radio.Protocol = (*keyedSparse)(nil)
+
+func (b *keyedSparse) Act(r int64) radio.Action {
+	if !b.has {
+		return radio.Listen
+	}
+	threshold := uint64(1) << (63 - uint(b.params.slot(r)))
+	if rng.Mix3(b.key, uint64(b.id), uint64(r)) < threshold {
+		return radio.Transmit(b.pkt)
+	}
+	return radio.Listen
+}
+
+func (b *keyedSparse) Observe(r int64, out radio.Outcome) {
+	if b.has || out.Packet == nil {
+		return
+	}
+	if _, ok := out.Packet.(decay.Message); ok {
+		b.has = true
+		b.pkt = out.Packet
+		b.recv = r
+	}
+}
+
+// runTwins executes the dense run to completion and the keyed sparse
+// twin for the same number of rounds, returning both.
+func runTwins(t *testing.T, g *graph.Graph, seed uint64, src graph.NodeID,
+	cd bool, mkChannel func() radio.Channel) (*Dense, []*keyedSparse, int64) {
+	t.Helper()
+	p := NewParams(g.N(), graph.Eccentricity(g, src))
+
+	denseCfg := radio.Config{CollisionDetection: cd, Workers: 1, MaxPacketBits: 64}
+	if mkChannel != nil {
+		denseCfg.Channel = mkChannel()
+	}
+	pr := NewDense(g, p, seed, src)
+	eng := radio.NewDense(g, denseCfg, pr)
+	defer eng.Close()
+	rounds, ok := eng.RunUntil(1<<18, pr.Done)
+	if !ok {
+		t.Fatalf("dense CR incomplete after %d rounds", rounds)
+	}
+
+	sparseCfg := radio.Config{CollisionDetection: cd, MaxPacketBits: 64}
+	if mkChannel != nil {
+		sparseCfg.Channel = mkChannel()
+	}
+	nw := radio.New(g, sparseCfg)
+	twins := make([]*keyedSparse, g.N())
+	for v := 0; v < g.N(); v++ {
+		tw := &keyedSparse{params: p, key: DenseKey(seed), id: graph.NodeID(v), recv: -1}
+		if graph.NodeID(v) == src {
+			tw.has = true
+			tw.pkt = decay.Message{Data: int64(src)}
+		}
+		twins[v] = tw
+		nw.SetProtocol(graph.NodeID(v), tw)
+	}
+	nw.Run(rounds)
+	return pr, twins, rounds
+}
+
+// TestDenseMatchesKeyedSparseTwin is the byte-identity acceptance
+// property: on shared seeds the dense run and the keyed sparse twin
+// agree on every node's reception round, ideal and under erasure, CD
+// on and off.
+func TestDenseMatchesKeyedSparseTwin(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(8, 8),
+		graph.FromStream(graph.StreamGrid(13, 17)),
+		graph.BuildConnected(graph.StreamGNP(300, 0.03, 11), 11),
+	}
+	for _, g := range graphs {
+		for _, cd := range []bool{false, true} {
+			for _, loss := range []float64{0, 0.15} {
+				var mk func() radio.Channel
+				if loss > 0 {
+					loss := loss
+					mk = func() radio.Channel { return channel.NewErasure(loss, 77) }
+				}
+				label := fmt.Sprintf("%s cd=%v loss=%g", g.Name(), cd, loss)
+				pr, twins, rounds := runTwins(t, g, 42, 0, cd, mk)
+				for v := 0; v < g.N(); v++ {
+					tw := twins[v]
+					if tw.has != pr.Informed(graph.NodeID(v)) || tw.recv != pr.RecvRound(graph.NodeID(v)) {
+						t.Fatalf("%s: node %d sparse has/recv = %v/%d, dense = %v/%d (T=%d)",
+							label, v, tw.has, tw.recv,
+							pr.Informed(graph.NodeID(v)), pr.RecvRound(graph.NodeID(v)), rounds)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDenseSeedSensitivity guards against the keyed draws collapsing:
+// different seeds must produce different schedules on a workload with
+// real contention.
+func TestDenseSeedSensitivity(t *testing.T) {
+	g := graph.ClusterChain(8, 8)
+	p := NewParams(g.N(), graph.Eccentricity(g, 0))
+	run := func(seed uint64) (int64, radio.Stats) {
+		pr := NewDense(g, p, seed, 0)
+		eng := radio.NewDense(g, radio.Config{}, pr)
+		defer eng.Close()
+		rounds, ok := eng.RunUntil(1<<18, pr.Done)
+		if !ok {
+			t.Fatal("incomplete")
+		}
+		return rounds, eng.Stats()
+	}
+	r1, s1 := run(1)
+	r2, s2 := run(2)
+	if r1 == r2 && s1 == s2 {
+		t.Fatal("seeds 1 and 2 produced identical runs; keyed draws look degenerate")
+	}
+}
+
+// TestDenseSlotSchedule pins that the dense port follows the FastDecay
+// schedule, not plain Decay: a full-length phase must appear once per
+// cycle (slots past ShortLen only occur there).
+func TestDenseSlotSchedule(t *testing.T) {
+	p := NewParams(4096, 64) // ShortLen = log2(64)+2 = 8, FullLen = 12
+	if p.FullLen <= p.ShortLen {
+		t.Fatalf("degenerate schedule: full %d <= short %d", p.FullLen, p.ShortLen)
+	}
+	deep := 0
+	for r := int64(0); r < p.cycleLen(); r++ {
+		if p.slot(r) >= p.ShortLen {
+			deep++
+		}
+	}
+	if deep != p.FullLen-p.ShortLen {
+		t.Fatalf("deep slots per cycle = %d, want %d", deep, p.FullLen-p.ShortLen)
+	}
+}

@@ -38,8 +38,14 @@ func runPlan(p *exp.Plan) *stats.Table {
 	return tb
 }
 
-// All returns every experiment in EXPERIMENTS.md order.
-func All() []Experiment {
+// All returns every experiment in EXPERIMENTS.md order, with the
+// default (CI-shaped) scale-sweep configuration.
+func All() []Experiment { return AllWithScale(DefaultScaleConfig()) }
+
+// AllWithScale returns every experiment in EXPERIMENTS.md order,
+// threading sc into the E19/E20 scale sweeps (cmd/radiobench builds sc
+// from -scalemaxn/-scaleworkers).
+func AllWithScale(sc ScaleConfig) []Experiment {
 	return []Experiment{
 		{"E1", "Single-message broadcast: Decay vs CR vs GST (Thm 1.1 regime)", E1Plan},
 		{"E2", "Additive diameter dependence (rounds vs D)", E2Plan},
@@ -59,7 +65,10 @@ func All() []Experiment {
 		{"E16", "Robustness: radio-fault sweep (late wakeup / crash)", E16Plan},
 		{"E17", "Adaptive retry: loss sweep with re-layering (Thm 1.1/1.3)", E17Plan},
 		{"E18", "Adaptive retry: late-wakeup re-layering (Thm 1.1)", E18Plan},
-		{"E19", "Million-node engine: dense-engine scale sweep (SoA Decay)", E19Plan},
+		{"E19", "Million-node engine: dense-engine scale sweep (SoA decay/cr/wave)",
+			func(seeds int, quick bool) *exp.Plan { return E19Plan(sc, seeds, quick) }},
+		{"E20", "Million-node robustness: dense-engine erasure sweep (gnp)",
+			func(seeds int, quick bool) *exp.Plan { return E20Plan(sc, seeds, quick) }},
 		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1Plan},
 		{"A2", "Ablation: RLNC vs store-and-forward routing", A2Plan},
 		{"A3", "Ablation: ring width in Theorem 1.1", A3Plan},

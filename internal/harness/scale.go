@@ -1,16 +1,22 @@
 package harness
 
-// E19: the million-node scale sweep. Every cell drives the dense
-// engine (radio.Dense + decay.Dense — structure-of-arrays node state,
-// bitset frontiers) over a streaming-generated CSR workload
-// (graph.FromStream / graph.BuildConnected: no Builder maps, the edge
-// stream lands directly in the final arrays), optionally with the
-// deterministic intra-run parallel delivery pass (radio.Config.Workers
-// — byte-identical output at any worker count, so the table below is
+// E19/E20: the million-node scale sweeps. Every cell drives the dense
+// engine (radio.Dense — structure-of-arrays node state, bitset
+// frontiers) over a streaming-generated CSR workload (graph.FromStream
+// / graph.BuildConnected: no Builder maps, the edge stream lands
+// directly in the final arrays), optionally with the deterministic
+// intra-run parallel delivery pass (radio.Config.Workers —
+// byte-identical output at any worker count, so the tables below are
 // CI-comparable across worker settings).
 //
-// The rendered table holds only reproducible outputs (rounds,
-// deliveries, completion). The capacity metrics — live-heap growth of
+// E19 sweeps the dense protocol catalog — decay.Dense, cr.Dense, and
+// beep.DenseWave — on the ideal channel up to n = 10^6. E20 reruns the
+// catalog on the gnp workload under per-link erasure (the
+// channel-adverse engine path: per-listener hear counts instead of the
+// collect/scatter fast path) across a loss grid.
+//
+// The rendered tables hold only reproducible outputs (rounds,
+// completion, coverage). The capacity metrics — live-heap growth of
 // graph + engine + protocol state, process peak RSS, and per-cell wall
 // time for rounds/sec — ride the JSON artifact (mem_bytes,
 // peak_rss_bytes, wall_us per cell; radiobench -json, the CI
@@ -24,39 +30,46 @@ import (
 	"strconv"
 	"strings"
 
+	"radiocast/internal/beep"
+	"radiocast/internal/channel"
+	"radiocast/internal/cr"
 	"radiocast/internal/decay"
 	"radiocast/internal/exp"
 	"radiocast/internal/graph"
 	"radiocast/internal/radio"
+	"radiocast/internal/rng"
 	"radiocast/internal/sched"
 	"radiocast/internal/stats"
 )
 
-// E19MaxN caps the sweep's largest workload size. The default keeps
-// test-suite and CI runs to n = 10^5; the acceptance run raises it to
-// 10^6 (cmd/radiobench -scalemaxn).
-var E19MaxN = 100_000
+// ScaleConfig parameterizes the E19/E20 scale sweeps. The zero value
+// (DefaultScaleConfig) is the CI/test shape; cmd/radiobench builds one
+// from -scalemaxn/-scaleworkers and threads it through AllWithScale —
+// no package-level mutation.
+type ScaleConfig struct {
+	// MaxN caps the sweeps' largest workload size; 0 resolves to 10^5
+	// (the CI shape). The acceptance run raises it to 10^6.
+	MaxN int
+	// Workers is the dense engine's worker count for every cell; 0
+	// resolves to min(8, GOMAXPROCS). Results are byte-identical at any
+	// setting.
+	Workers int
+}
 
-// E19Workers is the dense engine's worker count for every E19 cell;
-// 0 resolves to min(8, GOMAXPROCS). Results are byte-identical at any
-// setting (cmd/radiobench -scaleworkers).
-var E19Workers = 0
+// DefaultScaleConfig is the CI/test sweep shape: n up to 10^5,
+// auto-sized workers.
+func DefaultScaleConfig() ScaleConfig { return ScaleConfig{} }
 
-// e19Seed keys the GNP workload's edge stream; fixed so every cell of
-// a sweep measures the same graph.
-const e19Seed = 0xe19
+func (sc ScaleConfig) maxN() int {
+	if sc.MaxN > 0 {
+		return sc.MaxN
+	}
+	return 100_000
+}
 
-// e19Workloads orders the workload columns.
-var e19Workloads = []string{"path", "grid", "gnp", "cluster"}
-
-// e19PathCap bounds the path workload: a 10^6-node path needs ~10^7
-// Decay rounds (D log n), which is a different experiment. The other
-// workloads have sublinear diameter and scale to 10^6.
-const e19PathCap = 10_000
-
-func e19Workers() int {
-	if E19Workers > 0 {
-		return E19Workers
+func (sc ScaleConfig) workers() int {
+	if sc.Workers > 0 {
+		return sc.Workers
 	}
 	w := runtime.GOMAXPROCS(0)
 	if w > 8 {
@@ -64,6 +77,22 @@ func e19Workers() int {
 	}
 	return w
 }
+
+// e19Seed keys the GNP workload's edge stream; fixed so every cell of
+// a sweep measures the same graph.
+const e19Seed = 0xe19
+
+// e19Workloads orders the workload rows of E19.
+var e19Workloads = []string{"path", "grid", "gnp", "cluster"}
+
+// e19Protocols orders the protocol columns of E19 (and the protocol
+// rows of E20): the dense SoA catalog.
+var e19Protocols = []string{"decay", "cr", "wave"}
+
+// e19PathCap bounds the path workload: a 10^6-node path needs ~10^7
+// Decay rounds (D log n), which is a different experiment. The other
+// workloads have sublinear diameter and scale to 10^6.
+const e19PathCap = 10_000
 
 // e19Graph builds one workload at size ~n through the streaming
 // generators. Actual node counts are the generator's (grid and cluster
@@ -83,9 +112,10 @@ func e19Graph(workload string, n int) *graph.Graph {
 	}
 }
 
-// e19Rounds estimates a workload's Decay completion rounds (cost
-// model only): D log n + log^2 n on the generator's diameter shape.
-func e19Rounds(workload string, n int) int64 {
+// e19Rounds estimates a protocol's completion rounds on a workload
+// (cost model only): the wave finishes in ~D rounds, the randomized
+// broadcasts in ~D log n + log^2 n on the generator's diameter shape.
+func e19Rounds(proto, workload string, n int) int64 {
 	l := int64(sched.LogN(n))
 	var d int64
 	switch workload {
@@ -95,6 +125,9 @@ func e19Rounds(workload string, n int) int64 {
 		d = 2 * int64(math.Sqrt(float64(n)))
 	default: // gnp, p = 16/n
 		d = l
+	}
+	if proto == "wave" {
+		return d + l
 	}
 	return d*l + l*l
 }
@@ -131,16 +164,76 @@ func liveHeap() int64 {
 	return int64(ms.HeapAlloc)
 }
 
-// E19Plan is the scale sweep: n = 10^3 .. E19MaxN per workload (path
-// capped at 10^4), one dense Decay broadcast per (workload, n, seed).
-func E19Plan(seeds int, quick bool) *exp.Plan {
+// runScaleCell executes one dense broadcast (or wave) on one workload
+// and returns the result plus the covered-node fraction. The heap
+// delta brackets everything the cell allocates and keeps live: CSR
+// graph, engine buffers, SoA protocol state. Concurrent cells can
+// perturb it — it is a capacity figure, not a reproducible output.
+//
+// For the wave the effective limit is capped at the horizon (the wave
+// is over by construction; post-horizon rounds are silent no-ops): the
+// source eccentricity on the ideal channel, 4x eccentricity plus slack
+// under a lossy one.
+func runScaleCell(proto, workload string, n int, seed uint64, workers int,
+	mkChannel func() radio.Channel, limit int64) (exp.Result, float64) {
+	before := liveHeap()
+	g := e19Graph(workload, n)
+	cfg := radio.Config{Workers: workers}
+	if mkChannel != nil {
+		cfg.Channel = mkChannel()
+	}
+	var pr radio.DenseProtocol
+	var done func() bool
+	var covered func() int
+	switch proto {
+	case "cr":
+		d := graph.Eccentricity(g, 0)
+		p := cr.NewDense(g, cr.NewParams(g.N(), d), seed, 0)
+		pr, done, covered = p, p.Done, p.InformedCount
+	case "wave":
+		ecc := int64(graph.Eccentricity(g, 0))
+		horizon := ecc
+		if cfg.Channel != nil {
+			horizon = 4*ecc + 64
+		}
+		if horizon < limit {
+			limit = horizon
+		}
+		cfg.CollisionDetection = true // the wave's correctness assumption
+		w := beep.NewDenseWave(g, 0, horizon)
+		pr, done, covered = w, w.Done, w.TriggeredCount
+	default: // "decay"
+		p := decay.NewDense(g, seed, 0)
+		pr, done, covered = p, p.Done, p.InformedCount
+	}
+	eng := radio.NewDense(g, cfg, pr)
+	defer eng.Close()
+	rounds, ok := eng.RunUntil(limit, done)
+	st := eng.Stats()
+	after := liveHeap()
+	res := exp.Rounds(rounds, ok)
+	res.Value = float64(st.Deliveries)
+	res.BusyRounds = st.BusyRounds
+	res.SilentRounds = st.SilentRounds
+	res.MaxFrontier = st.MaxFrontier
+	if d := after - before; d > 0 {
+		res.MemBytes = d
+	}
+	res.PeakRSS = peakRSSBytes()
+	return res, float64(covered()) / float64(g.N())
+}
+
+// E19Plan is the ideal-channel scale sweep: n = 10^3 .. sc.MaxN per
+// workload (path capped at 10^4), one dense broadcast per
+// (protocol, workload, n, seed) over the full SoA catalog.
+func E19Plan(sc ScaleConfig, seeds int, quick bool) *exp.Plan {
 	sizes := []int{1_000, 10_000, 100_000, 1_000_000}
 	if quick {
 		sizes = []int{1_000, 10_000}
 	}
-	maxN := E19MaxN
-	workers := e19Workers()
-	p := &exp.Plan{ID: "E19", Title: "Million-node engine: dense-engine scale sweep (SoA Decay)"}
+	maxN := sc.maxN()
+	workers := sc.workers()
+	p := &exp.Plan{ID: "E19", Title: "Million-node engine: dense-engine scale sweep (SoA decay/cr/wave)"}
 	type cfg struct {
 		workload string
 		n        int
@@ -157,38 +250,23 @@ func E19Plan(seeds int, quick bool) *exp.Plan {
 			cfgs = append(cfgs, cfg{w, n})
 		}
 	}
+	key := func(proto string, c cfg, s uint64) exp.Key {
+		return exp.Key{Experiment: "E19", Config: fmt.Sprintf("%s/%s/n=%d", proto, c.workload, c.n), Seed: s}
+	}
 	for _, c := range cfgs {
-		for s := 0; s < seeds; s++ {
-			c, seed := c, uint64(s)
-			p.Cells = append(p.Cells, exp.Cell{
-				Key:        exp.Key{Experiment: "E19", Config: fmt.Sprintf("%s/n=%d", c.workload, c.n), Seed: seed},
-				RoundLimit: broadcastLimit,
-				Cost:       budgetCost(c.n, e19Rounds(c.workload, c.n)),
-				Run: func(limit int64) exp.Result {
-					// The heap delta brackets everything the cell allocates
-					// and keeps live: CSR graph, engine buffers, SoA protocol
-					// state. Concurrent cells can perturb it — it is a
-					// capacity figure, not a reproducible output.
-					before := liveHeap()
-					g := e19Graph(c.workload, c.n)
-					pr := decay.NewDense(g, seed, 0)
-					eng := radio.NewDense(g, radio.Config{Workers: workers}, pr)
-					defer eng.Close()
-					rounds, ok := eng.RunUntil(limit, pr.Done)
-					st := eng.Stats()
-					after := liveHeap()
-					res := exp.Rounds(rounds, ok)
-					res.Value = float64(st.Deliveries)
-					res.BusyRounds = st.BusyRounds
-					res.SilentRounds = st.SilentRounds
-					res.MaxFrontier = st.MaxFrontier
-					if d := after - before; d > 0 {
-						res.MemBytes = d
-					}
-					res.PeakRSS = peakRSSBytes()
-					return res
-				},
-			})
+		for _, proto := range e19Protocols {
+			for s := 0; s < seeds; s++ {
+				c, proto, seed := c, proto, uint64(s)
+				p.Cells = append(p.Cells, exp.Cell{
+					Key:        key(proto, c, seed),
+					RoundLimit: broadcastLimit,
+					Cost:       budgetCost(c.n, e19Rounds(proto, c.workload, c.n)),
+					Run: func(limit int64) exp.Result {
+						res, _ := runScaleCell(proto, c.workload, c.n, seed, workers, nil, limit)
+						return res
+					},
+				})
+			}
 		}
 	}
 	p.Assemble = func(results []exp.Result) *stats.Table {
@@ -197,31 +275,115 @@ func E19Plan(seeds int, quick bool) *exp.Plan {
 			// The worker count stays out of the title: the rendered table
 			// must be byte-identical at any -scaleworkers setting (CI
 			// compares the sequential and parallel sweeps with cmp).
-			Title: "E19: dense-engine scale sweep (SoA Decay, streaming CSR)",
-			Comment: "one dense Decay broadcast per cell; rounds and deliveries are byte-identical at any worker\n" +
-				"count (the deterministic parallel delivery pass); bytes/node, peak RSS, and rounds/sec ride the\n" +
-				"JSON artifact only (mem_bytes, peak_rss_bytes, wall_us) — they are machine measurements",
-			Header: []string{"workload", "n", "ok", "rounds", "deliveries"},
+			Title: "E19: dense-engine scale sweep (SoA decay/cr/wave, streaming CSR)",
+			Comment: "one dense broadcast per (protocol, workload, n) cell; per-protocol mean completion rounds,\n" +
+				"byte-identical at any worker count (the deterministic parallel delivery pass); bytes/node, peak\n" +
+				"RSS, and rounds/sec ride the JSON artifact only (mem_bytes, peak_rss_bytes, wall_us)",
+			Header: []string{"workload", "n", "ok", "decay", "cr", "wave"},
 		}
 		for _, c := range cfgs {
-			var rs, ds []float64
 			okCount := 0
-			for s := 0; s < seeds; s++ {
-				r := idx[exp.Key{Experiment: "E19", Config: fmt.Sprintf("%s/n=%d", c.workload, c.n), Seed: uint64(s)}]
-				if r.Completed {
-					okCount++
-					rs = append(rs, float64(r.Rounds))
-					ds = append(ds, r.Value)
+			row := []string{c.workload, fmt.Sprintf("%d", c.n), ""}
+			for _, proto := range e19Protocols {
+				var rs []float64
+				for s := 0; s < seeds; s++ {
+					r := idx[key(proto, c, uint64(s))]
+					if r.Completed {
+						okCount++
+						rs = append(rs, float64(r.Rounds))
+					}
 				}
+				row = append(row, stats.F(meanOrDash(rs)))
 			}
-			t.AddRow(c.workload, fmt.Sprintf("%d", c.n),
-				fmt.Sprintf("%d/%d", okCount, seeds),
-				stats.F(meanOrDash(rs)), stats.F(meanOrDash(ds)))
+			row[2] = fmt.Sprintf("%d/%d", okCount, len(e19Protocols)*seeds)
+			t.AddRow(row...)
 		}
 		return t
 	}
 	return p
 }
 
-// E19ScaleSweep runs E19 sequentially (compat wrapper).
-func E19ScaleSweep(seeds int, quick bool) *stats.Table { return runPlan(E19Plan(seeds, quick)) }
+// e20Rates is the erasure loss grid of E20.
+var e20Rates = []float64{0.05, 0.1, 0.2, 0.3}
+
+// E20Plan is the channel-adverse scale sweep: the dense catalog on the
+// gnp workload under per-link erasure, n = 10^4 .. sc.MaxN. Any
+// channel forces the engine off the collect/scatter fast path onto the
+// O(n)-per-round listener sweep, so this is the capacity trial of the
+// adverse path. Decay and CR retry until coverage; the wave runs a
+// single lossy pass inside its slacked horizon, so its coverage
+// (Value) may be < 1 at high loss — exactly the fragility E13 measures
+// at small n.
+func E20Plan(sc ScaleConfig, seeds int, quick bool) *exp.Plan {
+	sizes := []int{10_000, 100_000, 1_000_000}
+	if quick {
+		sizes = []int{10_000}
+	}
+	maxN := sc.maxN()
+	workers := sc.workers()
+	p := &exp.Plan{ID: "E20", Title: "Million-node robustness: dense-engine erasure sweep (gnp)"}
+	type cfg struct {
+		rate  float64
+		proto string
+		n     int
+	}
+	var cfgs []cfg
+	for _, rate := range e20Rates {
+		for _, proto := range e19Protocols {
+			for _, n := range sizes {
+				if n > maxN {
+					continue
+				}
+				cfgs = append(cfgs, cfg{rate, proto, n})
+			}
+		}
+	}
+	key := func(c cfg, s uint64) exp.Key {
+		return exp.Key{Experiment: "E20", Config: fmt.Sprintf("loss=%g/%s/n=%d", c.rate, c.proto, c.n), Seed: s}
+	}
+	for _, c := range cfgs {
+		for s := 0; s < seeds; s++ {
+			c, seed := c, uint64(s)
+			p.Cells = append(p.Cells, exp.Cell{
+				Key:        key(c, seed),
+				RoundLimit: broadcastLimit,
+				Cost:       budgetCost(c.n, 2*e19Rounds(c.proto, "gnp", c.n)),
+				Run: func(limit int64) exp.Result {
+					mk := func() radio.Channel {
+						return channel.NewErasure(c.rate, rng.Mix(seed, 0xe20))
+					}
+					res, coverage := runScaleCell(c.proto, "gnp", c.n, seed, workers, mk, limit)
+					res.Value = coverage
+					return res
+				},
+			})
+		}
+	}
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title: "E20: dense-engine erasure sweep (gnp, streaming CSR)",
+			Comment: "per-link erasure drives the engine's adverse path (per-listener hear counts, O(n)/round);\n" +
+				"decay/cr retry to full coverage, the wave gets one lossy pass in a 4x-eccentricity horizon;\n" +
+				"rounds and coverage are byte-identical at any worker count",
+			Header: []string{"loss", "protocol", "n", "ok", "rounds", "coverage"},
+		}
+		for _, c := range cfgs {
+			okCount := 0
+			var rs, cov []float64
+			for s := 0; s < seeds; s++ {
+				r := idx[key(c, uint64(s))]
+				if r.Completed {
+					okCount++
+					rs = append(rs, float64(r.Rounds))
+				}
+				cov = append(cov, r.Value)
+			}
+			t.AddRow(fmt.Sprintf("%g", c.rate), c.proto, fmt.Sprintf("%d", c.n),
+				fmt.Sprintf("%d/%d", okCount, seeds),
+				stats.F(meanOrDash(rs)), stats.F(meanOrDash(cov)))
+		}
+		return t
+	}
+	return p
+}

@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"testing"
 
+	"radiocast/internal/beep"
 	"radiocast/internal/channel"
+	"radiocast/internal/cr"
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
 	"radiocast/internal/radio"
@@ -105,6 +107,122 @@ func TestDenseParallelByteIdentical(t *testing.T) {
 					label := fmt.Sprintf("%s cd=%v adverse=%v workers=%d", g.Name(), cd, adverse, workers)
 					sameFingerprint(t, label, got, base)
 				}
+			}
+		}
+	}
+}
+
+// runDenseCR executes one dense CR broadcast and fingerprints it, the
+// same shape as runDenseDecay.
+func runDenseCR(g *graph.Graph, seed uint64, source graph.NodeID, workers int,
+	cd bool, mkChannel func() radio.Channel) denseFingerprint {
+	cfg := radio.Config{CollisionDetection: cd, Workers: workers, MaxPacketBits: 64}
+	if mkChannel != nil {
+		cfg.Channel = mkChannel()
+	}
+	p := cr.NewParams(g.N(), graph.Eccentricity(g, source))
+	pr := cr.NewDense(g, p, seed, source)
+	eng := radio.NewDense(g, cfg, pr)
+	defer eng.Close()
+	rounds, completed := eng.RunUntil(1<<20, pr.Done)
+	fp := denseFingerprint{
+		rounds:    rounds,
+		completed: completed,
+		stats:     eng.Stats(),
+		informed:  make([]bool, g.N()),
+		recvRound: make([]int64, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		fp.informed[v] = pr.Informed(graph.NodeID(v))
+		fp.recvRound[v] = pr.RecvRound(graph.NodeID(v))
+	}
+	return fp
+}
+
+// runDenseWave executes one dense collision wave and fingerprints it;
+// per-node levels ride the recvRound slots.
+func runDenseWave(g *graph.Graph, source graph.NodeID, horizon int64, workers int,
+	mkChannel func() radio.Channel) denseFingerprint {
+	cfg := radio.Config{CollisionDetection: true, Workers: workers, MaxPacketBits: 8}
+	if mkChannel != nil {
+		cfg.Channel = mkChannel()
+	}
+	pr := beep.NewDenseWave(g, source, horizon)
+	eng := radio.NewDense(g, cfg, pr)
+	defer eng.Close()
+	rounds, completed := eng.RunUntil(horizon, pr.Done)
+	fp := denseFingerprint{
+		rounds:    rounds,
+		completed: completed,
+		stats:     eng.Stats(),
+		informed:  make([]bool, g.N()),
+		recvRound: make([]int64, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		fp.informed[v] = pr.Level(graph.NodeID(v)) >= 0
+		fp.recvRound[v] = int64(pr.Level(graph.NodeID(v)))
+	}
+	return fp
+}
+
+// TestDenseCRParallelByteIdentical extends the worker-count
+// determinism property to the CR port: Workers ∈ {2, 4, 8} runs match
+// the Workers = 1 run byte for byte, ideal and channel-adverse, CD on
+// and off.
+func TestDenseCRParallelByteIdentical(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(12, 16),
+		graph.FromStream(graph.StreamGrid(17, 23)),
+		graph.BuildConnected(graph.StreamGNP(400, 0.02, 7), 7),
+	}
+	for _, g := range graphs {
+		for _, cd := range []bool{false, true} {
+			for _, adverse := range []bool{false, true} {
+				var mk func() radio.Channel
+				if adverse {
+					mk = func() radio.Channel { return adverseStack(g.N(), 99) }
+				}
+				base := runDenseCR(g, 42, 0, 1, cd, mk)
+				if !adverse && !base.completed {
+					t.Fatalf("%s: ideal CR run did not complete", g.Name())
+				}
+				for _, workers := range []int{2, 4, 8} {
+					got := runDenseCR(g, 42, 0, workers, cd, mk)
+					label := fmt.Sprintf("cr %s cd=%v adverse=%v workers=%d", g.Name(), cd, adverse, workers)
+					sameFingerprint(t, label, got, base)
+				}
+			}
+		}
+	}
+}
+
+// TestDenseWaveParallelByteIdentical extends the worker-count
+// determinism property to the collision wave (CD always on — the
+// wave's correctness assumption).
+func TestDenseWaveParallelByteIdentical(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(12, 16),
+		graph.FromStream(graph.StreamGrid(17, 23)),
+		graph.BuildConnected(graph.StreamGNP(400, 0.02, 7), 7),
+	}
+	for _, g := range graphs {
+		ecc := int64(graph.Eccentricity(g, 0))
+		for _, adverse := range []bool{false, true} {
+			horizon := ecc
+			var mk func() radio.Channel
+			if adverse {
+				horizon = 4*ecc + 64
+				mk = func() radio.Channel { return adverseStack(g.N(), 99) }
+			}
+			base := runDenseWave(g, 0, horizon, 1, mk)
+			if !adverse && (!base.completed || base.rounds != ecc) {
+				t.Fatalf("%s: ideal wave rounds/ok = %d/%v, want %d/true",
+					g.Name(), base.rounds, base.completed, ecc)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				got := runDenseWave(g, 0, horizon, workers, mk)
+				label := fmt.Sprintf("wave %s adverse=%v workers=%d", g.Name(), adverse, workers)
+				sameFingerprint(t, label, got, base)
 			}
 		}
 	}
