@@ -22,8 +22,10 @@ import (
 	"radiocast/internal/cr"
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
+	"radiocast/internal/gst"
 	"radiocast/internal/gstdist"
 	"radiocast/internal/harness"
+	"radiocast/internal/mmv"
 	"radiocast/internal/radio"
 	"radiocast/internal/rng"
 )
@@ -191,6 +193,76 @@ func TestDenseCatalogSteadyStateAllocsZero(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestDenseGSTSteadyStateAllocsZero extends the 0-alloc guard to the
+// structured GST broadcast (mmv.Dense over gst.Flat): the fast-slot
+// residue walk, the bucketed keyed slow draws, frontier pruning, and
+// the relay arming/clearing must all run in place — sequentially, with
+// the parallel delivery pass (the 192x192 grid keeps hundreds of
+// fast-slot transmitters per even round, past the parallel gate), and
+// on the channel-adverse erasure path. Warm-ups stop well short of the
+// deepest tree level (a fast wave moves at most one level per two
+// rounds), so the measured window stays mid-broadcast.
+func TestDenseGSTSteadyStateAllocsZero(t *testing.T) {
+	build := func(g *graph.Graph) (radio.DenseProtocol, func() bool) {
+		f := gst.Flatten(gst.Construct(g, 0))
+		p := mmv.NewDense(g, f, mmv.NewSchedule(g.N()), 7, 0, false)
+		return p, p.Done
+	}
+	cases := []struct {
+		name    string
+		g       *graph.Graph
+		workers int
+		erasure bool
+		warm    int64
+	}{
+		{"sequential-path2048", graph.FromStream(graph.StreamPath(2048)), 1, false, 512},
+		{"parallel-grid192x192", graph.FromStream(graph.StreamGrid(192, 192)), 4, false, 512},
+		{"erasure-grid192x192", graph.FromStream(graph.StreamGrid(192, 192)), 4, true, 512},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := radio.Config{Workers: tc.workers}
+			if tc.erasure {
+				cfg.Channel = channel.NewErasure(0.1, 99)
+			}
+			pr, done := build(tc.g)
+			eng := radio.NewDense(tc.g, cfg, pr)
+			defer eng.Close()
+			eng.Run(tc.warm)
+			if done() {
+				t.Fatal("warm-up completed the run; nothing left to measure")
+			}
+			allocs := testing.AllocsPerRun(64, func() { eng.Step() })
+			if allocs != 0 {
+				t.Fatalf("dense GST steady-state round loop allocates %.2f objects/round, want 0", allocs)
+			}
+			if done() {
+				t.Fatal("measured window crossed completion; shrink the warm-up")
+			}
+		})
+	}
+
+	// Post-completion steady state: once every member is informed, the
+	// stretch starts keep pulsing their fast slots forever (the schedule
+	// never stops) while pruning silences the slow slots — that
+	// perpetual-wave regime must be allocation-free too.
+	t.Run("post-completion-cluster12x16", func(t *testing.T) {
+		g := graph.ClusterChain(12, 16)
+		pr, done := build(g)
+		eng := radio.NewDense(g, radio.Config{}, pr)
+		defer eng.Close()
+		if _, ok := eng.RunUntil(1<<18, done); !ok {
+			t.Fatal("GST broadcast incomplete; cannot measure post-completion steady state")
+		}
+		eng.Run(64) // settle into the perpetual fast-wave cycle
+		allocs := testing.AllocsPerRun(64, func() { eng.Step() })
+		if allocs != 0 {
+			t.Fatalf("post-completion GST round loop allocates %.2f objects/round, want 0", allocs)
+		}
+	})
 }
 
 // denseScaleMemBudget caps the live-heap growth of a full n = 10^5

@@ -21,7 +21,9 @@ import (
 	"radiocast/internal/decay"
 	"radiocast/internal/exp"
 	"radiocast/internal/graph"
+	"radiocast/internal/gst"
 	"radiocast/internal/harness"
+	"radiocast/internal/mmv"
 	"radiocast/internal/radio"
 	"radiocast/internal/rings"
 	"radiocast/internal/rng"
@@ -467,6 +469,26 @@ func BenchmarkEngine_DenseWave_GNP100k(b *testing.B) {
 		eng := radio.NewDense(g, radio.Config{CollisionDetection: true}, pr)
 		defer eng.Close()
 		return eng.RunUntil(ecc, pr.Done)
+	})
+}
+
+// BenchmarkEngine_DenseGST_GNP100k is the E21 cell shape for the
+// structured GST broadcast: one full mmv.Dense run over the shared
+// streaming GNP-10^5 per op. Tree construction, flattening, and the
+// MMV schedule sit outside the loop (the build-once/broadcast-many
+// split the daemon's pooled contexts exploit); allocs/op is the SoA
+// protocol state + engine buffers, sized once per op.
+func BenchmarkEngine_DenseGST_GNP100k(b *testing.B) {
+	const n = 100_000
+	g := graph.BuildConnected(graph.StreamGNP(n, 16.0/n, 0xe19), 0xe19)
+	f := gst.Flatten(gst.Construct(g, 0))
+	s := mmv.NewSchedule(n)
+	b.ResetTimer() // tree construction is the pooled, once-per-context cost
+	reportRounds(b, func(seed uint64) (int64, bool) {
+		pr := mmv.NewDense(g, f, s, seed, 0, false)
+		eng := radio.NewDense(g, radio.Config{}, pr)
+		defer eng.Close()
+		return eng.RunUntil(1<<22, pr.Done)
 	})
 }
 

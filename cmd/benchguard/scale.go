@@ -1,6 +1,6 @@
 package main
 
-// The E19/E20 trajectory ratchet: diff a radiobench -json scale
+// The E19/E20/E21 trajectory ratchet: diff a radiobench -json scale
 // artifact (BENCH_scale.json) against a committed per-cell-config
 // baseline. Two capacity trajectories are guarded per config:
 //
@@ -43,9 +43,9 @@ type ScaleBaseline struct {
 	// rounds/sec (wide: wall time is machine-dependent).
 	ThroughputTolerancePct float64 `json:"throughput_tolerance_pct"`
 	// Workloads maps scale-sweep cell configs — E19's
-	// "decay/gnp/n=100000" or E20's "loss=0.1/cr/n=100000" — to their
-	// rows. Config strings are globally unique across the two
-	// experiments, so one flat map guards both.
+	// "decay/gnp/n=100000", E20's "loss=0.1/cr/n=100000", or E21's
+	// "gst/gnp/n=100000" — to their rows. Config strings are globally
+	// unique across the three experiments, so one flat map guards all.
 	Workloads map[string]ScaleRow `json:"workloads"`
 }
 
@@ -93,7 +93,7 @@ func scaleMetrics(blob []byte) (map[string]ScaleRow, error) {
 	}
 	sums := map[string]*acc{}
 	for _, e := range art.Experiments {
-		if e.ID != "E19" && e.ID != "E20" {
+		if e.ID != "E19" && e.ID != "E20" && e.ID != "E21" {
 			continue
 		}
 		for _, c := range e.Cells {

@@ -226,6 +226,13 @@ func TestDenseCatalogJobs(t *testing.T) {
 			"workers": 2,
 			"observe_every": 32
 		}`,
+		"dense-gst": `{
+			"protocol": "dense-gst",
+			"graph": {"kind": "grid", "rows": 24, "cols": 24},
+			"seed": 5,
+			"workers": 2,
+			"observe_every": 32
+		}`,
 	} {
 		t.Run(name, func(t *testing.T) {
 			ts, _ := newTestServer(t, 1, 16)

@@ -20,7 +20,9 @@ import (
 	"radiocast/internal/cr"
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
+	"radiocast/internal/gst"
 	"radiocast/internal/harness"
+	"radiocast/internal/mmv"
 	"radiocast/internal/obs"
 	"radiocast/internal/radio"
 	"radiocast/internal/rings"
@@ -483,10 +485,19 @@ func (m *Manager) buildCtx(spec *JobSpec) (*pooledCtx, error) {
 		// The dense engine is rebuilt per job (SoA state is cheap next to
 		// the graph, which IS pooled). CR's schedule and the wave's
 		// horizon hang off the source eccentricity; one BFS per context,
-		// amortized with the graph.
+		// amortized with the graph. The GST broadcast's tree construction
+		// is the expensive step, so the flat arrays and MMV schedule are
+		// pooled too — exactly the build-once/broadcast-many split of the
+		// paper's amortized regime.
 		ecc := 0
-		if spec.Protocol != "dense-decay" {
+		if spec.Protocol == "dense-cr" || spec.Protocol == "dense-wave" {
 			ecc = graph.Eccentricity(g, src)
+		}
+		var flat *gst.Flat
+		var sched mmv.Schedule
+		if spec.Protocol == "dense-gst" {
+			flat = gst.Flatten(gst.Construct(g, src))
+			sched = mmv.NewSchedule(g.N())
 		}
 		return &pooledCtx{g: g, run: func(job *Job, ch radio.Channel, o obs.RoundObserver, stride int64) (int64, bool, radio.Stats, int, int, error) {
 			cfg := radio.Config{Channel: ch, Workers: job.Spec.Workers}
@@ -497,6 +508,9 @@ func (m *Manager) buildCtx(spec *JobSpec) (*pooledCtx, error) {
 			switch spec.Protocol {
 			case "dense-cr":
 				p := cr.NewDense(g, cr.NewParams(g.N(), ecc), job.Spec.Seed, src)
+				pr, done, covered = p, p.Done, p.InformedCount
+			case "dense-gst":
+				p := mmv.NewDense(g, flat, sched, job.Spec.Seed, src, false)
 				pr, done, covered = p, p.Done, p.InformedCount
 			case "dense-wave":
 				// The wave REQUIRES collision detection on dense layers, so

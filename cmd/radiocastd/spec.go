@@ -27,6 +27,7 @@ var protocols = map[string]bool{
 	"dense-decay": true, // SoA Decay on the dense engine (million-node scale)
 	"dense-cr":    true, // SoA CR (FastDecay schedule) on the dense engine
 	"dense-wave":  true, // SoA collision wave on the dense engine (CD forced on)
+	"dense-gst":   true, // structured GST broadcast (flat tree + MMV schedule)
 }
 
 // denseProtocol reports whether name runs on the dense engine (and so

@@ -1,39 +1,48 @@
 package beep_test
 
-// Dense-vs-sparse twin identity for the SoA collision wave. The wave
-// is deterministic (no RNG), so the twin comparison is exact: per-node
-// levels from a DenseWave run must equal the per-node Wave levels from
-// RunLayering on the sparse engine — on the ideal channel (where both
-// equal BFS distance) and under per-link erasure with a shared seed
-// (where drops are keyed by (round, link) and agree across engines).
+// Dense-vs-sparse twin identity for the SoA collision wave, on the
+// shared radiotest substrate. The wave is deterministic (no RNG), so
+// the twin comparison is exact: per-node levels from a DenseWave run
+// must equal the per-node Wave levels from RunLayering on the sparse
+// engine — on the ideal channel (where both equal BFS distance) and
+// under per-link erasure with a shared seed (where drops are keyed by
+// (round, link) and agree across engines).
 
 import (
+	"fmt"
 	"testing"
 
 	"radiocast/internal/beep"
 	"radiocast/internal/channel"
 	"radiocast/internal/graph"
 	"radiocast/internal/radio"
+	"radiocast/internal/radio/radiotest"
 )
 
-// runDense executes one dense wave and returns per-node levels plus
-// the completion round (or horizon if incomplete).
-func runDense(g *graph.Graph, src graph.NodeID, horizon int64, cd bool, ch radio.Channel) ([]int, int64, bool) {
-	pr := beep.NewDenseWave(g, src, horizon)
-	eng := radio.NewDense(g, radio.Config{CollisionDetection: cd, Channel: ch, MaxPacketBits: 8}, pr)
-	defer eng.Close()
-	rounds, ok := eng.RunUntil(horizon, pr.Done)
-	levels := make([]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		levels[v] = pr.Level(graph.NodeID(v))
+// denseWaveCase builds the radiotest case: state is the per-node wave
+// level (-1 for untriggered nodes).
+func denseWaveCase(g *graph.Graph, src graph.NodeID, horizon int64,
+	cd bool, mk func() radio.Channel) radiotest.DenseCase {
+	return radiotest.DenseCase{
+		Graph:         g,
+		CD:            cd,
+		MaxPacketBits: 8,
+		Channel:       mk,
+		Limit:         horizon,
+		Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+			pr := beep.NewDenseWave(g, src, horizon)
+			return pr, pr.Done, func(v graph.NodeID) int64 { return int64(pr.Level(v)) }
+		},
 	}
-	return levels, rounds, ok
 }
 
-// runSparse executes the per-node Wave via RunLayering.
-func runSparse(g *graph.Graph, src graph.NodeID, horizon int64, cd bool, ch radio.Channel) []int {
-	nw := radio.New(g, radio.Config{CollisionDetection: cd, Channel: ch, MaxPacketBits: 8})
-	return beep.RunLayering(nw, src, horizon)
+// sparseWave is the sparse closure for radiotest.Twin: RunLayering
+// drives the per-node Wave protocols itself.
+func sparseWave(src graph.NodeID, horizon int64) func(*radio.Network, int64) func(graph.NodeID) int64 {
+	return func(nw *radio.Network, _ int64) func(graph.NodeID) int64 {
+		levels := beep.RunLayering(nw, src, horizon)
+		return func(v graph.NodeID) int64 { return int64(levels[v]) }
+	}
 }
 
 // TestDenseWaveMatchesSparseIdeal: with CD on the ideal channel, the
@@ -49,16 +58,14 @@ func TestDenseWaveMatchesSparseIdeal(t *testing.T) {
 	for _, g := range graphs {
 		src := graph.NodeID(0)
 		ecc := int64(graph.Eccentricity(g, src))
-		dense, rounds, ok := runDense(g, src, ecc, true, nil)
-		if !ok || rounds != ecc {
-			t.Fatalf("%s: dense wave rounds/ok = %d/%v, want %d/true", g.Name(), rounds, ok, ecc)
+		fp := radiotest.Twin(t, g.Name(), denseWaveCase(g, src, ecc, true, nil), sparseWave(src, ecc))
+		if fp.Rounds != ecc {
+			t.Fatalf("%s: dense wave rounds = %d, want %d", g.Name(), fp.Rounds, ecc)
 		}
-		sparse := runSparse(g, src, ecc, true, nil)
 		dist := graph.BFS(g, src).Dist
 		for v := 0; v < g.N(); v++ {
-			if dense[v] != sparse[v] || dense[v] != int(dist[v]) {
-				t.Fatalf("%s: node %d dense/sparse/bfs = %d/%d/%d",
-					g.Name(), v, dense[v], sparse[v], dist[v])
+			if fp.State[v] != int64(dist[v]) {
+				t.Fatalf("%s: node %d level %d != bfs %d", g.Name(), v, fp.State[v], dist[v])
 			}
 		}
 	}
@@ -77,17 +84,10 @@ func TestDenseWaveMatchesSparseErasure(t *testing.T) {
 		for _, loss := range []float64{0.1, 0.3} {
 			src := graph.NodeID(g.N() - 1)
 			horizon := 4*int64(graph.Eccentricity(g, src)) + 64
-			dense, _, ok := runDense(g, src, horizon, true, channel.NewErasure(loss, 99))
-			if !ok {
-				t.Fatalf("%s loss=%g: dense wave incomplete within horizon %d", g.Name(), loss, horizon)
-			}
-			sparse := runSparse(g, src, horizon, true, channel.NewErasure(loss, 99))
-			for v := 0; v < g.N(); v++ {
-				if dense[v] != sparse[v] {
-					t.Fatalf("%s loss=%g: node %d dense level %d != sparse %d",
-						g.Name(), loss, v, dense[v], sparse[v])
-				}
-			}
+			loss := loss
+			mk := func() radio.Channel { return channel.NewErasure(loss, 99) }
+			label := fmt.Sprintf("%s loss=%g", g.Name(), loss)
+			radiotest.Twin(t, label, denseWaveCase(g, src, horizon, true, mk), sparseWave(src, horizon))
 		}
 	}
 }
@@ -100,15 +100,9 @@ func TestDenseWaveMatchesSparseErasure(t *testing.T) {
 func TestDenseWaveNoCDOnPath(t *testing.T) {
 	g := graph.FromStream(graph.StreamPath(300))
 	ecc := int64(graph.Eccentricity(g, 0))
-	dense, rounds, ok := runDense(g, 0, ecc, false, nil)
-	if !ok || rounds != ecc {
-		t.Fatalf("dense wave without CD on path: rounds/ok = %d/%v, want %d/true", rounds, ok, ecc)
-	}
-	sparse := runSparse(g, 0, ecc, false, nil)
-	for v := range dense {
-		if dense[v] != sparse[v] {
-			t.Fatalf("node %d dense level %d != sparse %d", v, dense[v], sparse[v])
-		}
+	fp := radiotest.Twin(t, "path-nocd", denseWaveCase(g, 0, ecc, false, nil), sparseWave(0, ecc))
+	if fp.Rounds != ecc {
+		t.Fatalf("dense wave without CD on path: rounds = %d, want %d", fp.Rounds, ecc)
 	}
 }
 
@@ -119,8 +113,8 @@ func TestDenseWaveNoCDOnPath(t *testing.T) {
 func TestDenseWaveStallsWithoutCD(t *testing.T) {
 	g := graph.FromStream(graph.StreamGrid(8, 8))
 	horizon := 4 * int64(graph.Eccentricity(g, 0))
-	_, _, ok := runDense(g, 0, horizon, false, nil)
-	if ok {
+	fp := denseWaveCase(g, 0, horizon, false, nil).Run()
+	if fp.Completed {
 		t.Fatal("collision wave completed without CD on a grid; collision semantics look wrong")
 	}
 }

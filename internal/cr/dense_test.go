@@ -1,16 +1,16 @@
 package cr
 
-// Dense-vs-sparse twin identity for the SoA CR port. decay.Dense's
-// keyed draws make dense runs incomparable with the per-node-RNG
-// Broadcast, so the twin here is a sparse radio.Protocol that replays
-// the IDENTICAL keyed coins (same DenseKey, same Mix3(key, node,
-// round) draw, same FastDecay slot) on the per-node engine. Frontier
-// pruning aside — which provably cannot change informed-set dynamics,
-// see dense.go — the two engines must then produce the same broadcast:
-// same reception round for every node, same completion round. Checked
-// on the ideal channel and under per-link erasure (whose drops are
-// keyed by (round, link) and therefore agree across engines), with CD
-// on and off.
+// Dense-vs-sparse twin identity for the SoA CR port, on the shared
+// radiotest substrate. decay.Dense's keyed draws make dense runs
+// incomparable with the per-node-RNG Broadcast, so the twin here is a
+// sparse radio.Protocol that replays the IDENTICAL keyed coins (same
+// DenseKey, same Mix3(key, node, round) draw, same FastDecay slot) on
+// the per-node engine. Frontier pruning aside — which provably cannot
+// change informed-set dynamics, see dense.go — the two engines must
+// then produce the same broadcast: same reception round for every
+// node, same completion round. Checked on the ideal channel and under
+// per-link erasure (whose drops are keyed by (round, link) and
+// therefore agree across engines), with CD on and off.
 
 import (
 	"fmt"
@@ -20,6 +20,7 @@ import (
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
 	"radiocast/internal/radio"
+	"radiocast/internal/radio/radiotest"
 	"radiocast/internal/rng"
 )
 
@@ -59,42 +60,26 @@ func (b *keyedSparse) Observe(r int64, out radio.Outcome) {
 	}
 }
 
-// runTwins executes the dense run to completion and the keyed sparse
-// twin for the same number of rounds, returning both.
-func runTwins(t *testing.T, g *graph.Graph, seed uint64, src graph.NodeID,
-	cd bool, mkChannel func() radio.Channel) (*Dense, []*keyedSparse, int64) {
-	t.Helper()
-	p := NewParams(g.N(), graph.Eccentricity(g, src))
-
-	denseCfg := radio.Config{CollisionDetection: cd, Workers: 1, MaxPacketBits: 64}
-	if mkChannel != nil {
-		denseCfg.Channel = mkChannel()
+// denseCRCase builds the radiotest case: state is the reception round
+// for informed nodes, -2 for uninformed ones.
+func denseCRCase(g *graph.Graph, p Params, seed uint64, src graph.NodeID,
+	cd bool, mk func() radio.Channel) radiotest.DenseCase {
+	return radiotest.DenseCase{
+		Graph:         g,
+		CD:            cd,
+		MaxPacketBits: 64,
+		Channel:       mk,
+		Limit:         1 << 18,
+		Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+			pr := NewDense(g, p, seed, src)
+			return pr, pr.Done, func(v graph.NodeID) int64 {
+				if !pr.Informed(v) {
+					return -2
+				}
+				return pr.RecvRound(v)
+			}
+		},
 	}
-	pr := NewDense(g, p, seed, src)
-	eng := radio.NewDense(g, denseCfg, pr)
-	defer eng.Close()
-	rounds, ok := eng.RunUntil(1<<18, pr.Done)
-	if !ok {
-		t.Fatalf("dense CR incomplete after %d rounds", rounds)
-	}
-
-	sparseCfg := radio.Config{CollisionDetection: cd, MaxPacketBits: 64}
-	if mkChannel != nil {
-		sparseCfg.Channel = mkChannel()
-	}
-	nw := radio.New(g, sparseCfg)
-	twins := make([]*keyedSparse, g.N())
-	for v := 0; v < g.N(); v++ {
-		tw := &keyedSparse{params: p, key: DenseKey(seed), id: graph.NodeID(v), recv: -1}
-		if graph.NodeID(v) == src {
-			tw.has = true
-			tw.pkt = decay.Message{Data: int64(src)}
-		}
-		twins[v] = tw
-		nw.SetProtocol(graph.NodeID(v), tw)
-	}
-	nw.Run(rounds)
-	return pr, twins, rounds
 }
 
 // TestDenseMatchesKeyedSparseTwin is the byte-identity acceptance
@@ -108,6 +93,7 @@ func TestDenseMatchesKeyedSparseTwin(t *testing.T) {
 		graph.BuildConnected(graph.StreamGNP(300, 0.03, 11), 11),
 	}
 	for _, g := range graphs {
+		p := NewParams(g.N(), graph.Eccentricity(g, 0))
 		for _, cd := range []bool{false, true} {
 			for _, loss := range []float64{0, 0.15} {
 				var mk func() radio.Channel
@@ -116,15 +102,26 @@ func TestDenseMatchesKeyedSparseTwin(t *testing.T) {
 					mk = func() radio.Channel { return channel.NewErasure(loss, 77) }
 				}
 				label := fmt.Sprintf("%s cd=%v loss=%g", g.Name(), cd, loss)
-				pr, twins, rounds := runTwins(t, g, 42, 0, cd, mk)
-				for v := 0; v < g.N(); v++ {
-					tw := twins[v]
-					if tw.has != pr.Informed(graph.NodeID(v)) || tw.recv != pr.RecvRound(graph.NodeID(v)) {
-						t.Fatalf("%s: node %d sparse has/recv = %v/%d, dense = %v/%d (T=%d)",
-							label, v, tw.has, tw.recv,
-							pr.Informed(graph.NodeID(v)), pr.RecvRound(graph.NodeID(v)), rounds)
+				c := denseCRCase(g, p, 42, 0, cd, mk)
+				radiotest.Twin(t, label, c, func(nw *radio.Network, rounds int64) func(graph.NodeID) int64 {
+					twins := make([]*keyedSparse, g.N())
+					for v := 0; v < g.N(); v++ {
+						tw := &keyedSparse{params: p, key: DenseKey(42), id: graph.NodeID(v), recv: -1}
+						if v == 0 {
+							tw.has = true
+							tw.pkt = decay.Message{Data: 0}
+						}
+						twins[v] = tw
+						nw.SetProtocol(graph.NodeID(v), tw)
 					}
-				}
+					nw.Run(rounds)
+					return func(v graph.NodeID) int64 {
+						if !twins[v].has {
+							return -2
+						}
+						return twins[v].recv
+					}
+				})
 			}
 		}
 	}
@@ -136,19 +133,11 @@ func TestDenseMatchesKeyedSparseTwin(t *testing.T) {
 func TestDenseSeedSensitivity(t *testing.T) {
 	g := graph.ClusterChain(8, 8)
 	p := NewParams(g.N(), graph.Eccentricity(g, 0))
-	run := func(seed uint64) (int64, radio.Stats) {
-		pr := NewDense(g, p, seed, 0)
-		eng := radio.NewDense(g, radio.Config{}, pr)
-		defer eng.Close()
-		rounds, ok := eng.RunUntil(1<<18, pr.Done)
-		if !ok {
-			t.Fatal("incomplete")
-		}
-		return rounds, eng.Stats()
+	run := func(seed uint64) radiotest.Fingerprint {
+		return denseCRCase(g, p, seed, 0, false, nil).Run()
 	}
-	r1, s1 := run(1)
-	r2, s2 := run(2)
-	if r1 == r2 && s1 == s2 {
+	a, b := run(1), run(2)
+	if a.Rounds == b.Rounds && a.Stats == b.Stats {
 		t.Fatal("seeds 1 and 2 produced identical runs; keyed draws look degenerate")
 	}
 }

@@ -32,6 +32,11 @@ import (
 	"radiocast/internal/sched"
 )
 
+// DenseKey derives the keyed-draw seed for the dense Decay
+// broadcast's transmit coins; exported so twin tests can replay the
+// exact coins.
+func DenseKey(seed uint64) uint64 { return rng.Mix(seed, 0xdd) }
+
 // Dense implements radio.DenseProtocol for single-message Decay.
 type Dense struct {
 	g   *graph.Graph
@@ -60,7 +65,7 @@ func NewDense(g *graph.Graph, seed uint64, source graph.NodeID) *Dense {
 	d := &Dense{
 		g:             g,
 		l:             int64(sched.LogN(n)),
-		key:           rng.Mix(seed, 0xdd),
+		key:           DenseKey(seed),
 		informed:      bitvec.New(n),
 		frontier:      bitvec.New(n),
 		newly:         bitvec.New(n),

@@ -1,0 +1,125 @@
+package decay_test
+
+// Dense-vs-sparse twin identity for the SoA Decay port, on the shared
+// radiotest substrate. decay.Dense's keyed draws make dense runs
+// incomparable with the per-node-RNG Broadcast, so the twin is a
+// sparse radio.Protocol replaying the IDENTICAL keyed coins (same
+// DenseKey, same Mix3(key, node, round) draw, same Decay slot) on the
+// per-node engine. Frontier pruning aside — which provably cannot
+// change informed-set dynamics, see dense.go — the two engines must
+// produce the same broadcast: same reception round for every node.
+
+import (
+	"fmt"
+	"testing"
+
+	"radiocast/internal/channel"
+	"radiocast/internal/decay"
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+	"radiocast/internal/radio/radiotest"
+	"radiocast/internal/rng"
+	"radiocast/internal/sched"
+)
+
+// keyedSparse is the sparse twin: a per-node radio.Protocol drawing
+// the dense engine's keyed coins on the plain Decay schedule.
+type keyedSparse struct {
+	l   int64
+	key uint64
+	id  graph.NodeID
+
+	has  bool
+	pkt  radio.Packet
+	recv int64
+}
+
+var _ radio.Protocol = (*keyedSparse)(nil)
+
+func (b *keyedSparse) Act(r int64) radio.Action {
+	if !b.has {
+		return radio.Listen
+	}
+	_, slot := sched.Cycle(r, b.l)
+	if rng.Mix3(b.key, uint64(b.id), uint64(r)) < uint64(1)<<(63-uint(slot)) {
+		return radio.Transmit(b.pkt)
+	}
+	return radio.Listen
+}
+
+func (b *keyedSparse) Observe(r int64, out radio.Outcome) {
+	if b.has || out.Packet == nil {
+		return
+	}
+	if _, ok := out.Packet.(decay.Message); ok {
+		b.has = true
+		b.pkt = out.Packet
+		b.recv = r
+	}
+}
+
+// denseDecayCase builds the radiotest case: state is the reception
+// round for informed nodes, -2 for uninformed ones.
+func denseDecayCase(g *graph.Graph, seed uint64, src graph.NodeID,
+	cd bool, mk func() radio.Channel) radiotest.DenseCase {
+	return radiotest.DenseCase{
+		Graph:         g,
+		CD:            cd,
+		MaxPacketBits: 64,
+		Channel:       mk,
+		Limit:         1 << 18,
+		Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+			pr := decay.NewDense(g, seed, src)
+			return pr, pr.Done, func(v graph.NodeID) int64 {
+				if !pr.Informed(v) {
+					return -2
+				}
+				return pr.RecvRound(v)
+			}
+		},
+	}
+}
+
+// TestDenseMatchesKeyedSparseTwin: on shared seeds the dense run and
+// the keyed sparse twin agree on every node's reception round, ideal
+// and under erasure, CD on and off.
+func TestDenseMatchesKeyedSparseTwin(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(8, 8),
+		graph.FromStream(graph.StreamGrid(13, 17)),
+		graph.BuildConnected(graph.StreamGNP(300, 0.03, 11), 11),
+	}
+	for _, g := range graphs {
+		l := int64(sched.LogN(g.N()))
+		for _, cd := range []bool{false, true} {
+			for _, loss := range []float64{0, 0.15} {
+				var mk func() radio.Channel
+				if loss > 0 {
+					loss := loss
+					mk = func() radio.Channel { return channel.NewErasure(loss, 77) }
+				}
+				label := fmt.Sprintf("%s cd=%v loss=%g", g.Name(), cd, loss)
+				c := denseDecayCase(g, 42, 0, cd, mk)
+				radiotest.Twin(t, label, c, func(nw *radio.Network, rounds int64) func(graph.NodeID) int64 {
+					twins := make([]*keyedSparse, g.N())
+					for v := 0; v < g.N(); v++ {
+						tw := &keyedSparse{l: l, key: decay.DenseKey(42), id: graph.NodeID(v), recv: -1}
+						if v == 0 {
+							tw.has = true
+							tw.pkt = decay.Message{Data: 0}
+						}
+						twins[v] = tw
+						nw.SetProtocol(graph.NodeID(v), tw)
+					}
+					nw.Run(rounds)
+					return func(v graph.NodeID) int64 {
+						if !twins[v].has {
+							return -2
+						}
+						return twins[v].recv
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package gst
+
+import (
+	"testing"
+
+	"radiocast/internal/graph"
+)
+
+// flatGraphs are the workloads the flat snapshot is checked against —
+// chosen to exercise deep levels (path), wide levels (grid/clique
+// chain), random structure, and multi-root forests.
+func flatGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"path":    graph.Path(97),
+		"grid":    graph.Grid(9, 14),
+		"cluster": graph.ClusterChain(7, 6),
+		"gnp":     graph.GNP(240, 0.03, 5),
+		"star":    graph.Star(33),
+		"binary":  graph.BinaryTree(127),
+	}
+}
+
+// TestFlattenMatchesTree checks every Flat array against the
+// map-using reference derivations on the Tree.
+func TestFlattenMatchesTree(t *testing.T) {
+	for name, g := range flatGraphs() {
+		tr := Construct(g, 0)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid tree: %v", name, err)
+		}
+		f := Flatten(tr)
+		if f.N() != g.N() {
+			t.Fatalf("%s: N=%d want %d", name, f.N(), g.N())
+		}
+		vdist := VirtualDistances(tr)
+		children := tr.Children()
+		for v := 0; v < g.N(); v++ {
+			id := NodeID(v)
+			if f.Parent[v] != tr.Parent[v] || f.Level[v] != tr.Level[v] || f.Rank[v] != tr.Rank[v] {
+				t.Fatalf("%s: node %d parent/level/rank (%d,%d,%d) want (%d,%d,%d)",
+					name, v, f.Parent[v], f.Level[v], f.Rank[v], tr.Parent[v], tr.Level[v], tr.Rank[v])
+			}
+			if f.Vdist[v] != vdist[v] {
+				t.Fatalf("%s: node %d vdist %d want %d", name, v, f.Vdist[v], vdist[v])
+			}
+			wantPR := int32(0)
+			if p := tr.Parent[v]; p >= 0 {
+				wantPR = tr.Rank[p]
+			}
+			if f.ParentRank[v] != wantPR {
+				t.Fatalf("%s: node %d parent rank %d want %d", name, v, f.ParentRank[v], wantPR)
+			}
+			if got, want := f.SameRankChild[v], SameRankChild(tr, children, id) >= 0; got != want {
+				t.Fatalf("%s: node %d same-rank-child %v want %v", name, v, got, want)
+			}
+			if got, want := f.StretchStart[v], IsStretchStart(tr, id); got != want {
+				t.Fatalf("%s: node %d stretch-start %v want %v", name, v, got, want)
+			}
+			wantRoot := false
+			for _, r := range tr.Roots {
+				wantRoot = wantRoot || r == id
+			}
+			if f.Root[v] != wantRoot {
+				t.Fatalf("%s: node %d root %v want %v", name, v, f.Root[v], wantRoot)
+			}
+			if got, want := f.Member(id), tr.InTree(id) && vdist[v] >= 0; got != want {
+				t.Fatalf("%s: node %d member %v want %v", name, v, got, want)
+			}
+		}
+	}
+}
+
+// TestFlattenMultiRoot covers the forest case (ring decompositions
+// root a GST at an entire boundary layer) plus non-member sentinels.
+func TestFlattenMultiRoot(t *testing.T) {
+	g := graph.Grid(8, 11)
+	tr := Construct(g, 0, 10, 80)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	f := Flatten(tr)
+	vdist := VirtualDistances(tr)
+	roots := 0
+	for v := 0; v < g.N(); v++ {
+		if f.Vdist[v] != vdist[v] {
+			t.Fatalf("node %d vdist %d want %d", v, f.Vdist[v], vdist[v])
+		}
+		if f.Root[v] {
+			roots++
+			if f.Parent[v] != -1 || f.Level[v] != 0 {
+				t.Fatalf("root %d has parent %d level %d", v, f.Parent[v], f.Level[v])
+			}
+		}
+	}
+	if roots != 3 {
+		t.Fatalf("got %d roots, want 3", roots)
+	}
+}

@@ -69,6 +69,8 @@ func AllWithScale(sc ScaleConfig) []Experiment {
 			func(seeds int, quick bool) *exp.Plan { return E19Plan(sc, seeds, quick) }},
 		{"E20", "Million-node robustness: dense-engine erasure sweep (gnp)",
 			func(seeds int, quick bool) *exp.Plan { return E20Plan(sc, seeds, quick) }},
+		{"E21", "Million-node structured broadcast: dense GST sweep (flat tree + MMV schedule)",
+			func(seeds int, quick bool) *exp.Plan { return E21Plan(sc, seeds, quick) }},
 		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1Plan},
 		{"A2", "Ablation: RLNC vs store-and-forward routing", A2Plan},
 		{"A3", "Ablation: ring width in Theorem 1.1", A3Plan},

@@ -13,7 +13,11 @@ package harness
 // beep.DenseWave — on the ideal channel up to n = 10^6. E20 reruns the
 // catalog on the gnp workload under per-link erasure (the
 // channel-adverse engine path: per-listener hear counts instead of the
-// collect/scatter fast path) across a loss grid.
+// collect/scatter fast path) across a loss grid. E21 runs the
+// structured GST broadcast (mmv.Dense over gst.Flat) through the same
+// workload grid, with and without jamming by uninformed members — the
+// steady-state regime of the paper's amortized argument, where the
+// tree is built once and every broadcast rides the fixed MMV schedule.
 //
 // The rendered tables hold only reproducible outputs (rounds,
 // completion, coverage). The capacity metrics — live-heap growth of
@@ -36,6 +40,8 @@ import (
 	"radiocast/internal/decay"
 	"radiocast/internal/exp"
 	"radiocast/internal/graph"
+	"radiocast/internal/gst"
+	"radiocast/internal/mmv"
 	"radiocast/internal/radio"
 	"radiocast/internal/rng"
 	"radiocast/internal/sched"
@@ -186,6 +192,10 @@ func runScaleCell(proto, workload string, n int, seed uint64, workers int,
 	var done func() bool
 	var covered func() int
 	switch proto {
+	case "gst", "gst-noise":
+		f := gst.Flatten(gst.Construct(g, 0))
+		p := mmv.NewDense(g, f, mmv.NewSchedule(g.N()), seed, 0, proto == "gst-noise")
+		pr, done, covered = p, p.Done, p.InformedCount
 	case "cr":
 		d := graph.Eccentricity(g, 0)
 		p := cr.NewDense(g, cr.NewParams(g.N(), d), seed, 0)
@@ -382,6 +392,100 @@ func E20Plan(sc ScaleConfig, seeds int, quick bool) *exp.Plan {
 			t.AddRow(fmt.Sprintf("%g", c.rate), c.proto, fmt.Sprintf("%d", c.n),
 				fmt.Sprintf("%d/%d", okCount, seeds),
 				stats.F(meanOrDash(rs)), stats.F(meanOrDash(cov)))
+		}
+		return t
+	}
+	return p
+}
+
+// e21Modes orders the mode columns of E21: the structured GST
+// broadcast on a quiet tree, and the same schedule with every
+// uninformed member jamming its slow slots (Lemma 3.3's noise regime).
+var e21Modes = []string{"gst", "gst-noise"}
+
+// e21Rounds estimates a GST-broadcast cell's completion rounds (cost
+// model only): the fast relay pipelines one level per two rounds, and
+// each of the ≤ log n stretch boundaries on a root-to-leaf path waits
+// O(M log n) expected slow slots, with M = 6(L+2) the schedule period.
+func e21Rounds(workload string, n int) int64 {
+	m := int64(mmv.NewSchedule(n).M)
+	return m * e19Rounds("wave", workload, n)
+}
+
+// E21Plan is the structured-broadcast scale sweep: mmv.Dense over
+// flat GST arrays (built once per cell by gst.Construct + gst.Flatten)
+// on the E19 workload grid, n = 10^3 .. sc.MaxN, quiet and noised.
+// Completion rides the fixed MMV schedule only — no retries, no
+// topology knowledge beyond the tree — so the rounds column is the
+// steady-state per-message cost of the paper's amortized regime.
+func E21Plan(sc ScaleConfig, seeds int, quick bool) *exp.Plan {
+	sizes := []int{1_000, 10_000, 100_000, 1_000_000}
+	if quick {
+		sizes = []int{1_000, 10_000}
+	}
+	maxN := sc.maxN()
+	workers := sc.workers()
+	p := &exp.Plan{ID: "E21", Title: "Million-node structured broadcast: dense GST sweep (flat tree + MMV schedule)"}
+	type cfg struct {
+		workload string
+		n        int
+	}
+	var cfgs []cfg
+	for _, n := range sizes {
+		if n > maxN {
+			continue
+		}
+		for _, w := range e19Workloads {
+			if w == "path" && n > e19PathCap {
+				continue
+			}
+			cfgs = append(cfgs, cfg{w, n})
+		}
+	}
+	key := func(mode string, c cfg, s uint64) exp.Key {
+		return exp.Key{Experiment: "E21", Config: fmt.Sprintf("%s/%s/n=%d", mode, c.workload, c.n), Seed: s}
+	}
+	for _, c := range cfgs {
+		for _, mode := range e21Modes {
+			for s := 0; s < seeds; s++ {
+				c, mode, seed := c, mode, uint64(s)
+				p.Cells = append(p.Cells, exp.Cell{
+					Key:        key(mode, c, seed),
+					RoundLimit: broadcastLimit,
+					Cost:       budgetCost(c.n, e21Rounds(c.workload, c.n)),
+					Run: func(limit int64) exp.Result {
+						res, _ := runScaleCell(mode, c.workload, c.n, seed, workers, nil, limit)
+						return res
+					},
+				})
+			}
+		}
+	}
+	p.Assemble = func(results []exp.Result) *stats.Table {
+		idx := exp.Index(results)
+		t := &stats.Table{
+			Title: "E21: dense GST broadcast scale sweep (flat tree + MMV schedule)",
+			Comment: "one structured broadcast per (mode, workload, n) cell: gst.Construct + gst.Flatten once, then\n" +
+				"mmv.Dense on the fixed MMV schedule; gst-noise adds slow-slot jamming by every uninformed member;\n" +
+				"byte-identical at any worker count; bytes/node, peak RSS, and rounds/sec ride the JSON artifact",
+			Header: []string{"workload", "n", "ok", "gst", "gst-noise"},
+		}
+		for _, c := range cfgs {
+			okCount := 0
+			row := []string{c.workload, fmt.Sprintf("%d", c.n), ""}
+			for _, mode := range e21Modes {
+				var rs []float64
+				for s := 0; s < seeds; s++ {
+					r := idx[key(mode, c, uint64(s))]
+					if r.Completed {
+						okCount++
+						rs = append(rs, float64(r.Rounds))
+					}
+				}
+				row = append(row, stats.F(meanOrDash(rs)))
+			}
+			row[2] = fmt.Sprintf("%d/%d", okCount, len(e21Modes)*seeds)
+			t.AddRow(row...)
 		}
 		return t
 	}

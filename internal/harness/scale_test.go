@@ -63,8 +63,40 @@ func TestE20QuickCompletes(t *testing.T) {
 	}
 }
 
+// TestE21QuickCompletes runs the quick structured-broadcast sweep
+// (n up to 10^4, quiet and noised) and requires every cell to finish
+// on the fixed MMV schedule and carry the capacity metrics.
+func TestE21QuickCompletes(t *testing.T) {
+	p := E21Plan(DefaultScaleConfig(), 1, true)
+	results := (&exp.Runner{Parallelism: 1}).Run(p)
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("%s: %s", r.Key, r.Err)
+		}
+		if !r.Completed {
+			t.Errorf("%s: broadcast incomplete after %d rounds", r.Key, r.Rounds)
+		}
+		if r.MemBytes < 0 || r.Value <= 0 {
+			t.Errorf("%s: implausible metrics mem=%d deliveries=%g", r.Key, r.MemBytes, r.Value)
+		}
+	}
+	tb := p.Assemble(results)
+	if len(tb.Rows) == 0 {
+		t.Fatal("E21 produced no rows")
+	}
+	for _, mode := range e21Modes {
+		found := false
+		for _, h := range tb.Header {
+			found = found || h == mode
+		}
+		if !found {
+			t.Errorf("E21 header %v missing mode column %q", tb.Header, mode)
+		}
+	}
+}
+
 // TestScaleWorkerInvariance pins the sweep-level face of the dense
-// engine's determinism contract: the E19 and E20 tables (and the
+// engine's determinism contract: the E19, E20, and E21 tables (and the
 // canonical artifact) are byte-identical whether the engine runs
 // sequentially or with the parallel delivery pass — threaded through
 // ScaleConfig, no package state.
@@ -75,6 +107,7 @@ func TestScaleWorkerInvariance(t *testing.T) {
 	}{
 		{"E19", E19Plan},
 		{"E20", E20Plan},
+		{"E21", E21Plan},
 	} {
 		run := func(workers int) string {
 			p := plan.fn(ScaleConfig{Workers: workers}, 1, true)

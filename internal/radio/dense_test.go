@@ -1,10 +1,13 @@
 package radio_test
 
 // Seq-vs-par byte-identity for the dense engine (the determinism
-// satellite): the exact same run — rounds, every Stats counter, the
-// final informed set, and every node's reception round — must come out
-// byte-identical at every worker count, on the ideal channel and under
-// a stacked adversity model, with and without collision detection.
+// satellite), on the shared radiotest substrate: the exact same run —
+// rounds, every Stats counter, the final informed set, and every
+// node's reception round — must come out byte-identical at every
+// worker count, for every dense port in the catalog (Decay, CR, the
+// collision wave, and the structured GST broadcast), on the ideal
+// channel and under a stacked adversity model, with and without
+// collision detection.
 
 import (
 	"fmt"
@@ -15,61 +18,11 @@ import (
 	"radiocast/internal/cr"
 	"radiocast/internal/decay"
 	"radiocast/internal/graph"
+	"radiocast/internal/gst"
+	"radiocast/internal/mmv"
 	"radiocast/internal/radio"
+	"radiocast/internal/radio/radiotest"
 )
-
-// denseFingerprint is everything observable about a finished dense
-// Decay run.
-type denseFingerprint struct {
-	rounds    int64
-	completed bool
-	stats     radio.Stats
-	informed  []bool
-	recvRound []int64
-}
-
-// runDenseDecay executes one dense Decay broadcast to completion (or
-// the round limit) and fingerprints it.
-func runDenseDecay(g *graph.Graph, seed uint64, source graph.NodeID, workers int,
-	cd bool, mkChannel func() radio.Channel) denseFingerprint {
-	cfg := radio.Config{CollisionDetection: cd, Workers: workers, MaxPacketBits: 64}
-	if mkChannel != nil {
-		cfg.Channel = mkChannel()
-	}
-	pr := decay.NewDense(g, seed, source)
-	eng := radio.NewDense(g, cfg, pr)
-	defer eng.Close()
-	rounds, completed := eng.RunUntil(1<<20, pr.Done)
-	fp := denseFingerprint{
-		rounds:    rounds,
-		completed: completed,
-		stats:     eng.Stats(),
-		informed:  make([]bool, g.N()),
-		recvRound: make([]int64, g.N()),
-	}
-	for v := 0; v < g.N(); v++ {
-		fp.informed[v] = pr.Informed(graph.NodeID(v))
-		fp.recvRound[v] = pr.RecvRound(graph.NodeID(v))
-	}
-	return fp
-}
-
-func sameFingerprint(t *testing.T, label string, got, want denseFingerprint) {
-	t.Helper()
-	if got.rounds != want.rounds || got.completed != want.completed {
-		t.Fatalf("%s: rounds/completed = %d/%v, want %d/%v",
-			label, got.rounds, got.completed, want.rounds, want.completed)
-	}
-	if got.stats != want.stats {
-		t.Fatalf("%s: stats = %+v, want %+v", label, got.stats, want.stats)
-	}
-	for v := range got.informed {
-		if got.informed[v] != want.informed[v] || got.recvRound[v] != want.recvRound[v] {
-			t.Fatalf("%s: node %d informed/recv = %v/%d, want %v/%d",
-				label, v, got.informed[v], got.recvRound[v], want.informed[v], want.recvRound[v])
-		}
-	}
-}
 
 // adverseStack builds the erasure+jammer+faults stack used by the
 // channel-adversity identity cases. A fresh stack per run: Jammer
@@ -82,114 +35,81 @@ func adverseStack(n int, seed uint64) radio.Channel {
 	}
 }
 
-// TestDenseParallelByteIdentical is the core determinism property: for
-// every workload x channel x CD combination, Workers ∈ {2, 4, 8} runs
-// are byte-identical to the Workers = 1 run.
-func TestDenseParallelByteIdentical(t *testing.T) {
-	graphs := []*graph.Graph{
+// workerGraphs are the worker-identity workloads: a clique chain, a
+// streamed grid, and an augmented-stream G(n,p).
+func workerGraphs() []*graph.Graph {
+	return []*graph.Graph{
 		graph.ClusterChain(12, 16),
 		graph.FromStream(graph.StreamGrid(17, 23)),
 		graph.BuildConnected(graph.StreamGNP(400, 0.02, 7), 7),
 	}
-	for _, g := range graphs {
+}
+
+// recvState adapts the informed/recvRound pair every single-message
+// port exposes into radiotest's one-int64 state (-2 = uninformed).
+func recvState(informed func(graph.NodeID) bool, recv func(graph.NodeID) int64) func(graph.NodeID) int64 {
+	return func(v graph.NodeID) int64 {
+		if !informed(v) {
+			return -2
+		}
+		return recv(v)
+	}
+}
+
+// decayCase builds the worker-identity case for the dense Decay port.
+func decayCase(g *graph.Graph, cd bool, mk func() radio.Channel) radiotest.DenseCase {
+	return radiotest.DenseCase{
+		Graph: g, CD: cd, MaxPacketBits: 64, Channel: mk,
+		Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+			pr := decay.NewDense(g, 42, 0)
+			return pr, pr.Done, recvState(pr.Informed, pr.RecvRound)
+		},
+	}
+}
+
+// TestDenseParallelByteIdentical is the core determinism property: for
+// every workload x channel x CD combination, Workers ∈ {2, 4, 8} runs
+// are byte-identical to the Workers = 1 run.
+func TestDenseParallelByteIdentical(t *testing.T) {
+	for _, g := range workerGraphs() {
 		for _, cd := range []bool{false, true} {
 			for _, adverse := range []bool{false, true} {
 				var mk func() radio.Channel
 				if adverse {
 					mk = func() radio.Channel { return adverseStack(g.N(), 99) }
 				}
-				base := runDenseDecay(g, 42, 0, 1, cd, mk)
-				if !adverse && !base.completed {
+				label := fmt.Sprintf("%s cd=%v adverse=%v", g.Name(), cd, adverse)
+				base := radiotest.WorkerInvariant(t, label, decayCase(g, cd, mk), 2, 4, 8)
+				if !adverse && !base.Completed {
 					t.Fatalf("%s: ideal run did not complete", g.Name())
-				}
-				for _, workers := range []int{2, 4, 8} {
-					got := runDenseDecay(g, 42, 0, workers, cd, mk)
-					label := fmt.Sprintf("%s cd=%v adverse=%v workers=%d", g.Name(), cd, adverse, workers)
-					sameFingerprint(t, label, got, base)
 				}
 			}
 		}
 	}
 }
 
-// runDenseCR executes one dense CR broadcast and fingerprints it, the
-// same shape as runDenseDecay.
-func runDenseCR(g *graph.Graph, seed uint64, source graph.NodeID, workers int,
-	cd bool, mkChannel func() radio.Channel) denseFingerprint {
-	cfg := radio.Config{CollisionDetection: cd, Workers: workers, MaxPacketBits: 64}
-	if mkChannel != nil {
-		cfg.Channel = mkChannel()
-	}
-	p := cr.NewParams(g.N(), graph.Eccentricity(g, source))
-	pr := cr.NewDense(g, p, seed, source)
-	eng := radio.NewDense(g, cfg, pr)
-	defer eng.Close()
-	rounds, completed := eng.RunUntil(1<<20, pr.Done)
-	fp := denseFingerprint{
-		rounds:    rounds,
-		completed: completed,
-		stats:     eng.Stats(),
-		informed:  make([]bool, g.N()),
-		recvRound: make([]int64, g.N()),
-	}
-	for v := 0; v < g.N(); v++ {
-		fp.informed[v] = pr.Informed(graph.NodeID(v))
-		fp.recvRound[v] = pr.RecvRound(graph.NodeID(v))
-	}
-	return fp
-}
-
-// runDenseWave executes one dense collision wave and fingerprints it;
-// per-node levels ride the recvRound slots.
-func runDenseWave(g *graph.Graph, source graph.NodeID, horizon int64, workers int,
-	mkChannel func() radio.Channel) denseFingerprint {
-	cfg := radio.Config{CollisionDetection: true, Workers: workers, MaxPacketBits: 8}
-	if mkChannel != nil {
-		cfg.Channel = mkChannel()
-	}
-	pr := beep.NewDenseWave(g, source, horizon)
-	eng := radio.NewDense(g, cfg, pr)
-	defer eng.Close()
-	rounds, completed := eng.RunUntil(horizon, pr.Done)
-	fp := denseFingerprint{
-		rounds:    rounds,
-		completed: completed,
-		stats:     eng.Stats(),
-		informed:  make([]bool, g.N()),
-		recvRound: make([]int64, g.N()),
-	}
-	for v := 0; v < g.N(); v++ {
-		fp.informed[v] = pr.Level(graph.NodeID(v)) >= 0
-		fp.recvRound[v] = int64(pr.Level(graph.NodeID(v)))
-	}
-	return fp
-}
-
 // TestDenseCRParallelByteIdentical extends the worker-count
-// determinism property to the CR port: Workers ∈ {2, 4, 8} runs match
-// the Workers = 1 run byte for byte, ideal and channel-adverse, CD on
-// and off.
+// determinism property to the CR port.
 func TestDenseCRParallelByteIdentical(t *testing.T) {
-	graphs := []*graph.Graph{
-		graph.ClusterChain(12, 16),
-		graph.FromStream(graph.StreamGrid(17, 23)),
-		graph.BuildConnected(graph.StreamGNP(400, 0.02, 7), 7),
-	}
-	for _, g := range graphs {
+	for _, g := range workerGraphs() {
+		p := cr.NewParams(g.N(), graph.Eccentricity(g, 0))
 		for _, cd := range []bool{false, true} {
 			for _, adverse := range []bool{false, true} {
 				var mk func() radio.Channel
 				if adverse {
 					mk = func() radio.Channel { return adverseStack(g.N(), 99) }
 				}
-				base := runDenseCR(g, 42, 0, 1, cd, mk)
-				if !adverse && !base.completed {
-					t.Fatalf("%s: ideal CR run did not complete", g.Name())
+				c := radiotest.DenseCase{
+					Graph: g, CD: cd, MaxPacketBits: 64, Channel: mk,
+					Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+						pr := cr.NewDense(g, p, 42, 0)
+						return pr, pr.Done, recvState(pr.Informed, pr.RecvRound)
+					},
 				}
-				for _, workers := range []int{2, 4, 8} {
-					got := runDenseCR(g, 42, 0, workers, cd, mk)
-					label := fmt.Sprintf("cr %s cd=%v adverse=%v workers=%d", g.Name(), cd, adverse, workers)
-					sameFingerprint(t, label, got, base)
+				label := fmt.Sprintf("cr %s cd=%v adverse=%v", g.Name(), cd, adverse)
+				base := radiotest.WorkerInvariant(t, label, c, 2, 4, 8)
+				if !adverse && !base.Completed {
+					t.Fatalf("%s: ideal CR run did not complete", g.Name())
 				}
 			}
 		}
@@ -200,12 +120,7 @@ func TestDenseCRParallelByteIdentical(t *testing.T) {
 // determinism property to the collision wave (CD always on — the
 // wave's correctness assumption).
 func TestDenseWaveParallelByteIdentical(t *testing.T) {
-	graphs := []*graph.Graph{
-		graph.ClusterChain(12, 16),
-		graph.FromStream(graph.StreamGrid(17, 23)),
-		graph.BuildConnected(graph.StreamGNP(400, 0.02, 7), 7),
-	}
-	for _, g := range graphs {
+	for _, g := range workerGraphs() {
 		ecc := int64(graph.Eccentricity(g, 0))
 		for _, adverse := range []bool{false, true} {
 			horizon := ecc
@@ -214,15 +129,54 @@ func TestDenseWaveParallelByteIdentical(t *testing.T) {
 				horizon = 4*ecc + 64
 				mk = func() radio.Channel { return adverseStack(g.N(), 99) }
 			}
-			base := runDenseWave(g, 0, horizon, 1, mk)
-			if !adverse && (!base.completed || base.rounds != ecc) {
-				t.Fatalf("%s: ideal wave rounds/ok = %d/%v, want %d/true",
-					g.Name(), base.rounds, base.completed, ecc)
+			c := radiotest.DenseCase{
+				Graph: g, CD: true, MaxPacketBits: 8, Channel: mk, Limit: horizon,
+				Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+					pr := beep.NewDenseWave(g, 0, horizon)
+					return pr, pr.Done, func(v graph.NodeID) int64 { return int64(pr.Level(v)) }
+				},
 			}
-			for _, workers := range []int{2, 4, 8} {
-				got := runDenseWave(g, 0, horizon, workers, mk)
-				label := fmt.Sprintf("wave %s adverse=%v workers=%d", g.Name(), adverse, workers)
-				sameFingerprint(t, label, got, base)
+			label := fmt.Sprintf("wave %s adverse=%v", g.Name(), adverse)
+			base := radiotest.WorkerInvariant(t, label, c, 2, 4, 8)
+			if !adverse && (!base.Completed || base.Rounds != ecc) {
+				t.Fatalf("%s: ideal wave rounds/ok = %d/%v, want %d/true",
+					g.Name(), base.Rounds, base.Completed, ecc)
+			}
+		}
+	}
+}
+
+// TestDenseGSTParallelByteIdentical extends the worker-count
+// determinism property to the structured GST broadcast: the fast-slot
+// residue walk, the bucketed slow-slot draws, and the relay-bit
+// arming/clearing must all reconstruct the sequential schedule at
+// Workers ∈ {1, 2, 4, 8} — ideal and channel-adverse, CD on and off,
+// noising on and off.
+func TestDenseGSTParallelByteIdentical(t *testing.T) {
+	for _, g := range workerGraphs() {
+		f := gst.Flatten(gst.Construct(g, 0))
+		s := mmv.NewSchedule(g.N())
+		for _, cd := range []bool{false, true} {
+			for _, adverse := range []bool{false, true} {
+				for _, noising := range []bool{false, true} {
+					var mk func() radio.Channel
+					if adverse {
+						mk = func() radio.Channel { return adverseStack(g.N(), 99) }
+					}
+					noising := noising
+					c := radiotest.DenseCase{
+						Graph: g, CD: cd, MaxPacketBits: 64, Channel: mk, Limit: 1 << 18,
+						Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+							pr := mmv.NewDense(g, f, s, 42, 0, noising)
+							return pr, pr.Done, recvState(pr.Informed, pr.RecvRound)
+						},
+					}
+					label := fmt.Sprintf("gst %s cd=%v adverse=%v noising=%v", g.Name(), cd, adverse, noising)
+					base := radiotest.WorkerInvariant(t, label, c, 2, 4, 8)
+					if !adverse && !base.Completed {
+						t.Fatalf("%s: ideal GST run did not complete", g.Name())
+					}
+				}
 			}
 		}
 	}
@@ -235,24 +189,29 @@ func TestDenseWaveParallelByteIdentical(t *testing.T) {
 func TestDenseDecayCompletes(t *testing.T) {
 	g := graph.FromStream(graph.StreamClusterChain(10, 8))
 	src := graph.NodeID(g.N() - 1)
-	fp := runDenseDecay(g, 3, src, 4, false, nil)
-	if !fp.completed {
+	c := radiotest.DenseCase{
+		Graph: g, MaxPacketBits: 64, Workers: 4,
+		Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+			pr := decay.NewDense(g, 3, src)
+			return pr, pr.Done, recvState(pr.Informed, pr.RecvRound)
+		},
+	}
+	fp := c.Run()
+	if !fp.Completed {
 		t.Fatal("dense decay did not complete")
 	}
 	for v := 0; v < g.N(); v++ {
-		if !fp.informed[v] {
+		switch {
+		case fp.State[v] == -2:
 			t.Fatalf("node %d uninformed at completion", v)
-		}
-		if graph.NodeID(v) == src {
-			if fp.recvRound[v] != -1 {
-				t.Fatalf("source recvRound = %d, want -1", fp.recvRound[v])
-			}
-		} else if fp.recvRound[v] < 0 {
-			t.Fatalf("node %d informed but recvRound = %d", v, fp.recvRound[v])
+		case graph.NodeID(v) == src && fp.State[v] != -1:
+			t.Fatalf("source recvRound = %d, want -1", fp.State[v])
+		case graph.NodeID(v) != src && fp.State[v] < 0:
+			t.Fatalf("node %d informed but recvRound = %d", v, fp.State[v])
 		}
 	}
-	if fp.stats.Deliveries < int64(g.N()-1) {
-		t.Fatalf("deliveries %d < n-1 = %d", fp.stats.Deliveries, g.N()-1)
+	if fp.Stats.Deliveries < int64(g.N()-1) {
+		t.Fatalf("deliveries %d < n-1 = %d", fp.Stats.Deliveries, g.N()-1)
 	}
 }
 
@@ -261,9 +220,17 @@ func TestDenseDecayCompletes(t *testing.T) {
 // produce different schedules on a workload with real contention.
 func TestDenseDecaySeedSensitivity(t *testing.T) {
 	g := graph.ClusterChain(8, 8)
-	a := runDenseDecay(g, 1, 0, 1, false, nil)
-	b := runDenseDecay(g, 2, 0, 1, false, nil)
-	if a.rounds == b.rounds && a.stats == b.stats {
+	run := func(seed uint64) radiotest.Fingerprint {
+		return radiotest.DenseCase{
+			Graph: g, MaxPacketBits: 64,
+			Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+				pr := decay.NewDense(g, seed, 0)
+				return pr, pr.Done, recvState(pr.Informed, pr.RecvRound)
+			},
+		}.Run()
+	}
+	a, b := run(1), run(2)
+	if a.Rounds == b.Rounds && a.Stats == b.Stats {
 		t.Fatal("seeds 1 and 2 produced identical runs; keyed draws look degenerate")
 	}
 }

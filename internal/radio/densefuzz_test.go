@@ -1,0 +1,104 @@
+package radio_test
+
+// Native fuzz target for the dense engine's determinism contract: a
+// fuzzer-chosen protocol, channel stack, seed, and worker count must
+// still produce a run byte-identical to the sequential one. This
+// generalizes the fixed worker-identity tables in dense_test.go to
+// arbitrary corners of the configuration space (stacked adversity
+// layers, odd worker counts, CD on/off, noising on/off).
+
+import (
+	"fmt"
+	"testing"
+
+	"radiocast/internal/channel"
+	"radiocast/internal/decay"
+	"radiocast/internal/graph"
+	"radiocast/internal/gst"
+	"radiocast/internal/mmv"
+	"radiocast/internal/radio"
+	"radiocast/internal/radio/radiotest"
+)
+
+// fuzzWorkload pairs a graph with its precomputed GST flat arrays so
+// each fuzz execution pays only for the run, not the construction.
+type fuzzWorkload struct {
+	g *graph.Graph
+	f *gst.Flat
+	s mmv.Schedule
+}
+
+var fuzzWorkloads = func() []fuzzWorkload {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(6, 6),
+		graph.FromStream(graph.StreamGrid(7, 9)),
+		graph.BuildConnected(graph.StreamGNP(100, 0.05, 13), 13),
+	}
+	ws := make([]fuzzWorkload, len(graphs))
+	for i, g := range graphs {
+		ws[i] = fuzzWorkload{g: g, f: gst.Flatten(gst.Construct(g, 0)), s: mmv.NewSchedule(g.N())}
+	}
+	return ws
+}()
+
+// fuzzChannel assembles a channel stack from the mask's low bits, so
+// the fuzzer explores layer subsets: erasure, jammer, noisy CD, radio
+// faults. All four are safe under concurrent DropLink/Observe (see
+// Config.Workers).
+func fuzzChannel(mask uint8, n int, seed uint64) func() radio.Channel {
+	if mask&0x0f == 0 {
+		return nil
+	}
+	return func() radio.Channel {
+		var stack channel.Stack
+		if mask&1 != 0 {
+			stack = append(stack, channel.NewErasure(0.1, seed))
+		}
+		if mask&2 != 0 {
+			stack = append(stack, channel.NewJammer(20, 0.05, seed))
+		}
+		if mask&4 != 0 {
+			stack = append(stack, channel.NewNoisyCD(0.05, 0.05, seed))
+		}
+		if mask&8 != 0 {
+			stack = append(stack, channel.RandomFaults(n, 0, 0.1, 16, 0.05, 1<<14, seed))
+		}
+		if len(stack) == 1 {
+			return stack[0]
+		}
+		return stack
+	}
+}
+
+// FuzzDenseTwinIdentity: for any (protocol, graph, channel stack, CD,
+// seed, workers) the fuzzer picks, the parallel dense run must be
+// byte-identical to the sequential one.
+func FuzzDenseTwinIdentity(f *testing.F) {
+	f.Add(uint64(42), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(1), uint8(3), uint8(1), uint8(17))   // erasure+jammer, gst on grid
+	f.Add(uint64(7), uint8(15), uint8(2), uint8(100)) // full stack, decay on gnp
+	f.Add(uint64(9), uint8(48), uint8(5), uint8(3))   // CD+noising, gst on gnp
+	f.Fuzz(func(t *testing.T, seed uint64, chanMask, pick, workersRaw uint8) {
+		w := fuzzWorkloads[int(pick)%len(fuzzWorkloads)]
+		cd := chanMask&16 != 0
+		useGST := pick%2 == 1
+		workers := 2 + int(workersRaw)%7
+		c := radiotest.DenseCase{
+			Graph:         w.g,
+			CD:            cd,
+			MaxPacketBits: 64,
+			Channel:       fuzzChannel(chanMask, w.g.N(), seed),
+			Limit:         1 << 14,
+			Build: func() (radio.DenseProtocol, func() bool, func(graph.NodeID) int64) {
+				if useGST {
+					pr := mmv.NewDense(w.g, w.f, w.s, seed, 0, chanMask&32 != 0)
+					return pr, pr.Done, recvState(pr.Informed, pr.RecvRound)
+				}
+				pr := decay.NewDense(w.g, seed, 0)
+				return pr, pr.Done, recvState(pr.Informed, pr.RecvRound)
+			},
+		}
+		label := fmt.Sprintf("seed=%d mask=%#x pick=%d gst=%v", seed, chanMask, pick, useGST)
+		radiotest.WorkerInvariant(t, label, c, workers)
+	})
+}

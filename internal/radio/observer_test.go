@@ -15,6 +15,7 @@ import (
 	"radiocast/internal/graph"
 	"radiocast/internal/obs"
 	"radiocast/internal/radio"
+	"radiocast/internal/radio/radiotest"
 )
 
 // obsRecorder collects every snapshot it is handed.
@@ -24,9 +25,10 @@ type obsRecorder struct {
 
 func (o *obsRecorder) OnRound(s obs.RoundSnapshot) { o.snaps = append(o.snaps, s) }
 
-// runDenseObserved is runDenseDecay with an optional observer.
+// runDenseObserved runs a dense Decay broadcast with an optional
+// observer and fingerprints it.
 func runDenseObserved(g *graph.Graph, seed uint64, workers int,
-	o obs.RoundObserver, stride int64) denseFingerprint {
+	o obs.RoundObserver, stride int64) radiotest.Fingerprint {
 	pr := decay.NewDense(g, seed, 0)
 	eng := radio.NewDense(g, radio.Config{CollisionDetection: true, Workers: workers}, pr)
 	defer eng.Close()
@@ -34,16 +36,14 @@ func runDenseObserved(g *graph.Graph, seed uint64, workers int,
 		eng.SetObserver(o, stride)
 	}
 	rounds, completed := eng.RunUntil(1<<20, pr.Done)
-	fp := denseFingerprint{
-		rounds:    rounds,
-		completed: completed,
-		stats:     eng.Stats(),
-		informed:  make([]bool, g.N()),
-		recvRound: make([]int64, g.N()),
+	fp := radiotest.Fingerprint{
+		Rounds:    rounds,
+		Completed: completed,
+		Stats:     eng.Stats(),
+		State:     make([]int64, g.N()),
 	}
 	for v := 0; v < g.N(); v++ {
-		fp.informed[v] = pr.Informed(graph.NodeID(v))
-		fp.recvRound[v] = pr.RecvRound(graph.NodeID(v))
+		fp.State[v] = recvState(pr.Informed, pr.RecvRound)(graph.NodeID(v))
 	}
 	return fp
 }
@@ -54,7 +54,7 @@ func runDenseObserved(g *graph.Graph, seed uint64, workers int,
 func TestDenseObserverNeutral(t *testing.T) {
 	g := graph.ClusterChain(12, 16)
 	base := runDenseObserved(g, 42, 1, nil, 0)
-	if !base.completed {
+	if !base.Completed {
 		t.Fatal("baseline run did not complete")
 	}
 	for _, workers := range []int{1, 4} {
@@ -62,7 +62,7 @@ func TestDenseObserverNeutral(t *testing.T) {
 			rec := &obsRecorder{}
 			got := runDenseObserved(g, 42, workers, rec, stride)
 			label := "observed workers=" + string(rune('0'+workers)) + " stride=" + string(rune('0'+stride))
-			sameFingerprint(t, label, got, base)
+			radiotest.Equal(t, label, got, base)
 			if len(rec.snaps) == 0 {
 				t.Fatalf("%s: observer never fired", label)
 			}
@@ -70,8 +70,8 @@ func TestDenseObserverNeutral(t *testing.T) {
 			// and must agree with the final counters exactly.
 			if stride == 1 {
 				last := rec.snaps[len(rec.snaps)-1]
-				if last.Deliveries != got.stats.Deliveries || last.BusyRounds != got.stats.BusyRounds {
-					t.Fatalf("%s: final snapshot %+v inconsistent with stats %+v", label, last, got.stats)
+				if last.Deliveries != got.Stats.Deliveries || last.BusyRounds != got.Stats.BusyRounds {
+					t.Fatalf("%s: final snapshot %+v inconsistent with stats %+v", label, last, got.Stats)
 				}
 			}
 		}

@@ -1,0 +1,151 @@
+// Package radiotest is the shared twin-testing substrate for dense
+// protocol ports: one place for the three correctness properties every
+// port must carry, instead of per-package copies of the same loops.
+//
+//   - Run/Fingerprint: execute a dense run and capture everything
+//     observable about it (rounds, completion, every Stats counter,
+//     one int64 of per-node state — reception round, level, ...).
+//   - WorkerInvariant: the Workers=k run must be byte-identical to the
+//     Workers=1 run for every k — the dense engine's core determinism
+//     contract.
+//   - Twin: a sparse-engine run on the same seed/graph/channel stack
+//     must agree with the dense run on every node's state. Stats are
+//     deliberately NOT compared: dense ports may prune provably
+//     inconsequential transmitters, which changes traffic counters but
+//     never per-node dynamics.
+//
+// The sparse side of Twin is a closure driving a radio.Network itself
+// (installing per-node protocols and running, or calling a layered
+// runner like beep.RunLayering), so heterogeneous sparse stacks fit
+// without the harness growing per-protocol knowledge.
+package radiotest
+
+import (
+	"strconv"
+	"testing"
+
+	"radiocast/internal/graph"
+	"radiocast/internal/radio"
+)
+
+// DenseCase describes one dense run: the workload, the engine
+// configuration, and how to build the protocol under test.
+type DenseCase struct {
+	Graph *graph.Graph
+	// CD enables collision detection.
+	CD bool
+	// MaxPacketBits is the engine's packet-size budget (0 = unchecked).
+	MaxPacketBits int
+	// Workers is the dense worker count (0 and 1 are sequential).
+	Workers int
+	// Channel builds a fresh channel stack per run (nil = ideal).
+	// Fresh-per-run matters: stacks may carry per-run state (jammer
+	// budgets), and Run may be called many times per case.
+	Channel func() radio.Channel
+	// Limit caps the simulated rounds (0 = 1<<20).
+	Limit int64
+	// Build constructs the protocol and returns it with its completion
+	// predicate and a per-node state extractor (the value compared by
+	// WorkerInvariant and Twin — e.g. reception round or wave level).
+	Build func() (proto radio.DenseProtocol, done func() bool, state func(graph.NodeID) int64)
+}
+
+// Fingerprint is everything observable about a finished dense run.
+type Fingerprint struct {
+	Rounds    int64
+	Completed bool
+	Stats     radio.Stats
+	State     []int64
+}
+
+// Run executes the case once and fingerprints it.
+func (c DenseCase) Run() Fingerprint {
+	cfg := radio.Config{
+		CollisionDetection: c.CD,
+		MaxPacketBits:      c.MaxPacketBits,
+		Workers:            c.Workers,
+	}
+	if c.Channel != nil {
+		cfg.Channel = c.Channel()
+	}
+	limit := c.Limit
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	proto, done, state := c.Build()
+	eng := radio.NewDense(c.Graph, cfg, proto)
+	defer eng.Close()
+	rounds, completed := eng.RunUntil(limit, done)
+	fp := Fingerprint{
+		Rounds:    rounds,
+		Completed: completed,
+		Stats:     eng.Stats(),
+		State:     make([]int64, c.Graph.N()),
+	}
+	for v := 0; v < c.Graph.N(); v++ {
+		fp.State[v] = state(graph.NodeID(v))
+	}
+	return fp
+}
+
+// Equal fails the test unless got and want are byte-identical.
+func Equal(t *testing.T, label string, got, want Fingerprint) {
+	t.Helper()
+	if got.Rounds != want.Rounds || got.Completed != want.Completed {
+		t.Fatalf("%s: rounds/completed = %d/%v, want %d/%v",
+			label, got.Rounds, got.Completed, want.Rounds, want.Completed)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats = %+v, want %+v", label, got.Stats, want.Stats)
+	}
+	for v := range got.State {
+		if got.State[v] != want.State[v] {
+			t.Fatalf("%s: node %d state = %d, want %d", label, v, got.State[v], want.State[v])
+		}
+	}
+}
+
+// WorkerInvariant runs the case at Workers=1 as the baseline and
+// asserts byte-identity at every count in workers. Returns the
+// baseline so callers can layer further assertions on it.
+func WorkerInvariant(t *testing.T, label string, c DenseCase, workers ...int) Fingerprint {
+	t.Helper()
+	c.Workers = 1
+	base := c.Run()
+	for _, w := range workers {
+		c.Workers = w
+		Equal(t, label+" workers="+strconv.Itoa(w), c.Run(), base)
+	}
+	return base
+}
+
+// Twin runs the dense case to completion, then hands a sparse
+// radio.Network (same graph, CD, packet budget, and a fresh channel
+// stack) plus the dense round count to the sparse closure, which
+// drives the network and returns its own per-node state extractor.
+// Per-node states must then agree everywhere. Returns the dense
+// fingerprint.
+func Twin(t *testing.T, label string, dense DenseCase,
+	sparse func(nw *radio.Network, rounds int64) func(graph.NodeID) int64) Fingerprint {
+	t.Helper()
+	fp := dense.Run()
+	if !fp.Completed {
+		t.Fatalf("%s: dense run incomplete after %d rounds", label, fp.Rounds)
+	}
+	cfg := radio.Config{
+		CollisionDetection: dense.CD,
+		MaxPacketBits:      dense.MaxPacketBits,
+	}
+	if dense.Channel != nil {
+		cfg.Channel = dense.Channel()
+	}
+	nw := radio.New(dense.Graph, cfg)
+	state := sparse(nw, fp.Rounds)
+	for v := 0; v < dense.Graph.N(); v++ {
+		if got, want := state(graph.NodeID(v)), fp.State[v]; got != want {
+			t.Fatalf("%s: node %d sparse state = %d, dense = %d (T=%d)",
+				label, v, got, want, fp.Rounds)
+		}
+	}
+	return fp
+}
