@@ -265,6 +265,57 @@ func TestDenseGSTSteadyStateAllocsZero(t *testing.T) {
 	})
 }
 
+// TestRetopoSteadyStateAllocsZero pins the topology-swap half of the
+// reuse contract on both engines: after a same-n Retopo (grid CSR
+// swapped in for a path CSR), the warmed round loop must still
+// allocate nothing — the swap replaces only the two CSR slice
+// headers, never the per-node scratch. The swap itself must also be
+// allocation-free (two slice-header stores).
+func TestRetopoSteadyStateAllocsZero(t *testing.T) {
+	const side = 48 // 2304 nodes: path(2304) and grid(48x48) share n
+	pathG := graph.FromStream(graph.StreamPath(side * side))
+	gridG := graph.FromStream(graph.StreamGrid(side, side))
+	off, edges := gridG.CSR()
+
+	t.Run("sparse", func(t *testing.T) {
+		nw := radio.New(pathG, radio.Config{})
+		protos := make([]*decay.Broadcast, pathG.N())
+		for v := range protos {
+			protos[v] = decay.NewBroadcast(pathG.N(), v == 0, decay.Message{Data: 1}, rng.New(7, uint64(v)))
+			nw.SetProtocol(graph.NodeID(v), protos[v])
+		}
+		nw.Run(64) // warm on the path topology
+		if swapAllocs := testing.AllocsPerRun(8, func() {
+			nw.Retopo(off, edges)
+		}); swapAllocs != 0 {
+			t.Fatalf("Network.Retopo allocates %.1f objects/swap, want 0", swapAllocs)
+		}
+		nw.Run(64) // settle on the grid topology
+		if allocs := testing.AllocsPerRun(100, func() { nw.Step() }); allocs != 0 {
+			t.Fatalf("post-Retopo round loop allocates %.1f objects/round, want 0", allocs)
+		}
+	})
+
+	t.Run("dense", func(t *testing.T) {
+		pr := decay.NewDense(pathG, 7, 0)
+		eng := radio.NewDense(pathG, radio.Config{Workers: 4}, pr)
+		defer eng.Close()
+		eng.Run(256) // warm on the path topology
+		if swapAllocs := testing.AllocsPerRun(8, func() {
+			eng.Retopo(off, edges)
+		}); swapAllocs != 0 {
+			t.Fatalf("Dense.Retopo allocates %.1f objects/swap, want 0", swapAllocs)
+		}
+		eng.Run(64) // settle on the grid topology
+		if pr.Done() {
+			t.Fatal("warm-up completed the broadcast; nothing left to measure")
+		}
+		if allocs := testing.AllocsPerRun(64, func() { eng.Step() }); allocs != 0 {
+			t.Fatalf("post-Retopo dense round loop allocates %.2f objects/round, want 0", allocs)
+		}
+	})
+}
+
 // denseScaleMemBudget caps the live-heap growth of a full n = 10^5
 // dense GNP cell: streaming CSR graph (~16n int32 edge entries), the
 // engine's word bitsets and stamp arrays, and the SoA protocol state.

@@ -1,6 +1,6 @@
 package main
 
-// The E19/E20/E21 trajectory ratchet: diff a radiobench -json scale
+// The E19/E20/E21/E22 trajectory ratchet: diff a radiobench -json scale
 // artifact (BENCH_scale.json) against a committed per-cell-config
 // baseline. Two capacity trajectories are guarded per config:
 //
@@ -43,9 +43,10 @@ type ScaleBaseline struct {
 	// rounds/sec (wide: wall time is machine-dependent).
 	ThroughputTolerancePct float64 `json:"throughput_tolerance_pct"`
 	// Workloads maps scale-sweep cell configs — E19's
-	// "decay/gnp/n=100000", E20's "loss=0.1/cr/n=100000", or E21's
-	// "gst/gnp/n=100000" — to their rows. Config strings are globally
-	// unique across the three experiments, so one flat map guards all.
+	// "decay/gnp/n=100000", E20's "loss=0.1/cr/n=100000", E21's
+	// "gst/gnp/n=100000", or E22's "wave/udg/n=100000" — to their rows.
+	// Config strings are globally unique across the four experiments, so
+	// one flat map guards all.
 	Workloads map[string]ScaleRow `json:"workloads"`
 }
 
@@ -78,7 +79,7 @@ func configN(config string) (int64, bool) {
 	return n, true
 }
 
-// scaleMetrics aggregates an artifact's E19/E20 cells into per-config
+// scaleMetrics aggregates an artifact's scale-sweep cells into per-config
 // trajectory rows (means over seeds; incomplete cells are dropped, so
 // a config that stopped finishing vanishes and trips the
 // missing-guard failure).
@@ -93,7 +94,7 @@ func scaleMetrics(blob []byte) (map[string]ScaleRow, error) {
 	}
 	sums := map[string]*acc{}
 	for _, e := range art.Experiments {
-		if e.ID != "E19" && e.ID != "E20" && e.ID != "E21" {
+		if e.ID != "E19" && e.ID != "E20" && e.ID != "E21" && e.ID != "E22" {
 			continue
 		}
 		for _, c := range e.Cells {

@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	gstviz            # the built-in Figure-1 graph
-//	gstviz -gadget    # the minimal 5-node violation gadget
-//	gstviz -n 40      # a random connected graph instead
+//	gstviz                       # the built-in Figure-1 graph
+//	gstviz -gadget               # the minimal 5-node violation gadget
+//	gstviz -n 40                 # a random connected graph instead
+//	gstviz -n 40 -layout uniform # a geometric unit-disk graph; nodes are
+//	                             # pinned at their layout coordinates
+//	                             # (render with `neato -n -Tpng`)
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"radiocast/internal/geo"
 	"radiocast/internal/graph"
 	"radiocast/internal/gst"
 )
@@ -22,17 +26,40 @@ import (
 func main() {
 	gadget := flag.Bool("gadget", false, "use the minimal violation gadget")
 	n := flag.Int("n", 0, "use a random GNP graph of this size instead")
+	layout := flag.String("layout", "",
+		"geometric layout for -n: uniform or cluster (unit-disk graph, position-true DOT output)")
 	seed := flag.Uint64("seed", 1, "random graph seed")
 	flag.Parse()
 
 	var g *graph.Graph
+	var l *geo.Layout
 	switch {
 	case *gadget:
 		g = gst.FigureOneGadget()
+	case *n > 0 && *layout != "":
+		rc := geo.ConnectivityRadius(*n)
+		switch *layout {
+		case "uniform":
+			l = geo.Uniform(*n, *seed)
+		case "cluster":
+			clusters := 2
+			for clusters*clusters < *n {
+				clusters++
+			}
+			l = geo.Clustered(*n, clusters, rc, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "gstviz: unknown -layout %q (uniform, cluster)\n", *layout)
+			os.Exit(2)
+		}
+		g = graph.BuildConnected(geo.NewDisk(l, rc), *seed)
 	case *n > 0:
 		g = graph.GNP(*n, 0.12, *seed)
 	default:
 		g = gst.FigureOneGraph()
+	}
+	if *layout != "" && *n <= 0 {
+		fmt.Fprintln(os.Stderr, "gstviz: -layout needs -n")
+		os.Exit(2)
 	}
 
 	naive := gst.NaiveRankedBFS(g, 0)
@@ -57,13 +84,19 @@ func main() {
 		}
 		return out
 	}
+	emit := func(t *gst.Tree) error {
+		if l != nil {
+			return graph.DOTLayout(os.Stdout, g, labels(t), t.Parent, l.X, l.Y)
+		}
+		return graph.DOT(os.Stdout, g, labels(t), t.Parent)
+	}
 	fmt.Println("\n// ---- naive ranked BFS (left side of Figure 1) ----")
-	if err := graph.DOT(os.Stdout, g, labels(naive), naive.Parent); err != nil {
+	if err := emit(naive); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Println("\n// ---- GST (right side of Figure 1) ----")
-	if err := graph.DOT(os.Stdout, g, labels(proper), proper.Parent); err != nil {
+	if err := emit(proper); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -185,6 +185,60 @@ func TestAdaptiveJobEmitsEpochs(t *testing.T) {
 	}
 }
 
+// TestMobilityJob runs the dynamics layer end-to-end: a clustered
+// sub-connectivity layout on a random-waypoint walk, re-built between
+// adaptive epochs via engine Retopo. The job reports per-epoch events,
+// and — because the walk mutates the pooled layout in place — the
+// pooled rerun must still be byte-identical to the fresh-build run.
+func TestMobilityJob(t *testing.T) {
+	ts, _ := newTestServer(t, 1, 16)
+	spec := `{
+		"protocol": "decay",
+		"graph": {"kind": "geo-cluster", "n": 150, "clusters": 5, "spread": 0.03, "radius": 0.08, "seed": 4},
+		"seed": 11,
+		"adaptive": {"max_epochs": 12},
+		"mobility": {"period": 64, "speed": 0.005},
+		"observe_every": 64,
+		"round_limit": 4096
+	}`
+	a := waitDone(t, ts, submit(t, ts, spec))
+	if a.State != StateDone {
+		t.Fatalf("state = %s (err %q)", a.State, a.Error)
+	}
+	if a.Result.Epochs < 2 {
+		t.Fatalf("epochs = %d, want >= 2 (the re-layout path never ran)", a.Result.Epochs)
+	}
+	if a.Result.Covered < 2 || a.Result.Covered > 150 {
+		t.Fatalf("covered = %d, want a plausible node count", a.Result.Covered)
+	}
+	b := waitDone(t, ts, submit(t, ts, spec))
+	ra, rb := *a.Result, *b.Result
+	ra.WallMicros, rb.WallMicros = 0, 0
+	if ra != rb {
+		t.Fatalf("pooled mobility rerun diverged:\nfresh  %+v\npooled %+v", ra, rb)
+	}
+}
+
+// TestGeoJob pins the static geometric workloads end-to-end: stitched
+// unit-disk graphs, full coverage on any protocol.
+func TestGeoJob(t *testing.T) {
+	ts, _ := newTestServer(t, 1, 16)
+	spec := `{
+		"protocol": "dense-wave",
+		"graph": {"kind": "geo-uniform", "n": 300, "seed": 2},
+		"seed": 3,
+		"workers": 2,
+		"observe_every": 32
+	}`
+	st := waitDone(t, ts, submit(t, ts, spec))
+	if st.State != StateDone || !st.Result.Completed {
+		t.Fatalf("geo job failed: %+v (err %q)", st.Result, st.Error)
+	}
+	if st.Result.Covered != 300 {
+		t.Fatalf("covered = %d, want 300", st.Result.Covered)
+	}
+}
+
 func TestDenseJob(t *testing.T) {
 	ts, _ := newTestServer(t, 1, 16)
 	spec := `{
@@ -268,6 +322,16 @@ func TestSpecValidation(t *testing.T) {
 		"adaptive k-known": `{"protocol": "k-known", "adaptive": {}, "graph": {"kind": "path", "n": 8}}`,
 		"adaptive dense":   `{"protocol": "dense-cr", "adaptive": {}, "graph": {"kind": "path", "n": 8}}`,
 		"workers sparse":   `{"protocol": "cr", "workers": 4, "graph": {"kind": "path", "n": 8}}`,
+		"mobility non-geo": `{"protocol": "decay", "adaptive": {}, "mobility": {"period": 8, "speed": 0.01}, "graph": {"kind": "path", "n": 8}}`,
+		"mobility no adaptive": `{"protocol": "decay", "mobility": {"period": 8, "speed": 0.01},
+			"graph": {"kind": "geo-uniform", "n": 8}}`,
+		"mobility wrong protocol": `{"protocol": "cr", "adaptive": {}, "mobility": {"period": 8, "speed": 0.01},
+			"graph": {"kind": "geo-uniform", "n": 8}}`,
+		"mobility zero speed": `{"protocol": "decay", "adaptive": {}, "mobility": {"period": 8},
+			"graph": {"kind": "geo-uniform", "n": 8}}`,
+		"geo-uniform clusters": `{"protocol": "decay", "graph": {"kind": "geo-uniform", "n": 8, "clusters": 3}}`,
+		"channel n mismatch": `{"protocol": "decay", "graph": {"kind": "grid", "rows": 3, "cols": 3},
+			"channel": [{"kind": "faults", "n": 8, "late_frac": 0.1, "max_delay": 4, "horizon": 64}]}`,
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"radiocast/internal/beep"
 	"radiocast/internal/cr"
 	"radiocast/internal/decay"
+	"radiocast/internal/geo"
 	"radiocast/internal/graph"
 	"radiocast/internal/gst"
 	"radiocast/internal/harness"
@@ -26,6 +27,7 @@ import (
 	"radiocast/internal/obs"
 	"radiocast/internal/radio"
 	"radiocast/internal/rings"
+	"radiocast/internal/rng"
 )
 
 // Job states.
@@ -472,7 +474,19 @@ func limitOr(spec *JobSpec) int64 {
 // buildCtx constructs the reuse context for a spec — the expensive,
 // once-per-fingerprint step.
 func (m *Manager) buildCtx(spec *JobSpec) (*pooledCtx, error) {
-	g, err := spec.Graph.build()
+	var g *graph.Graph
+	var err error
+	var lay *geo.Layout
+	if spec.Mobility != nil {
+		// Mobility runs on the raw disk graph (no connectivity stitching):
+		// a re-layout rebuilds the disk from walked positions, and stitch
+		// edges would have no geometric meaning after the first epoch.
+		// Disconnection under churn is measured as coverage, not failure.
+		lay = spec.Graph.geoLayout()
+		g = geo.NewDisk(lay, spec.Graph.geoRadius()).Build()
+	} else {
+		g, err = spec.Graph.build()
+	}
 	if err != nil {
 		return nil, &specError{err}
 	}
@@ -533,6 +547,47 @@ func (m *Manager) buildCtx(spec *JobSpec) (*pooledCtx, error) {
 			eng.SetObserver(o, stride)
 			rounds, ok := eng.RunUntil(limit, done)
 			return rounds, ok, eng.Stats(), 0, covered(), nil
+		}}, nil
+	}
+
+	if spec.Mobility != nil {
+		// validate() pinned protocol == decay: the only sparse adaptive
+		// stack that is topology-agnostic (no schedule compiled from the
+		// construction graph), so Retopo between epochs is legal.
+		mob := *spec.Mobility
+		a := harness.NewAdaptiveDecayDynamic(g, nil, spec.Seed, src, mob.Period)
+		radius := spec.Graph.geoRadius()
+		initOff, initEdges := g.CSR()
+		var wp *geo.Waypoint
+		a.SetRelayout(func(epoch int) {
+			wp.Advance(int(mob.Period))
+			off, edges := geo.NewDisk(lay, radius).Build().CSR()
+			a.Retopo(off, edges)
+		})
+		maxEpochs := spec.Adaptive.MaxEpochs
+		return &pooledCtx{g: g, run: func(job *Job, ch radio.Channel, o obs.RoundObserver, stride int64) (int64, bool, radio.Stats, int, int, error) {
+			// The walk mutates the pooled layout in place, so every job
+			// rewinds it to the deterministic initial point set and Retopos
+			// the runner back to the initial topology before walking again.
+			fresh := spec.Graph.geoLayout()
+			copy(lay.X, fresh.X)
+			copy(lay.Y, fresh.Y)
+			wp = geo.NewWaypoint(lay, mob.Speed, rng.Mix(job.Spec.Seed, 0x3ab7))
+			a.Retopo(initOff, initEdges)
+			a.Reseed(job.Spec.Seed)
+			a.SetChannelFactory(harness.EpochChannel(ch))
+			a.SetObserver(o, stride)
+			defer a.SetObserver(nil, 0)
+			out := adapt.Run(a, adapt.Policy{
+				MaxEpochs:  maxEpochs,
+				EpochLimit: mob.Period,
+				MaxRounds:  job.Spec.RoundLimit,
+				OnEpoch: func(epoch int, rounds int64, covered int, done bool) {
+					job.publish(Event{Type: "epoch", Epoch: epoch,
+						EpochRounds: rounds, Covered: covered, EpochDone: done})
+				},
+			})
+			return out.Rounds, out.Completed, out.Stats, out.Epochs, out.Covered, nil
 		}}, nil
 	}
 

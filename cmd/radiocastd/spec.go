@@ -9,9 +9,11 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"radiocast/internal/channel"
+	"radiocast/internal/geo"
 	"radiocast/internal/graph"
 	"radiocast/internal/radio"
 )
@@ -36,9 +38,12 @@ func denseProtocol(name string) bool { return strings.HasPrefix(name, "dense-") 
 
 // GraphSpec describes the workload graph.
 type GraphSpec struct {
-	// Kind is one of path, grid, cluster, gnp, unitdisk.
+	// Kind is one of path, grid, cluster, gnp, unitdisk, geo-uniform,
+	// geo-cluster. The geo-* kinds build unit-disk graphs over seeded
+	// internal/geo point sets and keep the layout around for
+	// position-aware features (mobility).
 	Kind string `json:"kind"`
-	// N is the node count (path, gnp, unitdisk).
+	// N is the node count (path, gnp, unitdisk, geo-*).
 	N int `json:"n,omitempty"`
 	// Rows and Cols size the grid.
 	Rows int `json:"rows,omitempty"`
@@ -46,11 +51,48 @@ type GraphSpec struct {
 	// Chain and Clique size the cluster chain.
 	Chain  int `json:"chain,omitempty"`
 	Clique int `json:"clique,omitempty"`
-	// P is the G(n,p) edge probability; Radius the unit-disk range.
+	// P is the G(n,p) edge probability; Radius the unit-disk range
+	// (geo-* default: the connectivity radius for N).
 	P      float64 `json:"p,omitempty"`
 	Radius float64 `json:"radius,omitempty"`
-	// Seed drives the randomized generators (gnp, unitdisk).
+	// Clusters and Spread shape the geo-cluster layout (defaults:
+	// sqrt(N) clusters at one connectivity radius of spread).
+	Clusters int     `json:"clusters,omitempty"`
+	Spread   float64 `json:"spread,omitempty"`
+	// Seed drives the randomized generators (gnp, unitdisk, geo-*).
 	Seed uint64 `json:"seed,omitempty"`
+}
+
+// geoKind reports whether kind is a position-aware layout workload.
+func geoKind(kind string) bool { return kind == "geo-uniform" || kind == "geo-cluster" }
+
+// geoRadius resolves the disk radius for a geo-* kind.
+func (g GraphSpec) geoRadius() float64 {
+	if g.Radius > 0 {
+		return g.Radius
+	}
+	return geo.ConnectivityRadius(g.N)
+}
+
+// geoLayout regenerates the deterministic point set for a geo-* kind.
+// Callers own the returned layout: mobility walks mutate it in place
+// without affecting other jobs on the same spec.
+func (g GraphSpec) geoLayout() *geo.Layout {
+	if g.Kind == "geo-cluster" {
+		clusters := g.Clusters
+		if clusters < 1 {
+			clusters = int(math.Sqrt(float64(g.N)))
+			if clusters < 2 {
+				clusters = 2
+			}
+		}
+		spread := g.Spread
+		if spread <= 0 {
+			spread = g.geoRadius()
+		}
+		return geo.Clustered(g.N, clusters, spread, g.Seed)
+	}
+	return geo.Uniform(g.N, g.Seed)
 }
 
 // check validates the spec without paying for construction (admission
@@ -77,10 +119,36 @@ func (g GraphSpec) check() error {
 		if g.N < 2 || g.Radius <= 0 {
 			return fmt.Errorf("unitdisk: need n >= 2 and radius > 0, got n=%d r=%g", g.N, g.Radius)
 		}
+	case "geo-uniform", "geo-cluster":
+		if g.N < 2 {
+			return fmt.Errorf("%s: n must be >= 2, got %d", g.Kind, g.N)
+		}
+		if g.Radius < 0 {
+			return fmt.Errorf("%s: radius must be >= 0 (0 = connectivity radius), got %g", g.Kind, g.Radius)
+		}
+		if g.Kind == "geo-uniform" && (g.Clusters != 0 || g.Spread != 0) {
+			return fmt.Errorf("geo-uniform: clusters/spread apply only to geo-cluster")
+		}
+		if g.Clusters < 0 || g.Spread < 0 {
+			return fmt.Errorf("geo-cluster: clusters/spread must be >= 0, got %d/%g", g.Clusters, g.Spread)
+		}
 	default:
-		return fmt.Errorf("unknown graph kind %q (path, grid, cluster, gnp, unitdisk)", g.Kind)
+		return fmt.Errorf("unknown graph kind %q (path, grid, cluster, gnp, unitdisk, geo-uniform, geo-cluster)", g.Kind)
 	}
 	return nil
+}
+
+// specN returns the node count the spec will build — computable at
+// admission time, without paying for construction.
+func (g GraphSpec) specN() int {
+	switch g.Kind {
+	case "grid":
+		return g.Rows * g.Cols
+	case "cluster":
+		return g.Chain * g.Clique
+	default:
+		return g.N
+	}
 }
 
 // build constructs the graph (all generators return connected graphs).
@@ -97,6 +165,8 @@ func (g GraphSpec) build() (*graph.Graph, error) {
 		return graph.ClusterChain(g.Chain, g.Clique), nil
 	case "gnp":
 		return graph.GNP(g.N, g.P, g.Seed), nil
+	case "geo-uniform", "geo-cluster":
+		return graph.BuildConnected(geo.NewDisk(g.geoLayout(), g.geoRadius()), g.Seed), nil
 	default: // unitdisk; check() rejected everything else
 		return graph.UnitDisk(g.N, g.Radius, g.Seed), nil
 	}
@@ -104,8 +174,8 @@ func (g GraphSpec) build() (*graph.Graph, error) {
 
 // key is the graph's contribution to the pooling fingerprint.
 func (g GraphSpec) key() string {
-	return fmt.Sprintf("%s/n=%d/r=%d/c=%d/ch=%d/cl=%d/p=%g/rad=%g/gs=%d",
-		g.Kind, g.N, g.Rows, g.Cols, g.Chain, g.Clique, g.P, g.Radius, g.Seed)
+	return fmt.Sprintf("%s/n=%d/r=%d/c=%d/ch=%d/cl=%d/p=%g/rad=%g/gc=%d/gsp=%g/gs=%d",
+		g.Kind, g.N, g.Rows, g.Cols, g.Chain, g.Clique, g.P, g.Radius, g.Clusters, g.Spread, g.Seed)
 }
 
 // ChannelSpec describes one layer of the channel-adversity stack.
@@ -125,6 +195,12 @@ type ChannelSpec struct {
 	MaxDelay  int64   `json:"max_delay,omitempty"`
 	CrashFrac float64 `json:"crash_frac,omitempty"`
 	Horizon   int64   `json:"horizon,omitempty"`
+	// N optionally pins the node count the layer was sized for. The
+	// faults table is indexed by node ID and panics on shorter tables
+	// (Faults.Reset is a no-op precisely because the table is pure
+	// per-node configuration), so a mismatch with the graph spec is
+	// rejected at admission instead of surfacing as a worker panic.
+	N int `json:"n,omitempty"`
 	// Seed keys the layer's randomness (defaults to the job seed).
 	Seed uint64 `json:"seed,omitempty"`
 }
@@ -175,6 +251,19 @@ type AdaptiveSpec struct {
 	MaxEpochs int `json:"max_epochs,omitempty"`
 }
 
+// MobilitySpec puts a geometric workload's nodes on a random-waypoint
+// walk: between adaptive epochs the layout advances Period steps of
+// Speed and the unit-disk graph is rebuilt in place (engine Retopo).
+// Requires a geo-* graph kind, the adaptive layer, and a
+// topology-agnostic protocol (decay).
+type MobilitySpec struct {
+	// Period is the epoch length in rounds (== waypoint steps between
+	// re-layouts).
+	Period int64 `json:"period"`
+	// Speed is the per-round step length in unit-square coordinates.
+	Speed float64 `json:"speed"`
+}
+
 // JobSpec is the POST /v1/jobs request body.
 type JobSpec struct {
 	// Protocol selects the stack (see the protocols map).
@@ -194,6 +283,8 @@ type JobSpec struct {
 	Channel []ChannelSpec `json:"channel,omitempty"`
 	// Adaptive wraps the run in the retry layer (sparse protocols only).
 	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
+	// Mobility re-layouts a geo-* workload between adaptive epochs.
+	Mobility *MobilitySpec `json:"mobility,omitempty"`
 	// ObserveEvery is the round stride for progress events (default
 	// 1024; lower = finer-grained SSE at more event volume).
 	ObserveEvery int64 `json:"observe_every,omitempty"`
@@ -229,9 +320,29 @@ func (s *JobSpec) validate() error {
 	if err := s.Graph.check(); err != nil {
 		return err
 	}
+	if s.Mobility != nil {
+		if !geoKind(s.Graph.Kind) {
+			return fmt.Errorf("mobility needs a position-aware workload (geo-uniform, geo-cluster), not %q", s.Graph.Kind)
+		}
+		if s.Adaptive == nil {
+			return fmt.Errorf("mobility requires the adaptive retry layer (it re-executes per re-layout epoch)")
+		}
+		if s.Protocol != "decay" {
+			return fmt.Errorf("mobility is only supported by the topology-agnostic decay protocol, not %q", s.Protocol)
+		}
+		if s.Mobility.Period < 1 {
+			return fmt.Errorf("mobility: period must be >= 1 round, got %d", s.Mobility.Period)
+		}
+		if s.Mobility.Speed <= 0 {
+			return fmt.Errorf("mobility: speed must be > 0, got %g", s.Mobility.Speed)
+		}
+	}
 	for i, cs := range s.Channel {
 		if err := cs.check(); err != nil {
 			return fmt.Errorf("channel[%d]: %w", i, err)
+		}
+		if cs.N != 0 && cs.N != s.Graph.specN() {
+			return fmt.Errorf("channel[%d]: layer sized for n=%d but the graph spec builds n=%d", i, cs.N, s.Graph.specN())
 		}
 	}
 	return nil
@@ -260,6 +371,9 @@ func (s *JobSpec) fingerprint() string {
 	adaptive := ""
 	if s.Adaptive != nil {
 		adaptive = "/adaptive"
+	}
+	if s.Mobility != nil {
+		adaptive += fmt.Sprintf("/mob=%d:%g", s.Mobility.Period, s.Mobility.Speed)
 	}
 	return fmt.Sprintf("%s/k=%d/src=%d%s|%s", s.Protocol, s.k(), s.Source, adaptive, s.Graph.key())
 }

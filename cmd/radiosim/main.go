@@ -12,7 +12,13 @@
 //
 // Protocols: decay, cr, gst (known-topology single message),
 // cd (Theorem 1.1), k-known (Theorem 1.2), k-cd (Theorem 1.3).
-// Graphs: path, grid, clusterchain, udg, gnp, star.
+// Graphs: path, grid, clusterchain, udg, gnp, star, plus the seeded
+// geometric layouts geo-uniform and geo-cluster (unit-disk graphs over
+// internal/geo point sets, built by the grid-bucketed streaming
+// builder). -band > 1 on a geo-* graph switches to the quasi-unit-disk
+// model: the graph is built at band x the connectivity radius and a
+// position-aware RangeErasure channel erases band links with
+// distance-ramped probability.
 // -pipelined switches the distributed GST builds inside cd/k-cd to the
 // Section 2.2.4 even/odd boundary pipeline wherever it shortens them.
 //
@@ -54,32 +60,47 @@ import (
 	"radiocast/internal/obs"
 )
 
-func buildGraph(kind string, n int, seed uint64) (*radiocast.Graph, error) {
+// buildGraph materialises the workload. Geometric kinds additionally
+// return their layout (nil otherwise) so the channel stack can attach
+// position-aware models; band stretches their disk radius to band x
+// the connectivity radius (the QUDG outer range).
+func buildGraph(kind string, n int, seed uint64, band float64) (*radiocast.Graph, *radiocast.Layout, error) {
 	switch kind {
 	case "path":
-		return radiocast.NewPath(n), nil
+		return radiocast.NewPath(n), nil, nil
 	case "grid":
 		side := int(math.Sqrt(float64(n)))
 		if side < 2 {
 			side = 2
 		}
-		return radiocast.NewGrid(side, (n+side-1)/side), nil
+		return radiocast.NewGrid(side, (n+side-1)/side), nil, nil
 	case "clusterchain":
 		clique := 8
 		chain := n / clique
 		if chain < 2 {
 			chain = 2
 		}
-		return radiocast.NewClusterChain(chain, clique), nil
+		return radiocast.NewClusterChain(chain, clique), nil, nil
 	case "udg":
-		return radiocast.NewUnitDisk(n, graph.ConnectivityRadius(n), seed), nil
+		return radiocast.NewUnitDisk(n, graph.ConnectivityRadius(n), seed), nil, nil
 	case "gnp":
 		p := 4 * math.Log(float64(n)) / float64(n)
-		return radiocast.NewGNP(n, p, seed), nil
+		return radiocast.NewGNP(n, p, seed), nil, nil
 	case "star":
-		return graph.Star(n), nil
+		return graph.Star(n), nil, nil
+	case "geo-uniform":
+		l := radiocast.NewUniformLayout(n, seed)
+		return radiocast.UnitDiskGraph(l, band*radiocast.GeoConnectivityRadius(n), seed), l, nil
+	case "geo-cluster":
+		clusters := int(math.Sqrt(float64(n)))
+		if clusters < 2 {
+			clusters = 2
+		}
+		rc := radiocast.GeoConnectivityRadius(n)
+		l := radiocast.NewClusteredLayout(n, clusters, rc, seed)
+		return radiocast.UnitDiskGraph(l, band*rc, seed), l, nil
 	default:
-		return nil, fmt.Errorf("unknown graph kind %q", kind)
+		return nil, nil, fmt.Errorf("unknown graph kind %q", kind)
 	}
 }
 
@@ -92,11 +113,15 @@ type channelFlags struct {
 	cdNoise     float64
 	cdSpurious  float64
 	faults      float64
+	band        float64
 }
 
 // build assembles the channel stack (nil = ideal). Each model is
 // enabled by its nonzero flag; -channel ideal disables everything.
-func (cf channelFlags) build(n int, seed uint64) (radiocast.Channel, []string, error) {
+// layout is non-nil only for geometric workloads; with -band > 1 it
+// feeds the distance-ramped RangeErasure band between the reliable
+// connectivity radius and band x that radius.
+func (cf channelFlags) build(n int, seed uint64, layout *radiocast.Layout) (radiocast.Channel, []string, error) {
 	if cf.mode == "ideal" {
 		return nil, nil, nil
 	}
@@ -105,6 +130,11 @@ func (cf channelFlags) build(n int, seed uint64) (radiocast.Channel, []string, e
 	}
 	var models []radiocast.Channel
 	var names []string
+	if cf.band > 1 && layout != nil {
+		rc := radiocast.GeoConnectivityRadius(layout.N())
+		models = append(models, radiocast.RangeErasureChannel(layout, rc, cf.band*rc, seed^0xd157))
+		names = append(names, fmt.Sprintf("qudg-band=%g", cf.band))
+	}
 	if cf.loss > 0 {
 		models = append(models, radiocast.ErasureChannel(cf.loss, seed^0x10c5))
 		names = append(names, fmt.Sprintf("loss=%g", cf.loss))
@@ -147,9 +177,15 @@ func fatalUsage(format string, args ...any) {
 // validateFlags rejects flag combinations that would otherwise be
 // silently ignored: every flag the run cannot honor is an error, not a
 // no-op.
-func validateFlags(protocol string, pipelined bool, cf channelFlags, adaptive bool, maxEpochs int) {
+func validateFlags(kind, protocol string, pipelined bool, cf channelFlags, adaptive bool, maxEpochs int) {
 	if pipelined && protocol != "cd" && protocol != "k-cd" {
 		fatalUsage("-pipelined only applies to the distributed GST builds of -protocol cd and k-cd (got %q)", protocol)
+	}
+	if cf.band < 1 {
+		fatalUsage("-band must be >= 1 (1 = pure unit disk), got %g", cf.band)
+	}
+	if cf.band > 1 && kind != "geo-uniform" && kind != "geo-cluster" {
+		fatalUsage("-band needs a position-aware workload: use -graph geo-uniform or geo-cluster (got %q)", kind)
 	}
 	if cf.jamAdaptive && cf.jam == 0 {
 		fatalUsage("-jamadaptive needs a jammer: set a -jam budget (negative = unlimited)")
@@ -166,7 +202,7 @@ func validateFlags(protocol string, pipelined bool, cf channelFlags, adaptive bo
 }
 
 func main() {
-	kind := flag.String("graph", "clusterchain", "workload: path, grid, clusterchain, udg, gnp, star")
+	kind := flag.String("graph", "clusterchain", "workload: path, grid, clusterchain, udg, gnp, star, geo-uniform, geo-cluster")
 	n := flag.Int("n", 128, "approximate node count")
 	protocol := flag.String("protocol", "cd", "protocol: decay, cr, gst, cd, k-known, k-cd")
 	k := flag.Int("k", 8, "message count for k-message protocols")
@@ -184,6 +220,8 @@ func main() {
 	flag.Float64Var(&cf.cdNoise, "cdnoise", 0, "probability a true collision symbol is missed")
 	flag.Float64Var(&cf.cdSpurious, "cdspurious", 0, "probability silence is observed as a spurious collision symbol")
 	flag.Float64Var(&cf.faults, "faults", 0, "per-node late-wakeup probability (crash probability is half of it)")
+	flag.Float64Var(&cf.band, "band", 1,
+		"quasi-unit-disk band factor for geo-* graphs (>1 adds distance-ramped erasure between r_c and band*r_c)")
 	logFormat := flag.String("logformat", "text", "stderr event format: text or json")
 	logLevel := flag.String("loglevel", "warn", "stderr event level: debug, info (run lifecycle events), warn, error")
 	flag.Parse()
@@ -194,14 +232,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	validateFlags(*protocol, *pipelined, cf, *adaptive, *maxEpochs)
+	validateFlags(*kind, *protocol, *pipelined, cf, *adaptive, *maxEpochs)
 
-	g, err := buildGraph(*kind, *n, *seed)
+	g, layout, err := buildGraph(*kind, *n, *seed, cf.band)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	ch, chNames, err := cf.build(g.N(), *seed)
+	ch, chNames, err := cf.build(g.N(), *seed, layout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

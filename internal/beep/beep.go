@@ -24,6 +24,12 @@ func (Pulse) Bits() int { return 1 }
 
 // Wave is the collision-wave layering protocol for one node.
 type Wave struct {
+	// DoneSet, when non-nil, is ticked when the wave first reaches
+	// this node. Already-triggered nodes after a Reset (sources,
+	// carryover seeds) are accounted by the harness's post-reset scan,
+	// per the DoneSet contract.
+	DoneSet *radio.DoneSet
+
 	isSource bool
 	horizon  int64 // transmit until this round, then stop
 
@@ -75,6 +81,7 @@ func (w *Wave) Observe(r int64, out radio.Outcome) {
 	}
 	if out.Collision || out.Packet != nil {
 		w.level = r + 1
+		w.DoneSet.Tick()
 	}
 }
 

@@ -92,6 +92,69 @@ func TestDenseWaveMatchesSparseErasure(t *testing.T) {
 	}
 }
 
+// TestDenseWaveMatchesSparseNoisyCD: unreliable collision detection —
+// missed ⊤ symbols and spurious ones — flows through the dense
+// engine's Observe sweep keyed by (round, listener), so dense and
+// sparse waves stay level-identical under any (miss, spurious) mix.
+// Missed symbols delay triggering (a ⊤ that never arrives is a lost
+// layer pulse); spurious ones accelerate it along fake fronts; the
+// twin holds either way.
+func TestDenseWaveMatchesSparseNoisyCD(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(8, 8),
+		graph.FromStream(graph.StreamGrid(13, 17)),
+	}
+	for _, g := range graphs {
+		for _, rates := range [][2]float64{{0.1, 0}, {0, 0.1}, {0.15, 0.05}} {
+			src := graph.NodeID(g.N() / 2)
+			horizon := 4*int64(graph.Eccentricity(g, src)) + 64
+			rates := rates
+			mk := func() radio.Channel { return channel.NewNoisyCD(rates[0], rates[1], 7) }
+			label := fmt.Sprintf("%s miss=%g spurious=%g", g.Name(), rates[0], rates[1])
+			radiotest.Twin(t, label, denseWaveCase(g, src, horizon, true, mk), sparseWave(src, horizon))
+		}
+	}
+}
+
+// TestDenseWaveMatchesSparseJammer: the oblivious wide-band jammer
+// draws its per-round jam decision from (seed, round) only — blind to
+// traffic — so with an unlimited budget its decisions are identical on
+// both engines and the twin is exact. (The adaptive busiest-slot
+// policy is deliberately excluded: it reads the transmitter count,
+// which makes its budget spend an engine-schedule artifact rather
+// than a keyed draw.)
+func TestDenseWaveMatchesSparseJammer(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.ClusterChain(8, 8),
+		graph.BuildConnected(graph.StreamGNP(300, 0.03, 11), 11),
+	}
+	for _, g := range graphs {
+		src := graph.NodeID(0)
+		horizon := 4*int64(graph.Eccentricity(g, src)) + 64
+		mk := func() radio.Channel { return channel.NewJammer(-1, 0.2, 13) }
+		radiotest.Twin(t, g.Name()+" jam", denseWaveCase(g, src, horizon, true, mk), sparseWave(src, horizon))
+	}
+}
+
+// TestDenseWaveMatchesSparseAdverseStack: the full adversity stack —
+// per-link erasure under a noisy CD layer under an oblivious jammer —
+// composed exactly as radiosim/radiocastd stack them. Every layer's
+// draws are keyed (round, link) / (round, listener) / (round), so the
+// stacked twin is still exact across engines.
+func TestDenseWaveMatchesSparseAdverseStack(t *testing.T) {
+	g := graph.FromStream(graph.StreamGrid(13, 17))
+	src := graph.NodeID(g.N() - 1)
+	horizon := 4*int64(graph.Eccentricity(g, src)) + 64
+	mk := func() radio.Channel {
+		return channel.Stack{
+			channel.NewErasure(0.15, 21),
+			channel.NewNoisyCD(0.1, 0.02, 22),
+			channel.NewJammer(-1, 0.1, 23),
+		}
+	}
+	radiotest.Twin(t, "grid adverse-stack", denseWaveCase(g, src, horizon, true, mk), sparseWave(src, horizon))
+}
+
 // TestDenseWaveNoCDOnPath: a path never produces collisions (each
 // listener has at most one pulsing neighbor), so the wave works
 // without CD there; dense and sparse must still agree. This is the

@@ -284,6 +284,23 @@ func (f *Faults) Observe(r int64, to radio.NodeID, _ int, out radio.Outcome, ok 
 	return out, ok
 }
 
+// N returns the number of nodes the fault table was sized for. Job
+// admission layers use it to reject a table that does not match the
+// run's graph — every hook indexes wakeAt/crashAt by NodeID, so a
+// short table panics mid-run on the first out-of-range node.
+func (f *Faults) N() int { return len(f.wakeAt) }
+
+// Reset implements radio.ResettableChannel as a deliberate no-op,
+// recorded here as an audit: a fault table is pure configuration —
+// wake and crash rounds, programmed once — with no per-run mutable
+// state to rewind (dead() is a pure function of (round, node)). The
+// method exists so harness runners that blanket-Reset their channel
+// treat Faults uniformly with the stateful models instead of
+// special-casing it.
+func (f *Faults) Reset() {}
+
+var _ radio.ResettableChannel = (*Faults)(nil)
+
 // Stack composes models into one channel: suppression and link loss
 // OR together, and the tentative observation flows through every
 // model's Observe in order, so later models see (and may re-perturb)

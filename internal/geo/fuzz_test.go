@@ -1,0 +1,49 @@
+package geo
+
+import (
+	"testing"
+
+	"radiocast/internal/graph"
+)
+
+// FuzzUnitDiskTwin drives the grid-bucketed Disk builder against the
+// brute-force pair scan on fuzzer-chosen layouts and radii. Any
+// divergence in the resulting CSR (FromStream sorts and dedups rows,
+// so emission order is immaterial) is a bucketing bug — typically a
+// cell neighborhood that fails to cover the disk.
+func FuzzUnitDiskTwin(f *testing.F) {
+	f.Add(uint64(1), uint16(40), uint16(250), false)
+	f.Add(uint64(2), uint16(90), uint16(30), true)
+	f.Add(uint64(3), uint16(7), uint16(999), false)
+	f.Add(uint64(4), uint16(64), uint16(1), true)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, rRaw uint16, clustered bool) {
+		n := 2 + int(nRaw)%120
+		radius := 0.005 + float64(rRaw%1000)/1000
+		var l *Layout
+		if clustered {
+			l = Clustered(n, 1+n/16, 0.05, seed)
+		} else {
+			l = Uniform(n, seed)
+		}
+		fast := graph.FromStream(NewDisk(l, radius))
+		brute := graph.FromStream(&bruteDisk{l: l, radius: radius})
+		if fast.N() != brute.N() {
+			t.Fatalf("node count: fast %d brute %d", fast.N(), brute.N())
+		}
+		fOff, fEdges := fast.CSR()
+		bOff, bEdges := brute.CSR()
+		if len(fEdges) != len(bEdges) {
+			t.Fatalf("edge count: fast %d brute %d (n=%d r=%g)", len(fEdges), len(bEdges), n, radius)
+		}
+		for i := range fOff {
+			if fOff[i] != bOff[i] {
+				t.Fatalf("offset[%d]: fast %d brute %d (n=%d r=%g)", i, fOff[i], bOff[i], n, radius)
+			}
+		}
+		for i := range fEdges {
+			if fEdges[i] != bEdges[i] {
+				t.Fatalf("edge[%d]: fast %d brute %d (n=%d r=%g)", i, fEdges[i], bEdges[i], n, radius)
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"radiocast/internal/graph"
+)
+
+// bruteDisk is the O(n²) reference implementation of the unit-disk
+// stream: every pair compared, each edge emitted once with u < v.
+type bruteDisk struct {
+	l      *Layout
+	radius float64
+}
+
+func (b *bruteDisk) N() int       { return b.l.N() }
+func (b *bruteDisk) Name() string { return "brute-" + b.l.name }
+
+func (b *bruteDisk) Edges(emit func(u, v graph.NodeID)) {
+	n := b.l.N()
+	r2 := b.radius * b.radius
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx := b.l.X[v] - b.l.X[u]
+			dy := b.l.Y[v] - b.l.Y[u]
+			if dx*dx+dy*dy <= r2 {
+				emit(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+}
+
+// sameCSR reports whether two graphs have identical CSR arrays.
+// FromStream sorts and dedups every adjacency row, so CSR equality is
+// independent of edge emission order.
+func sameCSR(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("node count: got %d want %d", got.N(), want.N())
+	}
+	gOff, gEdges := got.CSR()
+	wOff, wEdges := want.CSR()
+	if len(gOff) != len(wOff) || len(gEdges) != len(wEdges) {
+		t.Fatalf("CSR sizes: got %d/%d want %d/%d", len(gOff), len(gEdges), len(wOff), len(wEdges))
+	}
+	for i := range gOff {
+		if gOff[i] != wOff[i] {
+			t.Fatalf("offset[%d]: got %d want %d", i, gOff[i], wOff[i])
+		}
+	}
+	for i := range gEdges {
+		if gEdges[i] != wEdges[i] {
+			t.Fatalf("edge[%d]: got %d want %d", i, gEdges[i], wEdges[i])
+		}
+	}
+}
+
+func TestDiskMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		layout *Layout
+		radius float64
+	}{
+		{"uniform-small", Uniform(40, 1), 0.25},
+		{"uniform-tight", Uniform(120, 2), 0.08},
+		{"uniform-wide", Uniform(60, 3), 0.9},
+		{"uniform-conn", Uniform(200, 4), ConnectivityRadius(200)},
+		{"clustered", Clustered(90, 5, 0.05, 6), 0.06},
+		{"clustered-bridge", Clustered(90, 3, 0.2, 7), 0.3},
+		{"tiny", Uniform(2, 8), 0.5},
+		{"single", Uniform(1, 9), 0.1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fast := graph.FromStream(NewDisk(tc.layout, tc.radius))
+			brute := graph.FromStream(&bruteDisk{l: tc.layout, radius: tc.radius})
+			sameCSR(t, fast, brute)
+		})
+	}
+}
+
+func TestLayoutDeterminism(t *testing.T) {
+	a := Uniform(500, 42)
+	b := Uniform(500, 42)
+	c := Uniform(500, 43)
+	diff := false
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+			t.Fatalf("same-seed layouts diverge at node %d", i)
+		}
+		if a.X[i] != c.X[i] {
+			diff = true
+		}
+		if a.X[i] < 0 || a.X[i] >= 1 || a.Y[i] < 0 || a.Y[i] >= 1 {
+			t.Fatalf("node %d outside unit square: (%g, %g)", i, a.X[i], a.Y[i])
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical layouts")
+	}
+
+	ca := Clustered(300, 5, 0.04, 7)
+	cb := Clustered(300, 5, 0.04, 7)
+	for i := range ca.X {
+		if ca.X[i] != cb.X[i] || ca.Y[i] != cb.Y[i] {
+			t.Fatalf("same-seed clustered layouts diverge at node %d", i)
+		}
+		if ca.X[i] < 0 || ca.X[i] >= 1 || ca.Y[i] < 0 || ca.Y[i] >= 1 {
+			t.Fatalf("clustered node %d outside unit square", i)
+		}
+	}
+}
+
+func TestClusteredIsClustered(t *testing.T) {
+	// With spread far below typical center separation, the disk graph
+	// at a radius just above the spread should split into components —
+	// i.e. strictly fewer edges than the connected uniform layout
+	// would need, and no single row spanning most of the graph.
+	l := Clustered(120, 6, 0.03, 11)
+	g := graph.FromStream(NewDisk(l, 0.05))
+	off, _ := g.CSR()
+	maxDeg := int32(0)
+	for v := 0; v < g.N(); v++ {
+		if d := off[v+1] - off[v]; d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Each cluster holds n/clusters = 20 nodes; a node can only reach
+	// its own cluster (plus rare overlapping centers), never most of
+	// the graph.
+	if maxDeg > 60 {
+		t.Fatalf("clustered layout too dense: max degree %d", maxDeg)
+	}
+}
+
+func TestDiskStreamStable(t *testing.T) {
+	// The EdgeStream contract: two passes emit the identical sequence.
+	l := Uniform(150, 13)
+	d := NewDisk(l, ConnectivityRadius(150))
+	type edge struct{ u, v graph.NodeID }
+	var first []edge
+	d.Edges(func(u, v graph.NodeID) { first = append(first, edge{u, v}) })
+	i := 0
+	d.Edges(func(u, v graph.NodeID) {
+		if i >= len(first) || first[i] != (edge{u, v}) {
+			t.Fatalf("second pass diverges at emission %d", i)
+		}
+		i++
+	})
+	if i != len(first) {
+		t.Fatalf("second pass emitted %d edges, first %d", i, len(first))
+	}
+	for _, e := range first {
+		if e.u >= e.v {
+			t.Fatalf("edge (%d,%d) not emitted with u < v", e.u, e.v)
+		}
+	}
+}
+
+func TestWaypointStaysInBoundsAndDeterministic(t *testing.T) {
+	la := Uniform(200, 21)
+	lb := Uniform(200, 21)
+	wa := NewWaypoint(la, 0.01, 99)
+	wb := NewWaypoint(lb, 0.01, 99)
+	wa.Advance(500)
+	wb.Advance(500)
+	for i := range la.X {
+		if la.X[i] != lb.X[i] || la.Y[i] != lb.Y[i] {
+			t.Fatalf("same-seed waypoint walks diverge at node %d", i)
+		}
+		if la.X[i] < 0 || la.X[i] >= 1 || la.Y[i] < 0 || la.Y[i] >= 1 {
+			t.Fatalf("node %d left the unit square: (%g, %g)", i, la.X[i], la.Y[i])
+		}
+	}
+}
+
+func TestWaypointActuallyMoves(t *testing.T) {
+	l := Uniform(50, 31)
+	x0 := append([]float64(nil), l.X...)
+	y0 := append([]float64(nil), l.Y...)
+	w := NewWaypoint(l, 0.005, 7)
+	w.Advance(64)
+	total := 0.0
+	for i := range l.X {
+		dx := l.X[i] - x0[i]
+		dy := l.Y[i] - y0[i]
+		total += math.Sqrt(dx*dx + dy*dy)
+	}
+	if total/float64(l.N()) < 0.005 {
+		t.Fatalf("mean displacement %g after 64 steps at speed 0.005 — stepper is not moving nodes", total/float64(l.N()))
+	}
+}
+
+func TestConnectivityRadiusMatchesGraphPackage(t *testing.T) {
+	for _, n := range []int{2, 100, 10_000, 1_000_000} {
+		if got, want := ConnectivityRadius(n), graph.ConnectivityRadius(n); got != want {
+			t.Fatalf("ConnectivityRadius(%d): geo %g vs graph %g", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package geo
+
+import (
+	"math"
+
+	"radiocast/internal/rng"
+)
+
+// Waypoint is the random-waypoint mobility model: every node walks at
+// a fixed speed toward a private target drawn uniformly from the unit
+// square, draws a fresh target on arrival, and repeats. Stepping
+// mutates the layout's coordinate slices in place, so every consumer
+// aliasing them (a RangeErasure channel, a renderer) tracks the
+// motion; the disk graph does NOT track it — re-derive topology with
+// NewDisk + Retopo at the period boundary.
+//
+// The stepper is deterministic in (layout, speed, seed): target draws
+// come off one sequential keyed stream, and the order of arrivals —
+// which decides who draws next — is itself a deterministic function
+// of positions and targets.
+type Waypoint struct {
+	l     *Layout
+	tx    []float64
+	ty    []float64
+	speed float64
+	src   *rng.Source
+}
+
+// NewWaypoint attaches a stepper to l with the given per-step speed
+// (unit-square units per round). Initial targets are drawn
+// immediately so the very first Step moves every node.
+func NewWaypoint(l *Layout, speed float64, seed uint64) *Waypoint {
+	n := l.N()
+	w := &Waypoint{
+		l:     l,
+		tx:    make([]float64, n),
+		ty:    make([]float64, n),
+		speed: speed,
+		src:   rng.NewSource(rng.Mix(seed, 0x3a7e)), // "waypoint"
+	}
+	for i := 0; i < n; i++ {
+		w.tx[i] = uniform01(w.src)
+		w.ty[i] = uniform01(w.src)
+	}
+	return w
+}
+
+// Step advances every node one movement step toward its target,
+// drawing a fresh target on arrival.
+func (w *Waypoint) Step() {
+	n := w.l.N()
+	for i := 0; i < n; i++ {
+		dx := w.tx[i] - w.l.X[i]
+		dy := w.ty[i] - w.l.Y[i]
+		dist := math.Sqrt(dx*dx + dy*dy)
+		if dist <= w.speed {
+			w.l.X[i] = w.tx[i]
+			w.l.Y[i] = w.ty[i]
+			w.tx[i] = uniform01(w.src)
+			w.ty[i] = uniform01(w.src)
+			continue
+		}
+		w.l.X[i] += dx / dist * w.speed
+		w.l.Y[i] += dy / dist * w.speed
+	}
+}
+
+// Advance runs k movement steps.
+func (w *Waypoint) Advance(k int) {
+	for s := 0; s < k; s++ {
+		w.Step()
+	}
+}

@@ -10,6 +10,21 @@ import (
 // highlight (as parent[v] = u pairs, -1 meaning none) are drawn bold.
 // It is used by cmd/gstviz to regenerate Figure 1 of the paper.
 func DOT(w io.Writer, g *Graph, labels []string, highlightParent []NodeID) error {
+	return dot(w, g, labels, highlightParent, nil, nil)
+}
+
+// DOTLayout is DOT with position-true coordinates: node v is pinned at
+// (x[v], y[v]) via pos="…!" attributes, so geometric workloads render
+// at their actual layout (use `neato -n` or `fdp -n`; plain `dot`
+// ignores pins). Coordinates are scaled to a 10-inch canvas.
+func DOTLayout(w io.Writer, g *Graph, labels []string, highlightParent []NodeID, x, y []float64) error {
+	if len(x) != g.N() || len(y) != g.N() {
+		return fmt.Errorf("graph: DOTLayout got %d/%d coordinates for %d nodes", len(x), len(y), g.N())
+	}
+	return dot(w, g, labels, highlightParent, x, y)
+}
+
+func dot(w io.Writer, g *Graph, labels []string, highlightParent []NodeID, x, y []float64) error {
 	if _, err := fmt.Fprintln(w, "graph G {"); err != nil {
 		return err
 	}
@@ -21,7 +36,11 @@ func DOT(w io.Writer, g *Graph, labels []string, highlightParent []NodeID) error
 		if labels != nil && labels[v] != "" {
 			label = labels[v]
 		}
-		if _, err := fmt.Fprintf(w, "  %d [label=\"%s\"];\n", v, label); err != nil {
+		pos := ""
+		if x != nil {
+			pos = fmt.Sprintf(" pos=\"%.3f,%.3f!\"", 10*x[v], 10*y[v])
+		}
+		if _, err := fmt.Fprintf(w, "  %d [label=\"%s\"%s];\n", v, label, pos); err != nil {
 			return err
 		}
 	}

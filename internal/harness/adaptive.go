@@ -65,6 +65,8 @@ type AdaptiveRunner struct {
 	covered     func() int
 	mark        func(dst []bool)
 	setObserver func(o obs.RoundObserver, stride int64)
+	retopo      func(offsets []int32, edges []radio.NodeID)
+	relayout    func(epoch int)
 }
 
 var _ adapt.Runner = (*AdaptiveRunner)(nil)
@@ -85,6 +87,28 @@ func (a *AdaptiveRunner) SetObserver(o obs.RoundObserver, stride int64) {
 	a.setObserver(o, stride)
 }
 
+// Retopo swaps the wrapped engine's topology in place
+// (radio.Network.Retopo). Only the topology-agnostic stacks support
+// it — Decay and the collision wave, whose per-node protocols depend
+// on nothing but n; the schedule-compiled stacks (CR, GST, the
+// Theorem pipelines) bake eccentricity or per-node transmission plans
+// out of the construction graph, so a swap would silently run a stale
+// schedule. Those panic here instead.
+func (a *AdaptiveRunner) Retopo(offsets []int32, edges []radio.NodeID) {
+	if a.retopo == nil {
+		panic("harness: this adaptive stack compiles its schedule from the construction graph and cannot Retopo")
+	}
+	a.retopo(offsets, edges)
+}
+
+// SetRelayout installs the mobility hook: before every carryover
+// epoch (epoch > 0) of every subsequent adaptive run, f runs with the
+// epoch index — the place to advance a waypoint stepper, rebuild the
+// disk graph, and Retopo the engine, so epoch e executes on the
+// topology as of e re-layout periods. Epoch 0 always runs on the
+// construction topology. nil detaches.
+func (a *AdaptiveRunner) SetRelayout(f func(epoch int)) { a.relayout = f }
+
 // RunEpoch implements adapt.Runner.
 func (a *AdaptiveRunner) RunEpoch(epoch int, limit int64) (int64, bool, radio.Stats) {
 	// The runner's own per-epoch budget is a ceiling, not just a
@@ -101,6 +125,9 @@ func (a *AdaptiveRunner) RunEpoch(epoch int, limit int64) (int64, bool, radio.St
 	} else {
 		seed = rng.Mix(a.baseSeed, 0xada9, uint64(epoch))
 		carry = a.informed
+		if a.relayout != nil {
+			a.relayout(epoch)
+		}
 	}
 	var ch radio.Channel
 	if a.chf != nil {
@@ -140,6 +167,27 @@ func NewAdaptiveDecay(g *graph.Graph, chf ChannelFactory, seed uint64, source gr
 		covered:     r.Coverage,
 		mark:        r.mark,
 		setObserver: r.SetObserver,
+		retopo:      r.Retopo,
+	}
+}
+
+// NewAdaptiveDecayDynamic is NewAdaptiveDecay with an explicit
+// per-epoch round budget instead of the eccentricity-derived default —
+// for dynamic topologies, where the construction graph may be
+// disconnected (its eccentricity undefined) and is swapped between
+// epochs anyway.
+func NewAdaptiveDecayDynamic(g *graph.Graph, chf ChannelFactory, seed uint64, source graph.NodeID, epochLimit int64) *AdaptiveRunner {
+	r := NewDecayRun(g, source)
+	return &AdaptiveRunner{
+		informed:    make([]bool, g.N()),
+		baseSeed:    seed,
+		chf:         chf,
+		epochLimit:  epochLimit,
+		exec:        r.RunFrom,
+		covered:     r.Coverage,
+		mark:        r.mark,
+		setObserver: r.SetObserver,
+		retopo:      r.Retopo,
 	}
 }
 

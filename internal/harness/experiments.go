@@ -71,6 +71,9 @@ func AllWithScale(sc ScaleConfig) []Experiment {
 			func(seeds int, quick bool) *exp.Plan { return E20Plan(sc, seeds, quick) }},
 		{"E21", "Million-node structured broadcast: dense GST sweep (flat tree + MMV schedule)",
 			func(seeds int, quick bool) *exp.Plan { return E21Plan(sc, seeds, quick) }},
+		{"E22", "Geometric scale sweep: dense catalog on unit-disk layouts (udg/cluster/qudg)",
+			func(seeds int, quick bool) *exp.Plan { return E22Plan(sc, seeds, quick) }},
+		{"E23", "Mobility/churn: oneshot vs adaptive wave coverage across re-layout periods", E23Plan},
 		{"A1", "Ablation: virtual-distance vs level-keyed slow slots", A1Plan},
 		{"A2", "Ablation: RLNC vs store-and-forward routing", A2Plan},
 		{"A3", "Ablation: ring width in Theorem 1.1", A3Plan},

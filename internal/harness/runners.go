@@ -135,6 +135,13 @@ func (r *DecayRun) mark(dst []bool) {
 	}
 }
 
+// Retopo swaps the engine's topology in place (radio.Network.Retopo);
+// Decay protocols depend on nothing but n, so the stack runs
+// unchanged on the new adjacency. The mobility driver's hook.
+func (r *DecayRun) Retopo(offsets []int32, edges []radio.NodeID) {
+	r.nw.Retopo(offsets, edges)
+}
+
 // Coverage returns how many nodes held the message when the last run
 // stopped (== n on completed runs).
 func (r *DecayRun) Coverage() int { return r.ds.Count() }

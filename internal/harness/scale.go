@@ -188,6 +188,17 @@ func runScaleCell(proto, workload string, n int, seed uint64, workers int,
 	if mkChannel != nil {
 		cfg.Channel = mkChannel()
 	}
+	return runDenseCell(g, proto, seed, cfg, before, limit)
+}
+
+// runDenseCell is the protocol-switch body shared by the abstract
+// (E19/E20/E21) and geometric (E22) scale sweeps: given an
+// already-built graph and engine config, construct the dense stack,
+// run it, and collect the capacity metrics against the heap mark
+// `before` (taken by the caller before graph construction, so the CSR
+// is inside the bracket).
+func runDenseCell(g *graph.Graph, proto string, seed uint64, cfg radio.Config,
+	before int64, limit int64) (exp.Result, float64) {
 	var pr radio.DenseProtocol
 	var done func() bool
 	var covered func() int

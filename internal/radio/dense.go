@@ -231,6 +231,55 @@ func (d *Dense) Close() {
 // Graph returns the underlying graph.
 func (d *Dense) Graph() *graph.Graph { return d.g }
 
+// Reset rewinds the engine to its post-NewDense state — round counter,
+// statistics, transmitter bitset and lists, stamps, the parallel gate —
+// and installs proto for the next run, without reallocating any scratch
+// or restarting the worker pool. A Reset-reused run is byte-identical
+// to a freshly constructed engine with the same configuration. The
+// protocol is taken fresh because dense protocols own all node state
+// in SoA form; rewinding that state is the protocol's own business.
+func (d *Dense) Reset(proto DenseProtocol) {
+	d.proto = proto
+	d.round = 0
+	d.stats = Stats{}
+	d.lastTx = 0
+	for i := range d.txWords {
+		d.txWords[i] = 0
+	}
+	for p := range d.txLists {
+		d.txLists[p] = d.txLists[p][:0]
+	}
+	d.allTx = d.allTx[:0]
+	d.keptTx = d.keptTx[:0]
+	d.effTx = nil
+	d.listenW = nil
+	for i := range d.hearStamp {
+		d.hearStamp[i] = -1
+	}
+}
+
+// Retopo swaps the engine's topology in place: the scatter pass
+// immediately follows the new CSR while partitioning, buckets, stamps,
+// the worker pool, and the bound protocol are untouched. The node
+// count must be unchanged (len(offsets) == n+1) — that is what keeps
+// the word partitioning and per-node scratch valid; pass the arrays of
+// graph.Graph.CSR on a same-n graph.
+//
+// Retopo composes with Reset in either order (Reset rewinds run state,
+// Retopo swaps adjacency) and is legal mid-run. Note that dense
+// protocols typically hold their own adjacency-derived state (degrees,
+// trees); a topology swap usually pairs with Reset and a protocol
+// built on the new graph. Graph() keeps returning the construction-
+// time graph.
+func (d *Dense) Retopo(offsets []int32, edges []NodeID) {
+	if len(offsets) != len(d.offsets) {
+		panic(fmt.Sprintf("radio: Retopo with %d offsets, want %d (node count must be unchanged)",
+			len(offsets), len(d.offsets)))
+	}
+	d.offsets = offsets
+	d.edges = edges
+}
+
 // Round returns the current round number (the next round to execute).
 func (d *Dense) Round() int64 { return d.round }
 

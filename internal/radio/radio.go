@@ -352,6 +352,28 @@ func (nw *Network) Reset() {
 // network needs a fresh instance after every Reset.
 func (nw *Network) SetChannel(ch Channel) { nw.cfg.Channel = ch }
 
+// Retopo swaps the network's topology in place: delivery immediately
+// follows the new CSR while every other piece of engine state — round
+// counter, wake queue, stamps, scratch, installed protocols — is left
+// untouched. The node count must be unchanged (len(offsets) == n+1),
+// which is what keeps the per-node scratch valid; pass the arrays of
+// graph.Graph.CSR on a same-n graph.
+//
+// Retopo composes with Reset in either order: Reset rewinds the run
+// state without touching the CSR, Retopo swaps the CSR without
+// touching the run state. Swapping mid-run is legal too (the mobility
+// driver's case) — deliveries of round r simply fan out over the new
+// adjacency. Graph() keeps returning the construction-time graph; a
+// caller that swaps topologies owns the mapping to graph objects.
+func (nw *Network) Retopo(offsets []int32, edges []NodeID) {
+	if len(offsets) != len(nw.offsets) {
+		panic(fmt.Sprintf("radio: Retopo with %d offsets, want %d (node count must be unchanged)",
+			len(offsets), len(nw.offsets)))
+	}
+	nw.offsets = offsets
+	nw.edges = edges
+}
+
 // SetObserver installs (or clears) the round observer and its stride.
 // Unlike channels, observers carry no per-run simulation state, so —
 // like the tracer — an installed observer survives Reset; pass nil to

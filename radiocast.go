@@ -44,6 +44,7 @@ import (
 	"radiocast/internal/adapt"
 	"radiocast/internal/bitvec"
 	"radiocast/internal/channel"
+	"radiocast/internal/geo"
 	"radiocast/internal/graph"
 	"radiocast/internal/gst"
 	"radiocast/internal/gstdist"
@@ -77,6 +78,45 @@ var (
 	// NewGNP returns a connected Erdős–Rényi sample.
 	NewGNP = graph.GNP
 )
+
+// Geometric layouts (internal/geo): deterministic seeded point sets in
+// the unit square whose unit-disk graphs become engine workloads via
+// UnitDiskGraph, whose positions feed RangeErasureChannel, and whose
+// motion is driven by NewWaypoint.
+var (
+	// NewUniformLayout returns n points i.i.d. uniform in the unit
+	// square.
+	NewUniformLayout = geo.Uniform
+	// NewClusteredLayout returns n points grouped around `clusters`
+	// uniformly placed centers with the given spread.
+	NewClusteredLayout = geo.Clustered
+	// NewWaypoint attaches a random-waypoint mobility stepper to a
+	// layout (Step/Advance mutate positions in place).
+	NewWaypoint = geo.NewWaypoint
+	// GeoConnectivityRadius is the radius at which a uniform layout's
+	// unit-disk graph is connected w.h.p.
+	GeoConnectivityRadius = geo.ConnectivityRadius
+)
+
+// Layout re-exports the geometric point set (see internal/geo).
+type Layout = geo.Layout
+
+// UnitDiskGraph materialises the unit-disk graph of a layout at the
+// given radius through the grid-bucketed streaming builder (no O(n²)
+// pair scan), stitching disconnected components so the result is a
+// valid broadcast workload.
+func UnitDiskGraph(l *Layout, radius float64, seed uint64) *Graph {
+	return graph.BuildConnected(geo.NewDisk(l, radius), seed)
+}
+
+// RangeErasureChannel returns the position-aware quasi-unit-disk loss
+// model over a layout: reliable within inner, erased with linearly
+// distance-ramped probability between inner and outer, dead beyond
+// outer. The layout is aliased — waypoint motion shifts the loss
+// field immediately. Pair with a graph built at the outer radius.
+func RangeErasureChannel(l *Layout, inner, outer float64, seed uint64) Channel {
+	return channel.NewRangeErasure(l.X, l.Y, inner, outer, seed)
+}
 
 // Channel is the pluggable channel-adversity interface of the engine:
 // a model of packet loss, jamming, unreliable collision detection, or
